@@ -1,0 +1,92 @@
+//! The paper's complexity remark, measured: solving the hard criterion
+//! costs `O(m³)` while the soft criterion costs `O((m+n)³)` (full system)
+//! or `O(n³ + m³)` (block form of Eq. 4). With `n ≫ m` the hard solve is
+//! dramatically cheaper — "another advantage of the hard criterion".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gssl::{HardCriterion, HardSolver, Problem, SoftCriterion, SweepKind};
+use gssl_datasets::synthetic::{paper_dataset, PaperModel, PAPER_DIM};
+use gssl_graph::{affinity::affinity_matrix, bandwidth::paper_rate, Kernel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_problem(n: usize, m: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ds = paper_dataset(PaperModel::Linear, n + m, &mut rng).expect("generation");
+    let ssl = ds.arrange_prefix(n).expect("arrangement");
+    let h = paper_rate(n, PAPER_DIM).expect("rate");
+    let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, h).expect("affinity");
+    Problem::new(w, ssl.labels.clone()).expect("valid problem")
+}
+
+/// Hard vs soft at fixed labeled size: the hard criterion only factors
+/// the m×m block.
+fn bench_hard_vs_soft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard_vs_soft_n200");
+    group.sample_size(10);
+    for &m in &[20usize, 50, 100, 200] {
+        let problem = build_problem(200, m);
+        group.bench_with_input(BenchmarkId::new("hard", m), &problem, |b, p| {
+            b.iter(|| HardCriterion::new().fit(p).expect("hard fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("soft_block", m), &problem, |b, p| {
+            let soft = SoftCriterion::new(0.1).expect("lambda");
+            b.iter(|| soft.fit(p).expect("soft fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("soft_full", m), &problem, |b, p| {
+            let soft = SoftCriterion::new(0.1).expect("lambda");
+            b.iter(|| soft.fit_full_system(p).expect("soft full fit"));
+        });
+    }
+    group.finish();
+}
+
+/// The m³ scaling of the hard solve in isolation (n fixed and large).
+fn bench_hard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard_scaling_in_m");
+    group.sample_size(10);
+    for &m in &[25usize, 50, 100, 200] {
+        let problem = build_problem(300, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &problem, |b, p| {
+            b.iter(|| HardCriterion::new().fit(p).expect("hard fit"));
+        });
+    }
+    group.finish();
+}
+
+/// Backend ablation: direct, CG and propagation backends on one problem.
+fn bench_hard_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard_backends_n200_m100");
+    group.sample_size(10);
+    let problem = build_problem(200, 100);
+    let backends: Vec<(&str, HardCriterion)> = vec![
+        ("cholesky", HardCriterion::new()),
+        ("lu", HardCriterion::new().solver(HardSolver::Lu)),
+        (
+            "conjugate_gradient",
+            HardCriterion::new().solver(HardSolver::ConjugateGradient(Default::default())),
+        ),
+        (
+            "propagation_jacobi",
+            HardCriterion::new().solver(HardSolver::Propagation(SweepKind::Simultaneous)),
+        ),
+        (
+            "propagation_gauss_seidel",
+            HardCriterion::new().solver(HardSolver::Propagation(SweepKind::InPlace)),
+        ),
+    ];
+    for (name, solver) in backends {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, s| {
+            b.iter(|| s.fit(&problem).expect("fit succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hard_vs_soft,
+    bench_hard_scaling,
+    bench_hard_backends
+);
+criterion_main!(benches);

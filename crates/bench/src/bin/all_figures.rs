@@ -1,0 +1,37 @@
+//! Regenerates every figure of the paper in one run and prints the
+//! paper-style tables (Figures 1–4: RMSE; Figure 5: AUC).
+//!
+//! ```text
+//! cargo run --release -p gssl-bench --bin all_figures -- --reps 30
+//! ```
+
+use gssl_bench::figures::{report_figure5, run_figure5, SyntheticFigure};
+use gssl_bench::runner::CliArgs;
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    for figure in [
+        SyntheticFigure::Fig1,
+        SyntheticFigure::Fig2,
+        SyntheticFigure::Fig3,
+        SyntheticFigure::Fig4,
+    ] {
+        if let Err(error) = figure.run_and_report(&args) {
+            eprintln!("figure {} failed: {error}", figure.number());
+            std::process::exit(1);
+        }
+    }
+    match run_figure5(&args) {
+        Ok(points) => report_figure5(&points),
+        Err(error) => {
+            eprintln!("figure 5 failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Extension experiment: the COIL benchmark *before* its binary grouping.
+//!
+//! The paper works with the binary 3-vs-3 reduction; the underlying data
+//! is six-way. This experiment runs one-vs-rest harmonic classification
+//! on the six classes at several labeled shares and reports accuracy and
+//! per-class recall — the multiclass picture behind Figure 5.
+
+use gssl::{HardCriterion, OneVsRest};
+use gssl_bench::runner::CliArgs;
+use gssl_datasets::coil::{SyntheticCoil, CLASS_COUNT};
+use gssl_graph::{affinity::affinity_matrix, bandwidth::median_heuristic, Kernel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn run(args: &CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let images_per_class = if args.full { 100 } else { 30 };
+    let reps = args.repetitions.unwrap_or(3);
+    let seed = args.seed.unwrap_or(5150);
+
+    println!(
+        "== Six-way COIL via one-vs-rest hard criterion ({images_per_class} imgs/class, {reps} reps) ==\n"
+    );
+    println!(
+        "{:>15} {:>12} {:>14} {:>14}",
+        "labeled/class", "accuracy", "worst recall", "best recall"
+    );
+
+    // The paper's median heuristic targets the binary task; six-way
+    // boundaries are finer, so the graph needs a tighter bandwidth. The
+    // 0.3 factor comes from a coarse sweep (see EXPERIMENTS.md).
+    let sigma_scale = 0.3;
+    for &labeled_per_class in &[2usize, 5, 10] {
+        let mut accuracy_sum = 0.0;
+        let mut worst_sum = 0.0;
+        let mut best_sum = 0.0;
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed + rep as u64);
+            let coil = SyntheticCoil::builder()
+                .images_per_class(images_per_class)
+                .build(&mut rng)?;
+            let dataset = coil.dataset();
+            let sigma = sigma_scale * median_heuristic(dataset.inputs())?;
+
+            // Pick labeled_per_class random images of each class.
+            let mut labeled = Vec::new();
+            for class in 0..CLASS_COUNT {
+                let mut members: Vec<usize> = coil
+                    .class_labels()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c == class)
+                    .map(|(i, _)| i)
+                    .collect();
+                members.shuffle(&mut rng);
+                labeled.extend(members.into_iter().take(labeled_per_class));
+            }
+            let ssl = dataset.arrange(&labeled)?;
+            let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, sigma)?;
+            let class_labels: Vec<usize> =
+                labeled.iter().map(|&i| coil.class_labels()[i]).collect();
+            let ovr = OneVsRest::new(HardCriterion::new(), CLASS_COUNT)?;
+            let scores = ovr.fit(&w, &class_labels)?;
+
+            let truth: Vec<usize> = ssl.original_order[labeled.len()..]
+                .iter()
+                .map(|&i| coil.class_labels()[i])
+                .collect();
+            let predictions = scores.unlabeled_predictions();
+            let correct = predictions
+                .iter()
+                .zip(&truth)
+                .filter(|(p, t)| p == t)
+                .count();
+            accuracy_sum += correct as f64 / truth.len() as f64;
+
+            // Per-class recall.
+            let mut recalls = Vec::with_capacity(CLASS_COUNT);
+            for class in 0..CLASS_COUNT {
+                let total = truth.iter().filter(|&&t| t == class).count();
+                let hit = predictions
+                    .iter()
+                    .zip(&truth)
+                    .filter(|&(p, &t)| t == class && *p == class)
+                    .count();
+                if total > 0 {
+                    recalls.push(hit as f64 / total as f64);
+                }
+            }
+            worst_sum += recalls.iter().copied().fold(f64::INFINITY, f64::min);
+            best_sum += recalls.iter().copied().fold(0.0f64, f64::max);
+        }
+        let r = reps as f64;
+        println!(
+            "{labeled_per_class:>15} {:>12.4} {:>14.4} {:>14.4}",
+            accuracy_sum / r,
+            worst_sum / r,
+            best_sum / r
+        );
+    }
+
+    println!("\nChance accuracy is 1/6 ≈ 0.167; accuracy climbs with the labeled");
+    println!("budget, and the worst-recall column exposes the shape families the");
+    println!("pixel metric confuses most.");
+    Ok(())
+}
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = run(&args) {
+        eprintln!("coil_multiclass failed: {error}");
+        std::process::exit(1);
+    }
+}

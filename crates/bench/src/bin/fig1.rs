@@ -1,0 +1,24 @@
+//! Reproduces Figure 1 of the paper: average RMSE under Model 1 with
+//! `m = 30` unlabeled points as the labeled sample size `n` grows, for
+//! λ ∈ {0, 0.01, 0.1, 5}.
+
+use gssl_bench::figures::SyntheticFigure;
+use gssl_bench::report::format_series_csv;
+use gssl_bench::runner::CliArgs;
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    match SyntheticFigure::Fig1.run_and_report(&args) {
+        Ok(points) => print!("{}", format_series_csv(&points)),
+        Err(error) => {
+            eprintln!("figure 1 failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

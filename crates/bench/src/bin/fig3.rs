@@ -1,0 +1,23 @@
+//! Reproduces Figure 3 of the paper: Figure 1's design (sweep `n`,
+//! `m = 30`) under the non-linear Model 2.
+
+use gssl_bench::figures::SyntheticFigure;
+use gssl_bench::report::format_series_csv;
+use gssl_bench::runner::CliArgs;
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    match SyntheticFigure::Fig3.run_and_report(&args) {
+        Ok(points) => print!("{}", format_series_csv(&points)),
+        Err(error) => {
+            eprintln!("figure 3 failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces Figure 5 of the paper: average AUC on the (synthetic) COIL
+//! binary task versus λ ∈ {0, 0.01, 0.05, 0.1, 0.5, 1, 5} at labeled
+//! ratios 80/20, 20/80 and 10/90.
+//!
+//! The default run uses a scaled-down render (40 images/class); pass
+//! `--full` for the benchmark-sized 250 images/class with 100 repetitions
+//! (hours of compute — the 10/90 setting solves 1350×1350 systems).
+
+use gssl_bench::figures::{report_figure5, run_figure5};
+use gssl_bench::report::format_series_csv;
+use gssl_bench::runner::CliArgs;
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    match run_figure5(&args) {
+        Ok(points) => {
+            report_figure5(&points);
+            print!("{}", format_series_csv(&points));
+        }
+        Err(error) => {
+            eprintln!("figure 5 failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's stated future work, made executable: "investigate the
+//! theoretical properties of other indicators of prediction accuracy such
+//! as AUC and MCC". This experiment tracks AUC and MCC of the hard and
+//! soft criteria (binary decisions at 0.5) as the labeled sample grows —
+//! the empirical counterpart of the open asymptotic question.
+
+use gssl::{HardCriterion, Problem, SoftCriterion};
+use gssl_bench::runner::CliArgs;
+use gssl_datasets::synthetic::{paper_dataset, PaperModel, PAPER_DIM};
+use gssl_graph::{affinity::affinity_matrix, bandwidth::paper_rate, Kernel};
+use gssl_stats::metrics::ConfusionMatrix;
+use gssl_stats::roc::auc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct MetricAverages {
+    auc: f64,
+    mcc: f64,
+    accuracy: f64,
+}
+
+fn evaluate(
+    n: usize,
+    m: usize,
+    lambda: f64,
+    reps: u64,
+    seed: u64,
+) -> Result<MetricAverages, Box<dyn std::error::Error>> {
+    let mut auc_sum = 0.0;
+    let mut mcc_sum = 0.0;
+    let mut acc_sum = 0.0;
+    let mut informative = 0usize;
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed + rep);
+        let ds = paper_dataset(PaperModel::Linear, n + m, &mut rng)?;
+        let ssl = ds.arrange_prefix(n)?;
+        let truth = ssl.hidden_targets_binary();
+        if truth.iter().all(|&t| t) || truth.iter().all(|&t| !t) {
+            continue; // AUC undefined; skip this repetition
+        }
+        let h = paper_rate(n, PAPER_DIM)?;
+        let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, h)?;
+        let problem = Problem::new(w, ssl.labels.clone())?;
+        let scores = if lambda == 0.0 {
+            HardCriterion::new().fit(&problem)?
+        } else {
+            SoftCriterion::new(lambda)?.fit(&problem)?
+        };
+        auc_sum += auc(scores.unlabeled(), &truth)?;
+        let cm = ConfusionMatrix::from_scores(scores.unlabeled(), &truth, 0.5)?;
+        mcc_sum += cm.mcc().unwrap_or(0.0);
+        acc_sum += cm.accuracy();
+        informative += 1;
+    }
+    if informative == 0 {
+        return Err("every repetition was single-class".into());
+    }
+    let count = informative as f64;
+    Ok(MetricAverages {
+        auc: auc_sum / count,
+        mcc: mcc_sum / count,
+        accuracy: acc_sum / count,
+    })
+}
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let reps = args.repetitions.unwrap_or(25) as u64;
+    let seed = args.seed.unwrap_or(86420);
+    let m = 30;
+    let n_grid: &[usize] = if args.full {
+        &[30, 100, 300, 800, 1500]
+    } else {
+        &[30, 100, 300]
+    };
+
+    println!("== Future work: AUC / MCC asymptotics (Model 1, m = {m}, {reps} reps) ==\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10}",
+        "n", "lambda", "AUC", "MCC", "accuracy"
+    );
+    for &n in n_grid {
+        for &lambda in &[0.0, 0.1, 5.0] {
+            match evaluate(n, m, lambda, reps, seed) {
+                Ok(metrics) => println!(
+                    "{n:>6} {lambda:>8} {:>10.4} {:>10.4} {:>10.4}",
+                    metrics.auc, metrics.mcc, metrics.accuracy
+                ),
+                Err(error) => {
+                    eprintln!("cell n = {n}, lambda = {lambda} failed: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!();
+    }
+    println!("Expected pattern: every indicator improves with n. Thresholded");
+    println!("metrics (MCC, accuracy) collapse at large λ because the soft scores");
+    println!("compress toward the label mean and the 0.5 threshold goes blind,");
+    println!("while AUC — which only sees the ranking — degrades far less. This");
+    println!("gap is exactly why the paper flags AUC/MCC asymptotics as open.");
+}

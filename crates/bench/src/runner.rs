@@ -1,0 +1,171 @@
+//! Parallel Monte-Carlo repetition runner.
+//!
+//! Repetitions are embarrassingly parallel; this runner fans them out over
+//! the available cores with crossbeam scoped threads and collects results
+//! under a parking_lot mutex. On a single-core host it degrades to the
+//! sequential loop.
+
+use parking_lot::Mutex;
+
+/// Runs `repetitions` independent evaluations of `f` (each receiving its
+/// repetition index) across the available cores, preserving order.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing repetition; remaining
+/// work is still drained (threads are joined) before returning.
+pub fn average_over_repetitions<F>(
+    repetitions: usize,
+    f: F,
+) -> Result<Vec<Vec<f64>>, Box<dyn std::error::Error>>
+where
+    F: Fn(usize) -> Result<Vec<f64>, Box<dyn std::error::Error>> + Sync,
+{
+    if repetitions == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(repetitions);
+
+    if threads <= 1 {
+        return (0..repetitions).map(|r| f(r)).collect();
+    }
+
+    let results: Mutex<Vec<Option<Result<Vec<f64>, String>>>> =
+        Mutex::new((0..repetitions).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let r = {
+                    let mut guard = next.lock();
+                    if *guard >= repetitions {
+                        break;
+                    }
+                    let r = *guard;
+                    *guard += 1;
+                    r
+                };
+                // Errors cross the thread boundary as strings; boxed errors
+                // are not Send in general.
+                let outcome = f(r).map_err(|e| e.to_string());
+                results.lock()[r] = Some(outcome);
+            });
+        }
+    })
+    .expect("repetition worker panicked");
+
+    let collected = results.into_inner();
+    let mut out = Vec::with_capacity(repetitions);
+    for slot in collected {
+        match slot.expect("every repetition index was claimed") {
+            Ok(v) => out.push(v),
+            Err(message) => return Err(message.into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `--flag value` style argument list for the experiment
+/// binaries: supported keys are returned via the accessor methods, and
+/// unknown flags produce an error message listing the supported set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliArgs {
+    /// Overridden repetition count, when given.
+    pub repetitions: Option<usize>,
+    /// Run the paper-scale grid instead of the scaled-down default.
+    pub full: bool,
+    /// Overridden base seed, when given.
+    pub seed: Option<u64>,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args`-style strings (the program name must be
+    /// stripped by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = CliArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--reps" => {
+                    let value = iter.next().ok_or("--reps requires a value")?;
+                    out.repetitions =
+                        Some(value.parse().map_err(|_| format!("bad --reps value: {value}"))?);
+                }
+                "--seed" => {
+                    let value = iter.next().ok_or("--seed requires a value")?;
+                    out.seed =
+                        Some(value.parse().map_err(|_| format!("bad --seed value: {value}"))?);
+                }
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    return Err("usage: [--reps N] [--seed S] [--full]".to_owned())
+                }
+                other => return Err(format!("unknown flag {other}; try --help")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_repetitions_in_order() {
+        let results = average_over_repetitions(5, |r| Ok(vec![r as f64])).unwrap();
+        assert_eq!(results.len(), 5);
+        for (r, v) in results.iter().enumerate() {
+            assert_eq!(v[0], r as f64);
+        }
+    }
+
+    #[test]
+    fn zero_repetitions_is_empty() {
+        let results = average_over_repetitions(0, |_| unreachable!()).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let result = average_over_repetitions(3, |r| {
+            if r == 1 {
+                Err("boom".into())
+            } else {
+                Ok(vec![0.0])
+            }
+        });
+        assert!(result.is_err());
+        assert!(result.unwrap_err().to_string().contains("boom"));
+    }
+
+    #[test]
+    fn cli_parses_flags() {
+        let args = CliArgs::parse(
+            ["--reps", "12", "--seed", "99", "--full"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.repetitions, Some(12));
+        assert_eq!(args.seed, Some(99));
+        assert!(args.full);
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags_and_bad_values() {
+        assert!(CliArgs::parse(["--nope".to_owned()]).is_err());
+        assert!(CliArgs::parse(["--reps".to_owned()]).is_err());
+        assert!(CliArgs::parse(["--reps".to_owned(), "abc".to_owned()]).is_err());
+        assert!(CliArgs::parse(["--help".to_owned()]).is_err());
+        assert_eq!(CliArgs::parse([]).unwrap(), CliArgs::default());
+    }
+}

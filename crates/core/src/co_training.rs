@@ -1,0 +1,284 @@
+//! Co-training (Blum & Mitchell; the paper's introduction cites the
+//! co-training line as reference \[4\]): two models over two *views* of
+//! the features teach each other by exchanging confident pseudo-labels.
+//!
+//! Each round, each view's model is fitted on the labels accumulated so
+//! far; the points one view is confident about become pseudo-labels for
+//! the *other* view's next round. Included — like [`crate::SelfTraining`]
+//! — as a classic baseline the paper positions graph-based methods
+//! against; the final score is the average of the two views' scores.
+
+use crate::error::{Error, Result};
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+use gssl_graph::Kernel;
+use gssl_linalg::Matrix;
+
+/// Co-training over two feature views.
+///
+/// The views are given as column ranges of the input matrix; each view
+/// builds its own kernel graph and fits the wrapped model independently.
+pub struct CoTraining<M> {
+    model: M,
+    view_split: usize,
+    kernel: Kernel,
+    bandwidth: f64,
+    confidence: f64,
+    max_rounds: usize,
+}
+
+impl<M: TransductiveModel> CoTraining<M> {
+    /// Creates a co-trainer: columns `..view_split` form view 1, columns
+    /// `view_split..` form view 2; both views use `kernel` at
+    /// `bandwidth`; scores beyond `confidence` (or below
+    /// `1 − confidence`) are exchanged as pseudo-labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `view_split == 0`,
+    /// the confidence is outside `(0.5, 1]`, or the bandwidth is not
+    /// positive.
+    pub fn new(
+        model: M,
+        view_split: usize,
+        kernel: Kernel,
+        bandwidth: f64,
+        confidence: f64,
+    ) -> Result<Self> {
+        if view_split == 0 {
+            return Err(Error::InvalidParameter {
+                message: "view_split must leave at least one column in view 1".to_owned(),
+            });
+        }
+        if !(0.5 < confidence && confidence <= 1.0) {
+            return Err(Error::InvalidParameter {
+                message: format!("confidence must be in (0.5, 1], got {confidence}"),
+            });
+        }
+        if !(bandwidth > 0.0) {
+            return Err(Error::InvalidParameter {
+                message: format!("bandwidth must be positive, got {bandwidth}"),
+            });
+        }
+        Ok(CoTraining {
+            model,
+            view_split,
+            kernel,
+            bandwidth,
+            confidence,
+            max_rounds: 20,
+        })
+    }
+
+    /// Sets the maximum number of exchange rounds (default 20).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs co-training on raw points (labeled rows first), returning the
+    /// averaged scores (original layout) and the number of exchange
+    /// rounds performed.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidProblem`] when `view_split >= points.cols()` or
+    ///   labels are inconsistent with the points.
+    /// * Propagates graph-construction and fitting errors.
+    pub fn fit_points(&self, points: &Matrix, labels: &[f64]) -> Result<(Scores, usize)> {
+        if self.view_split >= points.cols() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "view_split {} leaves no columns for view 2 (inputs have {})",
+                    self.view_split,
+                    points.cols()
+                ),
+            });
+        }
+        if labels.is_empty() || labels.len() > points.rows() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "{} labels for {} points",
+                    labels.len(),
+                    points.rows()
+                ),
+            });
+        }
+        let total = points.rows();
+        let n0 = labels.len();
+        let view1 = points.submatrix(0, total, 0, self.view_split);
+        let view2 = points.submatrix(0, total, self.view_split, points.cols());
+
+        // Per-view labeled sets over ORIGINAL indices (views start equal).
+        let mut labeled: [Vec<usize>; 2] = [(0..n0).collect(), (0..n0).collect()];
+        let mut label_values: [Vec<f64>; 2] = [labels.to_vec(), labels.to_vec()];
+        let mut known: [Vec<bool>; 2] = [vec![false; total], vec![false; total]];
+        for view in &mut known {
+            for flag in view.iter_mut().take(n0) {
+                *flag = true;
+            }
+        }
+        let views = [&view1, &view2];
+        let mut last_scores: [Vec<f64>; 2] = [vec![0.5; total], vec![0.5; total]];
+
+        let mut rounds = 0;
+        loop {
+            let mut any_promoted = false;
+            for v in 0..2 {
+                let unlabeled: Vec<usize> =
+                    (0..total).filter(|&i| !known[v][i]).collect();
+                let order: Vec<usize> = labeled[v]
+                    .iter()
+                    .chain(unlabeled.iter())
+                    .copied()
+                    .collect();
+                let arranged = permute_rows(views[v], &order);
+                let problem = Problem::from_points(
+                    &arranged,
+                    label_values[v].clone(),
+                    self.kernel,
+                    self.bandwidth,
+                )?;
+                let scores = self.model.fit(&problem)?;
+                for (row, &orig) in order.iter().enumerate() {
+                    last_scores[v][orig] = scores.all()[row];
+                }
+                // Confident points teach the OTHER view.
+                let other = 1 - v;
+                for &orig in &unlabeled {
+                    let s = last_scores[v][orig];
+                    if known[other][orig] {
+                        continue;
+                    }
+                    let pseudo = if s >= self.confidence {
+                        Some(1.0)
+                    } else if s <= 1.0 - self.confidence {
+                        Some(0.0)
+                    } else {
+                        None
+                    };
+                    if let Some(y) = pseudo {
+                        labeled[other].push(orig);
+                        label_values[other].push(y);
+                        known[other][orig] = true;
+                        any_promoted = true;
+                    }
+                }
+            }
+            if !any_promoted || rounds >= self.max_rounds {
+                break;
+            }
+            rounds += 1;
+        }
+
+        let averaged: Vec<f64> = (n0..total)
+            .map(|i| 0.5 * (last_scores[0][i] + last_scores[1][i]))
+            .collect();
+        Ok((Scores::from_parts(labels, &averaged), rounds))
+    }
+}
+
+fn permute_rows(points: &Matrix, order: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(order.len(), points.cols());
+    for (row, &orig) in order.iter().enumerate() {
+        out.row_mut(row).copy_from_slice(points.row(orig));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nadaraya_watson::NadarayaWatson;
+
+    /// Two clusters where BOTH views are informative: view 1 = x
+    /// coordinate, view 2 = y coordinate, clusters at (0,0) and (4,4).
+    fn two_view_points() -> (Matrix, Vec<f64>) {
+        let rows: Vec<[f64; 2]> = vec![
+            // labeled: one per cluster
+            [0.0, 0.0],
+            [4.0, 4.0],
+            // unlabeled, cluster A
+            [0.3, 0.2],
+            [0.1, 0.4],
+            [0.4, 0.1],
+            // unlabeled, cluster B
+            [3.7, 3.9],
+            [4.2, 3.8],
+            [3.9, 4.3],
+        ];
+        let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (
+            Matrix::from_rows(&slices).unwrap(),
+            vec![0.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let nw = NadarayaWatson::new();
+        assert!(CoTraining::new(nw, 0, Kernel::Gaussian, 1.0, 0.8).is_err());
+        let nw = NadarayaWatson::new();
+        assert!(CoTraining::new(nw, 1, Kernel::Gaussian, 1.0, 0.5).is_err());
+        let nw = NadarayaWatson::new();
+        assert!(CoTraining::new(nw, 1, Kernel::Gaussian, 0.0, 0.8).is_err());
+        let nw = NadarayaWatson::new();
+        assert!(CoTraining::new(nw, 1, Kernel::Gaussian, 1.0, 0.8).is_ok());
+    }
+
+    #[test]
+    fn recovers_clusters_from_either_view() {
+        let (points, labels) = two_view_points();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.75)
+            .unwrap();
+        let (scores, _rounds) = co.fit_points(&points, &labels).unwrap();
+        let predictions = scores.unlabeled_predictions(0.5);
+        assert_eq!(predictions, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn views_teach_each_other() {
+        // View 2 (y coordinate) is noisy for two cluster-A points whose y
+        // sits midway; view 1 is clean. Co-training should still solve
+        // everything because view 1's confidence transfers.
+        let rows: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [4.0, 4.0],
+            [0.2, 2.0], // ambiguous in view 2, clear in view 1
+            [0.3, 2.1],
+            [3.8, 3.9],
+            [4.1, 4.2],
+        ];
+        let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let points = Matrix::from_rows(&slices).unwrap();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.2, 0.8)
+            .unwrap();
+        let (scores, rounds) = co.fit_points(&points, &[0.0, 1.0]).unwrap();
+        assert!(rounds >= 1, "an exchange should happen");
+        let predictions = scores.unlabeled_predictions(0.5);
+        assert_eq!(predictions, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn validates_points_shape() {
+        let (points, labels) = two_view_points();
+        let co = CoTraining::new(NadarayaWatson::new(), 2, Kernel::Gaussian, 1.0, 0.8)
+            .unwrap();
+        // view_split = 2 leaves nothing for view 2 (points have 2 cols).
+        assert!(co.fit_points(&points, &labels).is_err());
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.8)
+            .unwrap();
+        assert!(co.fit_points(&points, &[]).is_err());
+        assert!(co.fit_points(&points, &vec![0.0; 99]).is_err());
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let (points, labels) = two_view_points();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.75)
+            .unwrap()
+            .max_rounds(0);
+        let (_, rounds) = co.fit_points(&points, &labels).unwrap();
+        assert_eq!(rounds, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the graph-based semi-supervised learners.
+
+use std::fmt;
+
+/// Errors returned by problem construction and the criteria solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The similarity matrix and labels are inconsistent with each other.
+    InvalidProblem {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// Some unlabeled vertex has no path (through positive-weight edges)
+    /// to any labeled vertex, so the hard-criterion system `D₂₂ − W₂₂` is
+    /// singular and the scores on that component are undetermined.
+    UnanchoredUnlabeled {
+        /// Index (within the unlabeled block) of a stranded vertex.
+        unlabeled_index: usize,
+    },
+    /// A tuning parameter was outside its valid domain (e.g. `λ < 0`).
+    InvalidParameter {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A kernel-regression denominator vanished: the query point has zero
+    /// similarity to every labeled point.
+    ZeroKernelMass {
+        /// Index (within the unlabeled block) of the affected query.
+        unlabeled_index: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(gssl_linalg::Error),
+    /// An underlying graph operation failed.
+    Graph(gssl_graph::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProblem { message } => write!(f, "invalid problem: {message}"),
+            Error::UnanchoredUnlabeled { unlabeled_index } => write!(
+                f,
+                "unlabeled vertex {unlabeled_index} is not connected to any labeled vertex"
+            ),
+            Error::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            Error::ZeroKernelMass { unlabeled_index } => write!(
+                f,
+                "unlabeled vertex {unlabeled_index} has zero kernel mass on the labeled set"
+            ),
+            Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
+            Error::Graph(inner) => write!(f, "graph error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(inner) => Some(inner),
+            Error::Graph(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl_linalg::Error> for Error {
+    fn from(inner: gssl_linalg::Error) -> Self {
+        Error::Linalg(inner)
+    }
+}
+
+impl From<gssl_graph::Error> for Error {
+    fn from(inner: gssl_graph::Error) -> Self {
+        Error::Graph(inner)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::InvalidProblem {
+            message: "labels empty".into()
+        }
+        .to_string()
+        .contains("labels empty"));
+        assert!(Error::UnanchoredUnlabeled { unlabeled_index: 3 }
+            .to_string()
+            .contains("vertex 3"));
+        assert!(Error::ZeroKernelMass { unlabeled_index: 0 }
+            .to_string()
+            .contains("kernel mass"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: Error = gssl_linalg::Error::Singular { pivot: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let g: Error = gssl_graph::Error::InvalidBandwidth { value: -1.0 }.into();
+        assert!(g.to_string().contains("bandwidth"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The hard criterion (Eq. 1/5 of the paper): harmonic scores with the
+//! labeled responses clamped.
+//!
+//! ```text
+//! min_f Σ_ij w_ij (f_i − f_j)²   subject to   f_i = Y_i, i ≤ n
+//! ```
+//!
+//! whose unlabeled solution is `f_U = (D₂₂ − W₂₂)⁻¹ W₂₁ Y_n` (Eq. 5).
+//! Theorem II.1 proves this estimator consistent when `h_n → 0`,
+//! `n h_n^d → ∞` and `m = o(n h_n^d)`.
+
+use crate::error::Result;
+#[cfg(test)]
+use crate::error::Error;
+use crate::problem::{Problem, Scores};
+use crate::propagation::{LabelPropagation, SweepKind};
+use crate::traits::TransductiveModel;
+use gssl_linalg::{conjugate_gradient, CgOptions, Cholesky, Lu};
+
+/// Numerical backend used to solve the `m × m` hard-criterion system.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum HardSolver {
+    /// Cholesky factorization — the default; `D₂₂ − W₂₂` is symmetric
+    /// positive definite whenever the problem is anchored.
+    #[default]
+    Cholesky,
+    /// LU with partial pivoting — slightly more robust to borderline
+    /// conditioning, twice the work of Cholesky.
+    Lu,
+    /// Matrix-free conjugate gradient.
+    ConjugateGradient(CgOptions),
+    /// Iterative label propagation (Jacobi or Gauss–Seidel sweeps).
+    Propagation(SweepKind),
+}
+
+/// The hard criterion solver.
+///
+/// ```
+/// use gssl::{HardCriterion, Problem, TransductiveModel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// // A labeled vertex (y = 1) strongly tied to one unlabeled vertex and
+/// // weakly to another.
+/// let w = Matrix::from_rows(&[
+///     &[1.0, 0.9, 0.1],
+///     &[0.9, 1.0, 0.5],
+///     &[0.1, 0.5, 1.0],
+/// ])?;
+/// let problem = Problem::new(w, vec![1.0])?;
+/// let scores = HardCriterion::new().fit(&problem)?;
+/// // Labeled response is reproduced exactly; unlabeled scores interpolate.
+/// assert_eq!(scores.labeled(), &[1.0]);
+/// assert!(scores.unlabeled().iter().all(|&s| (0.0..=1.0).contains(&s)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HardCriterion {
+    solver: HardSolver,
+}
+
+impl HardCriterion {
+    /// Creates a hard-criterion solver with the default (Cholesky)
+    /// backend.
+    pub fn new() -> Self {
+        HardCriterion::default()
+    }
+
+    /// Selects the numerical backend.
+    pub fn solver(mut self, solver: HardSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Borrows the configured backend.
+    pub fn solver_kind(&self) -> &HardSolver {
+        &self.solver
+    }
+
+    /// Solves `(D₂₂ − W₂₂) f_U = W₂₁ Y_n` and returns all scores.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::Error::UnanchoredUnlabeled`] when some unlabeled vertex has no
+    ///   positive-weight path to a labeled vertex (singular system).
+    /// * [`crate::Error::Linalg`] when the backend fails (e.g. CG budget
+    ///   exhausted).
+    pub fn fit(&self, problem: &Problem) -> Result<Scores> {
+        problem.require_anchored(0.0)?;
+        if problem.n_unlabeled() == 0 {
+            return Ok(Scores::from_parts(problem.labels(), &[]));
+        }
+        let unlabeled = match &self.solver {
+            HardSolver::Cholesky => {
+                let system = problem.unlabeled_system()?;
+                let rhs = problem.unlabeled_rhs()?;
+                Cholesky::factor(&system)?.solve(&rhs)?
+            }
+            HardSolver::Lu => {
+                let system = problem.unlabeled_system()?;
+                let rhs = problem.unlabeled_rhs()?;
+                Lu::factor(&system)?.solve(&rhs)?
+            }
+            HardSolver::ConjugateGradient(options) => {
+                let system = problem.unlabeled_system()?;
+                let rhs = problem.unlabeled_rhs()?;
+                conjugate_gradient(&system, &rhs, options)?.solution
+            }
+            HardSolver::Propagation(sweep) => {
+                let scores = LabelPropagation::new().sweep(*sweep).fit(problem)?;
+                return Ok(scores);
+            }
+        };
+        Ok(Scores::from_parts(problem.labels(), unlabeled.as_slice()))
+    }
+}
+
+impl TransductiveModel for HardCriterion {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        HardCriterion::fit(self, problem)
+    }
+
+    fn name(&self) -> String {
+        "hard criterion (lambda = 0)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gssl_linalg::Matrix;
+
+    fn sample_problem() -> Problem {
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.2, 0.7, 0.1],
+            &[0.2, 1.0, 0.3, 0.8],
+            &[0.7, 0.3, 1.0, 0.4],
+            &[0.1, 0.8, 0.4, 1.0],
+        ])
+        .unwrap();
+        Problem::new(w, vec![1.0, 0.0]).unwrap()
+    }
+
+    fn all_backends() -> Vec<HardCriterion> {
+        vec![
+            HardCriterion::new(),
+            HardCriterion::new().solver(HardSolver::Lu),
+            HardCriterion::new().solver(HardSolver::ConjugateGradient(CgOptions {
+                tolerance: 1e-12,
+                ..CgOptions::default()
+            })),
+            HardCriterion::new().solver(HardSolver::Propagation(SweepKind::Simultaneous)),
+            HardCriterion::new().solver(HardSolver::Propagation(SweepKind::InPlace)),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let p = sample_problem();
+        let reference = HardCriterion::new().fit(&p).unwrap();
+        for backend in all_backends() {
+            let scores = backend.fit(&p).unwrap();
+            for (a, b) in reference.unlabeled().iter().zip(scores.unlabeled()) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{:?} disagrees: {a} vs {b}",
+                    backend.solver_kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_normal_equations() {
+        let p = sample_problem();
+        let scores = HardCriterion::new().fit(&p).unwrap();
+        let system = p.unlabeled_system().unwrap();
+        let rhs = p.unlabeled_rhs().unwrap();
+        let f_u = gssl_linalg::Vector::from(scores.unlabeled());
+        let residual = &system.matvec(&f_u).unwrap() - &rhs;
+        assert!(residual.norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // Unlabeled harmonic scores lie within [min Y, max Y].
+        let p = sample_problem();
+        let scores = HardCriterion::new().fit(&p).unwrap();
+        for &s in scores.unlabeled() {
+            assert!((0.0..=1.0).contains(&s), "score {s} escapes label range");
+        }
+    }
+
+    #[test]
+    fn labeled_scores_equal_observations() {
+        let p = sample_problem();
+        let scores = HardCriterion::new().fit(&p).unwrap();
+        assert_eq!(scores.labeled(), p.labels());
+    }
+
+    #[test]
+    fn toy_example_identical_inputs_give_label_mean() {
+        // Section III of the paper: when all inputs coincide (w_ij ≡ 1),
+        // every unlabeled score equals the mean of the observed labels.
+        let size = 6;
+        let n = 4;
+        let w = Matrix::filled(size, size, 1.0);
+        let labels = vec![1.0, 0.0, 1.0, 1.0];
+        let mean = 3.0 / 4.0;
+        let p = Problem::new(w, labels).unwrap();
+        let scores = HardCriterion::new().fit(&p).unwrap();
+        assert_eq!(scores.unlabeled().len(), size - n);
+        for &s in scores.unlabeled() {
+            assert!((s - mean).abs() < 1e-10, "expected label mean, got {s}");
+        }
+    }
+
+    #[test]
+    fn toy_example_inverse_matches_closed_form() {
+        // The explicit inverse in Section III:
+        // (D22 - W22)^{-1} = (n+1)/(n(m+n)) on the diagonal,
+        //                    1/(n(m+n)) off the diagonal.
+        let n = 3;
+        let m = 2;
+        let size = n + m;
+        let w = Matrix::filled(size, size, 1.0);
+        let p = Problem::new(w, vec![1.0; n]).unwrap();
+        let system = p.unlabeled_system().unwrap();
+        let inv = gssl_linalg::inverse(&system).unwrap();
+        let nf = n as f64;
+        let total = (n + m) as f64;
+        for a in 0..m {
+            for b in 0..m {
+                let expected = if a == b {
+                    (nf + 1.0) / (nf * total)
+                } else {
+                    1.0 / (nf * total)
+                };
+                assert!(
+                    (inv.get(a, b) - expected).abs() < 1e-12,
+                    "inverse entry ({a},{b}) = {} != {expected}",
+                    inv.get(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unanchored_problems() {
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.0],
+            &[0.5, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let p = Problem::new(w, vec![1.0]).unwrap();
+        for backend in all_backends() {
+            assert!(matches!(
+                backend.fit(&p),
+                Err(Error::UnanchoredUnlabeled { unlabeled_index: 1 })
+            ));
+        }
+    }
+
+    #[test]
+    fn fully_labeled_problem_returns_labels() {
+        let w = Matrix::filled(2, 2, 1.0);
+        let p = Problem::new(w, vec![0.3, 0.9]).unwrap();
+        let scores = HardCriterion::new().fit(&p).unwrap();
+        assert_eq!(scores.all(), &[0.3, 0.9]);
+        assert!(scores.unlabeled().is_empty());
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let model: Box<dyn TransductiveModel> = Box::new(HardCriterion::new());
+        assert!(model.name().contains("hard"));
+        let p = sample_problem();
+        assert!(model.fit(&p).is_ok());
+    }
+}

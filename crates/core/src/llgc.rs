@@ -1,0 +1,274 @@
+//! Learning with Local and Global Consistency (Zhou et al., 2004) — the
+//! normalized-Laplacian variant the paper cites as reference \[12\].
+//!
+//! LLGC iterates `F ← αSF + (1 − α)Y` with `S = D^{-1/2} W D^{-1/2}`,
+//! whose fixed point is
+//!
+//! ```text
+//! F* = (1 − α) (I − αS)⁻¹ Y
+//! ```
+//!
+//! Like the soft criterion it trades label fit against smoothness (α plays
+//! the role of λ/(1 + λ) under the normalized Laplacian), so it inherits
+//! the same qualitative behaviour the paper analyzes: α → 0 clamps to the
+//! labels, α → 1 over-smooths toward a degree-weighted consensus.
+
+use crate::error::{Error, Result};
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+use gssl_linalg::{Lu, Matrix, Vector};
+
+/// The LLGC criterion with smoothing weight `α ∈ (0, 1)`.
+///
+/// ```
+/// use gssl::{LocalGlobalConsistency, Problem, TransductiveModel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let w = Matrix::from_rows(&[
+///     &[1.0, 0.9, 0.1],
+///     &[0.9, 1.0, 0.2],
+///     &[0.1, 0.2, 1.0],
+/// ])?;
+/// let problem = Problem::new(w, vec![1.0])?;
+/// let scores = LocalGlobalConsistency::new(0.9)?.fit(&problem)?;
+/// // The unlabeled vertex tied to the labeled one scores higher.
+/// assert!(scores.unlabeled()[0] > scores.unlabeled()[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalGlobalConsistency {
+    alpha: f64,
+}
+
+impl LocalGlobalConsistency {
+    /// Creates the criterion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `alpha` is outside
+    /// `(0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(0.0 < alpha && alpha < 1.0) {
+            return Err(Error::InvalidParameter {
+                message: format!("alpha must lie strictly in (0, 1), got {alpha}"),
+            });
+        }
+        Ok(LocalGlobalConsistency { alpha })
+    }
+
+    /// The smoothing weight α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Solves `(I − αS) F = (1 − α) Y` with `S` the symmetric-normalized
+    /// affinity.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidProblem`] when some vertex is isolated (zero
+    ///   degree — `S` is undefined).
+    /// * [`Error::Linalg`] on numerical failure (never for `α < 1` on a
+    ///   valid graph: `I − αS` is strictly diagonally dominated in the
+    ///   spectral sense).
+    pub fn fit(&self, problem: &Problem) -> Result<Scores> {
+        let total = problem.len();
+        let n = problem.n_labeled();
+        let degrees = problem.degrees();
+        let inv_sqrt: Vec<f64> = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                if d > 0.0 {
+                    Ok(1.0 / d.sqrt())
+                } else {
+                    Err(Error::InvalidProblem {
+                        message: format!("vertex {i} is isolated; LLGC normalization undefined"),
+                    })
+                }
+            })
+            .collect::<Result<_>>()?;
+
+        // System matrix I - α S.
+        let w = problem.weights();
+        let mut system = Matrix::zeros(total, total);
+        for i in 0..total {
+            for j in 0..total {
+                let s_ij = inv_sqrt[i] * w.get(i, j) * inv_sqrt[j];
+                let identity = if i == j { 1.0 } else { 0.0 };
+                system.set(i, j, identity - self.alpha * s_ij);
+            }
+        }
+        let mut rhs = Vector::zeros(total);
+        for (i, &y) in problem.labels().iter().enumerate() {
+            rhs[i] = (1.0 - self.alpha) * y;
+        }
+        let f = Lu::factor(&system)?.solve(&rhs)?;
+        Ok(Scores::from_parts(
+            &f.as_slice()[..n],
+            &f.as_slice()[n..],
+        ))
+    }
+
+    /// Runs the textbook fixed-point iteration `F ← αSF + (1 − α)Y`
+    /// instead of a direct solve; returns scores and iteration count.
+    /// Converges geometrically at rate α.
+    ///
+    /// # Errors
+    ///
+    /// * Same validation as [`LocalGlobalConsistency::fit`].
+    /// * [`Error::Linalg`] wrapping `NotConverged` when `max_iterations`
+    ///   sweeps do not reach `tolerance`.
+    pub fn fit_iterative(
+        &self,
+        problem: &Problem,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<(Scores, usize)> {
+        let total = problem.len();
+        let n = problem.n_labeled();
+        let degrees = problem.degrees();
+        for (i, d) in degrees.iter().enumerate() {
+            if d <= 0.0 {
+                return Err(Error::InvalidProblem {
+                    message: format!("vertex {i} is isolated; LLGC normalization undefined"),
+                });
+            }
+        }
+        let inv_sqrt: Vec<f64> = degrees.iter().map(|d| 1.0 / d.sqrt()).collect();
+        let w = problem.weights();
+        let mut base = vec![0.0; total];
+        for (i, &y) in problem.labels().iter().enumerate() {
+            base[i] = (1.0 - self.alpha) * y;
+        }
+        let mut f = base.clone();
+        let mut next = vec![0.0; total];
+        for sweep in 1..=max_iterations {
+            let mut change = 0.0f64;
+            for i in 0..total {
+                let mut sum = 0.0;
+                for j in 0..total {
+                    sum += inv_sqrt[i] * w.get(i, j) * inv_sqrt[j] * f[j];
+                }
+                let value = self.alpha * sum + base[i];
+                change = change.max((value - f[i]).abs());
+                next[i] = value;
+            }
+            std::mem::swap(&mut f, &mut next);
+            if change <= tolerance {
+                return Ok((
+                    Scores::from_parts(&f[..n], &f[n..]),
+                    sweep,
+                ));
+            }
+        }
+        Err(Error::Linalg(gssl_linalg::Error::NotConverged {
+            iterations: max_iterations,
+            residual: f64::NAN,
+        }))
+    }
+}
+
+impl TransductiveModel for LocalGlobalConsistency {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        LocalGlobalConsistency::fit(self, problem)
+    }
+
+    fn name(&self) -> String {
+        format!("local-global consistency (alpha = {})", self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_problem() -> Problem {
+        // Two clusters {0, 2, 3} and {1, 4, 5}; vertices 0 and 1 labeled.
+        let mut w = Matrix::identity(6);
+        for &(a, b) in &[(0usize, 2usize), (0, 3), (2, 3), (1, 4), (1, 5), (4, 5)] {
+            w.set(a, b, 0.9);
+            w.set(b, a, 0.9);
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j && w.get(i, j) == 0.0 {
+                    w.set(i, j, 0.05);
+                }
+            }
+        }
+        Problem::new(w, vec![1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(LocalGlobalConsistency::new(0.0).is_err());
+        assert!(LocalGlobalConsistency::new(1.0).is_err());
+        assert!(LocalGlobalConsistency::new(-0.5).is_err());
+        assert_eq!(LocalGlobalConsistency::new(0.5).unwrap().alpha(), 0.5);
+    }
+
+    #[test]
+    fn recovers_cluster_structure() {
+        let p = cluster_problem();
+        let scores = LocalGlobalConsistency::new(0.9).unwrap().fit(&p).unwrap();
+        // Unlabeled order: 2, 3 (cluster of vertex 0), 4, 5 (cluster of 1).
+        let u = scores.unlabeled();
+        assert!(u[0] > u[2], "cluster-0 member should outscore cluster-1");
+        assert!(u[1] > u[3]);
+    }
+
+    #[test]
+    fn direct_and_iterative_paths_agree() {
+        let p = cluster_problem();
+        let llgc = LocalGlobalConsistency::new(0.8).unwrap();
+        let direct = llgc.fit(&p).unwrap();
+        let (iterative, sweeps) = llgc.fit_iterative(&p, 10_000, 1e-12).unwrap();
+        assert!(sweeps > 1);
+        for (a, b) in direct.all().iter().zip(iterative.all()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn small_alpha_tracks_labels() {
+        let p = cluster_problem();
+        let scores = LocalGlobalConsistency::new(0.01).unwrap().fit(&p).unwrap();
+        // With tiny α the labeled scores approach (1 - α) Y ≈ Y.
+        assert!((scores.labeled()[0] - 1.0).abs() < 0.05);
+        assert!(scores.labeled()[1].abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_isolated_vertices() {
+        let w = Matrix::from_diag(&[0.0, 0.0]);
+        let p = Problem::new(w, vec![1.0]).unwrap();
+        assert!(matches!(
+            LocalGlobalConsistency::new(0.5).unwrap().fit(&p),
+            Err(Error::InvalidProblem { .. })
+        ));
+        assert!(LocalGlobalConsistency::new(0.5)
+            .unwrap()
+            .fit_iterative(&p, 10, 1e-6)
+            .is_err());
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let p = cluster_problem();
+        let llgc = LocalGlobalConsistency::new(0.99).unwrap();
+        assert!(matches!(
+            llgc.fit_iterative(&p, 1, 1e-15),
+            Err(Error::Linalg(gssl_linalg::Error::NotConverged { .. }))
+        ));
+    }
+
+    #[test]
+    fn name_mentions_alpha() {
+        assert!(LocalGlobalConsistency::new(0.25)
+            .unwrap()
+            .name()
+            .contains("0.25"));
+    }
+}

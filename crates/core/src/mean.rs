@@ -1,0 +1,124 @@
+//! The λ = ∞ limit of the soft criterion (Proposition II.2).
+//!
+//! On a connected graph, letting `λ → ∞` in Eq. 2 forces all scores equal,
+//! and the common value minimizing the loss is the labeled mean
+//! `f̂(∞) = (1/n) Σ_i Y_i`. By the law of large numbers this converges to
+//! `E[q(X)]`, *not* to `q(X_{n+a})` — the paper's counterexample proving
+//! the soft criterion inconsistent for large λ.
+
+use crate::error::Result;
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+
+/// Predicts the labeled mean for every unlabeled vertex — the soft
+/// criterion's λ = ∞ limit on connected graphs.
+///
+/// ```
+/// use gssl::{MeanPredictor, Problem, TransductiveModel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let w = Matrix::filled(4, 4, 1.0);
+/// let problem = Problem::new(w, vec![1.0, 0.0, 1.0])?;
+/// let scores = MeanPredictor::new().fit(&problem)?;
+/// assert!((scores.unlabeled()[0] - 2.0 / 3.0).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeanPredictor {
+    _private: (),
+}
+
+impl MeanPredictor {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        MeanPredictor::default()
+    }
+
+    /// Scores every vertex with the labeled mean (unlabeled) or the
+    /// observation (labeled — matching the λ → ∞ constrained problem of
+    /// the paper's Eq. 8, whose solution fits the labeled block by the
+    /// common mean as well; we report the mean uniformly on unlabeled
+    /// vertices and the mean on labeled ones, the exact minimizer of
+    /// Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a constructed [`Problem`] (which guarantees at
+    /// least one label).
+    pub fn fit(&self, problem: &Problem) -> Result<Scores> {
+        let n = problem.n_labeled() as f64;
+        let mean = problem.labels().iter().sum::<f64>() / n;
+        let labeled = vec![mean; problem.n_labeled()];
+        let unlabeled = vec![mean; problem.n_unlabeled()];
+        Ok(Scores::from_parts(&labeled, &unlabeled))
+    }
+}
+
+impl TransductiveModel for MeanPredictor {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        MeanPredictor::fit(self, problem)
+    }
+
+    fn name(&self) -> String {
+        "mean predictor (lambda = infinity)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soft::SoftCriterion;
+    use gssl_linalg::Matrix;
+
+    #[test]
+    fn predicts_label_mean_everywhere() {
+        let w = Matrix::filled(5, 5, 1.0);
+        let p = Problem::new(w, vec![1.0, 1.0, 0.0]).unwrap();
+        let scores = MeanPredictor::new().fit(&p).unwrap();
+        for &s in scores.all() {
+            assert!((s - 2.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn soft_criterion_converges_to_mean_as_lambda_grows() {
+        // Proposition II.2: on a connected graph the soft solution tends
+        // to the constant labeled mean.
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.6, 0.3, 0.2],
+            &[0.6, 1.0, 0.5, 0.3],
+            &[0.3, 0.5, 1.0, 0.7],
+            &[0.2, 0.3, 0.7, 1.0],
+        ])
+        .unwrap();
+        let p = Problem::new(w, vec![1.0, 0.0]).unwrap();
+        let limit = MeanPredictor::new().fit(&p).unwrap();
+        let mut prev_gap = f64::INFINITY;
+        for &lambda in &[1.0, 10.0, 100.0, 1000.0] {
+            let soft = SoftCriterion::new(lambda).unwrap().fit(&p).unwrap();
+            let gap: f64 = soft
+                .all()
+                .iter()
+                .zip(limit.all())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(gap < prev_gap, "gap did not shrink at lambda {lambda}");
+            prev_gap = gap;
+        }
+        assert!(prev_gap < 1e-3, "soft(1000) still {prev_gap} from the mean");
+    }
+
+    #[test]
+    fn single_label_mean_is_that_label() {
+        let w = Matrix::filled(3, 3, 1.0);
+        let p = Problem::new(w, vec![0.8]).unwrap();
+        let scores = MeanPredictor::new().fit(&p).unwrap();
+        assert_eq!(scores.unlabeled(), &[0.8, 0.8]);
+    }
+
+    #[test]
+    fn name_mentions_infinity() {
+        assert!(MeanPredictor::new().name().contains("infinity"));
+    }
+}

@@ -1,0 +1,261 @@
+//! A high-level facade assembling the full pipeline: points → kernel graph
+//! → criterion → scores.
+
+use crate::error::{Error, Result};
+use crate::hard::HardCriterion;
+use crate::llgc::LocalGlobalConsistency;
+use crate::mean::MeanPredictor;
+use crate::nadaraya_watson::NadarayaWatson;
+use crate::plaplacian::PLaplacian;
+use crate::problem::{Problem, Scores};
+use crate::soft::SoftCriterion;
+use crate::traits::TransductiveModel;
+use gssl_graph::{Bandwidth, Kernel};
+use gssl_linalg::Matrix;
+
+/// Which criterion the model runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Criterion {
+    /// The hard criterion (Eq. 1) — consistent per Theorem II.1.
+    Hard,
+    /// The soft criterion (Eq. 2) at the given `λ`.
+    Soft(f64),
+    /// Nadaraya–Watson kernel regression (Eq. 6).
+    NadarayaWatson,
+    /// The λ = ∞ labeled-mean predictor (Proposition II.2).
+    LabeledMean,
+    /// Local and global consistency (Zhou et al., the paper's ref \[12\])
+    /// at the given α ∈ (0, 1).
+    LocalGlobalConsistency(f64),
+    /// ℓp-Laplacian regularization (the paper's ref \[19\]) at the given
+    /// exponent p ≥ 1.
+    PLaplacian(f64),
+}
+
+/// Builder-configured end-to-end model.
+///
+/// ```
+/// use gssl::{Criterion, GsslModel};
+/// use gssl_graph::{Bandwidth, Kernel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let points = Matrix::from_rows(&[&[0.0], &[1.0], &[0.1], &[0.9]])?;
+/// let scores = GsslModel::builder()
+///     .kernel(Kernel::Gaussian)
+///     .bandwidth(Bandwidth::Fixed(0.5))
+///     .criterion(Criterion::Hard)
+///     .fit(&points, &[0.0, 1.0])?;
+/// // The unlabeled point near 0 scores low, the one near 1 scores high.
+/// assert!(scores.unlabeled()[0] < 0.5);
+/// assert!(scores.unlabeled()[1] > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GsslModelBuilder {
+    kernel: Kernel,
+    bandwidth: Bandwidth,
+    criterion: Criterion,
+    bandwidth_rate_n: Option<usize>,
+}
+
+impl Default for GsslModelBuilder {
+    fn default() -> Self {
+        GsslModelBuilder {
+            kernel: Kernel::Gaussian,
+            bandwidth: Bandwidth::MedianHeuristic,
+            criterion: Criterion::Hard,
+            bandwidth_rate_n: None,
+        }
+    }
+}
+
+impl GsslModelBuilder {
+    /// Selects the smoothing kernel (default: Gaussian RBF, as in the
+    /// paper's experiments).
+    pub fn kernel(&mut self, kernel: Kernel) -> &mut Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the bandwidth rule (default: median heuristic).
+    pub fn bandwidth(&mut self, bandwidth: Bandwidth) -> &mut Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Overrides the sample size used by [`Bandwidth::PaperRate`] (the
+    /// paper resolves its rate with the labeled count `n`).
+    pub fn bandwidth_rate_n(&mut self, n: usize) -> &mut Self {
+        self.bandwidth_rate_n = Some(n);
+        self
+    }
+
+    /// Selects the criterion (default: hard).
+    pub fn criterion(&mut self, criterion: Criterion) -> &mut Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Builds the problem and fits the configured criterion.
+    ///
+    /// `points` holds all inputs (labeled rows first); `labels` are the
+    /// observed responses of the first rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction, problem-validation and solver
+    /// errors.
+    pub fn fit(&self, points: &Matrix, labels: &[f64]) -> Result<Scores> {
+        let (problem, _) = self.problem(points, labels)?;
+        self.fit_problem(&problem)
+    }
+
+    /// Builds the [`Problem`] (resolving the bandwidth rule) without
+    /// fitting — exposed so callers can inspect the graph or reuse it
+    /// across criteria (as the paper's λ sweeps do). Returns the problem
+    /// and the resolved bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bandwidth-resolution and validation errors.
+    pub fn problem(&self, points: &Matrix, labels: &[f64]) -> Result<(Problem, f64)> {
+        let rate_n = self.bandwidth_rate_n.unwrap_or(labels.len());
+        let h = self
+            .bandwidth
+            .resolve(points, Some(rate_n))
+            .map_err(Error::from)?;
+        let problem = Problem::from_points(points, labels.to_vec(), self.kernel, h)?;
+        Ok((problem, h))
+    }
+
+    /// Fits the configured criterion on a prebuilt problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn fit_problem(&self, problem: &Problem) -> Result<Scores> {
+        self.to_model()?.fit(problem)
+    }
+
+    /// Materializes the configured criterion as a trait object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an invalid `λ`.
+    pub fn to_model(&self) -> Result<Box<dyn TransductiveModel>> {
+        Ok(match self.criterion {
+            Criterion::Hard => Box::new(HardCriterion::new()),
+            Criterion::Soft(lambda) => Box::new(SoftCriterion::new(lambda)?),
+            Criterion::NadarayaWatson => Box::new(NadarayaWatson::new()),
+            Criterion::LabeledMean => Box::new(MeanPredictor::new()),
+            Criterion::LocalGlobalConsistency(alpha) => {
+                Box::new(LocalGlobalConsistency::new(alpha)?)
+            }
+            Criterion::PLaplacian(p) => Box::new(PLaplacian::new(p)?),
+        })
+    }
+}
+
+/// Entry point for the builder API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GsslModel {
+    _private: (),
+}
+
+impl GsslModel {
+    /// Starts configuring a model.
+    pub fn builder() -> GsslModelBuilder {
+        GsslModelBuilder::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Matrix {
+        Matrix::from_rows(&[&[0.0], &[1.0], &[0.05], &[0.95], &[0.5]]).unwrap()
+    }
+
+    #[test]
+    fn default_builder_fits_hard_criterion() {
+        let scores = GsslModel::builder()
+            .fit(&line_points(), &[0.0, 1.0])
+            .unwrap();
+        assert_eq!(scores.labeled(), &[0.0, 1.0]);
+        assert_eq!(scores.unlabeled().len(), 3);
+    }
+
+    #[test]
+    fn criteria_order_as_paper_predicts() {
+        // On an easy geometry the hard criterion tracks the structure while
+        // the labeled-mean limit is constant.
+        let points = line_points();
+        let labels = [0.0, 1.0];
+        let mut builder = GsslModel::builder();
+        builder
+            .kernel(Kernel::Gaussian)
+            .bandwidth(Bandwidth::Fixed(0.4));
+        builder.criterion(Criterion::Hard);
+        let hard = builder.fit(&points, &labels).unwrap();
+        builder.criterion(Criterion::LabeledMean);
+        let mean = builder.fit(&points, &labels).unwrap();
+        assert!(hard.unlabeled()[0] < 0.3);
+        assert!(hard.unlabeled()[1] > 0.7);
+        for &s in mean.unlabeled() {
+            assert!((s - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn problem_exposes_resolved_bandwidth() {
+        let mut builder = GsslModel::builder();
+        builder.bandwidth(Bandwidth::Fixed(0.7));
+        let (problem, h) = builder.problem(&line_points(), &[0.0, 1.0]).unwrap();
+        assert_eq!(h, 0.7);
+        assert_eq!(problem.n_labeled(), 2);
+        assert_eq!(problem.n_unlabeled(), 3);
+    }
+
+    #[test]
+    fn paper_rate_uses_labeled_count_by_default() {
+        let mut builder = GsslModel::builder();
+        builder.bandwidth(Bandwidth::PaperRate);
+        let (_, h) = builder.problem(&line_points(), &[0.0, 1.0]).unwrap();
+        let expected = gssl_graph::bandwidth::paper_rate(2, 1).unwrap();
+        assert!((h - expected).abs() < 1e-15);
+        builder.bandwidth_rate_n(100);
+        let (_, h100) = builder.problem(&line_points(), &[0.0, 1.0]).unwrap();
+        assert!((h100 - gssl_graph::bandwidth::paper_rate(100, 1).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn soft_lambda_validation_surfaces() {
+        let mut builder = GsslModel::builder();
+        builder.criterion(Criterion::Soft(-1.0));
+        assert!(builder.fit(&line_points(), &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn all_criteria_produce_scores() {
+        let criteria = [
+            Criterion::Hard,
+            Criterion::Soft(0.1),
+            Criterion::NadarayaWatson,
+            Criterion::LabeledMean,
+            Criterion::LocalGlobalConsistency(0.8),
+            Criterion::PLaplacian(3.0),
+        ];
+        for criterion in criteria {
+            let mut builder = GsslModel::builder();
+            builder
+                .bandwidth(Bandwidth::Fixed(0.5))
+                .criterion(criterion);
+            let scores = builder.fit(&line_points(), &[0.0, 1.0]).unwrap();
+            assert_eq!(scores.unlabeled().len(), 3, "{criterion:?}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! ℓp-Laplacian regularization (El Alaoui et al., COLT 2016 — the
+//! paper's reference [19]).
+//!
+//! The hard criterion generalizes from the quadratic penalty to
+//!
+//! ```text
+//! min_f Σ_ij w_ij |f_i − f_j|^p    subject to   f_i = Y_i on labels
+//! ```
+//!
+//! Reference [19] shows a phase transition in `p`: for `p ≤ d` the
+//! solution degenerates in the infinite-unlabeled limit, for `p > d` it
+//! stays informative (and `p → ∞` approaches Lipschitz learning). We
+//! solve the minimization by iteratively reweighted least squares (IRLS):
+//! each round solves the *quadratic* hard criterion on the reweighted
+//! graph `w_ij |f_i − f_j|^{p−2}` until the scores stabilize. At `p = 2`
+//! this reduces to a single hard-criterion solve exactly.
+
+use crate::error::{Error, Result};
+use crate::hard::HardCriterion;
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+use gssl_linalg::Matrix;
+
+/// Regularization floor that keeps IRLS weights finite when two scores
+/// coincide (the `|f_i − f_j|^{p−2}` factor blows up for `p < 2` and
+/// vanishes for `p > 2`).
+const IRLS_EPSILON: f64 = 1e-4;
+
+/// The p-Laplacian hard criterion solved by IRLS.
+///
+/// ```
+/// use gssl::{PLaplacian, Problem, TransductiveModel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let w = Matrix::from_rows(&[
+///     &[1.0, 0.8, 0.1],
+///     &[0.8, 1.0, 0.5],
+///     &[0.1, 0.5, 1.0],
+/// ])?;
+/// let problem = Problem::new(w, vec![1.0])?;
+/// let scores = PLaplacian::new(3.0)?.fit(&problem)?;
+/// assert!(scores.unlabeled().iter().all(|&s| (0.0..=1.0).contains(&s)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PLaplacian {
+    p: f64,
+    max_rounds: usize,
+    tolerance: f64,
+}
+
+impl PLaplacian {
+    /// Creates a p-Laplacian solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `p < 1` or `p` is not
+    /// finite (the penalty is non-convex below 1).
+    pub fn new(p: f64) -> Result<Self> {
+        if !p.is_finite() || p < 1.0 {
+            return Err(Error::InvalidParameter {
+                message: format!("p must be finite and >= 1, got {p}"),
+            });
+        }
+        Ok(PLaplacian {
+            p,
+            max_rounds: 300,
+            tolerance: 1e-6,
+        })
+    }
+
+    /// The exponent p.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Sets the maximum number of IRLS rounds (default 100).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the convergence tolerance on the max-norm score change per
+    /// round (default 1e-8).
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Runs IRLS, returning the scores and the number of rounds used.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnanchoredUnlabeled`] when the problem is ill posed.
+    /// * [`Error::Linalg`] wrapping `NotConverged` when `max_rounds`
+    ///   rounds do not stabilize the scores.
+    pub fn fit_with_rounds(&self, problem: &Problem) -> Result<(Scores, usize)> {
+        problem.require_anchored(0.0)?;
+        let hard = HardCriterion::new();
+
+        // Round 0: the quadratic solution (also the exact answer at p = 2).
+        let mut scores = hard.fit(problem)?;
+        if (self.p - 2.0).abs() < 1e-12 || problem.n_unlabeled() == 0 {
+            return Ok((scores, 1));
+        }
+
+        let total = problem.len();
+        let base = problem.weights();
+        for round in 1..=self.max_rounds {
+            // Reweight: w'_ij = w_ij * (|f_i - f_j| + eps)^(p-2).
+            let f = scores.all();
+            let mut reweighted = Matrix::zeros(total, total);
+            for i in 0..total {
+                for j in 0..total {
+                    let w = base.get(i, j);
+                    if w > 0.0 && i != j {
+                        let gap = (f[i] - f[j]).abs() + IRLS_EPSILON;
+                        reweighted.set(i, j, w * gap.powf(self.p - 2.0));
+                    }
+                }
+            }
+            let subproblem = Problem::new(reweighted, problem.labels().to_vec())?;
+            let next = hard.fit(&subproblem)?;
+            // Damped update: plain IRLS oscillates for p far from 2, and
+            // the farther p is from 2 the smaller the stable step size;
+            // labels stay clamped since both iterates agree on them.
+            let step = (2.0 / self.p.max(2.0 - self.p + 2.0)).clamp(0.1, 0.5);
+            let damped: Vec<f64> = next
+                .all()
+                .iter()
+                .zip(scores.all())
+                .map(|(a, b)| step * a + (1.0 - step) * b)
+                .collect();
+            let change = damped
+                .iter()
+                .zip(scores.all())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            let n = problem.n_labeled();
+            scores = Scores::from_parts(&damped[..n], &damped[n..]);
+            if change <= self.tolerance {
+                return Ok((scores, round));
+            }
+        }
+        Err(Error::Linalg(gssl_linalg::Error::NotConverged {
+            iterations: self.max_rounds,
+            residual: f64::NAN,
+        }))
+    }
+
+    /// The p-Dirichlet energy `Σ_ij w_ij |f_i − f_j|^p` of a score vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProblem`] when `scores` has the wrong
+    /// length.
+    pub fn energy(&self, problem: &Problem, scores: &[f64]) -> Result<f64> {
+        if scores.len() != problem.len() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "scores must have {} entries, got {}",
+                    problem.len(),
+                    scores.len()
+                ),
+            });
+        }
+        let w = problem.weights();
+        let mut energy = 0.0;
+        for i in 0..problem.len() {
+            for j in 0..problem.len() {
+                energy += w.get(i, j) * (scores[i] - scores[j]).abs().powf(self.p);
+            }
+        }
+        Ok(energy)
+    }
+}
+
+impl TransductiveModel for PLaplacian {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        Ok(self.fit_with_rounds(problem)?.0)
+    }
+
+    fn name(&self) -> String {
+        format!("p-laplacian (p = {})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_problem() -> Problem {
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.3, 0.8, 0.1],
+            &[0.3, 1.0, 0.2, 0.9],
+            &[0.8, 0.2, 1.0, 0.4],
+            &[0.1, 0.9, 0.4, 1.0],
+        ])
+        .unwrap();
+        Problem::new(w, vec![1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn p_validation() {
+        assert!(PLaplacian::new(0.5).is_err());
+        assert!(PLaplacian::new(f64::NAN).is_err());
+        assert!(PLaplacian::new(f64::INFINITY).is_err());
+        assert_eq!(PLaplacian::new(3.0).unwrap().p(), 3.0);
+    }
+
+    #[test]
+    fn p_equals_two_reduces_to_hard_criterion() {
+        let p = sample_problem();
+        let hard = HardCriterion::new().fit(&p).unwrap();
+        let (plap, rounds) = PLaplacian::new(2.0).unwrap().fit_with_rounds(&p).unwrap();
+        assert_eq!(rounds, 1);
+        for (a, b) in hard.all().iter().zip(plap.all()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn irls_converges_and_lowers_p_energy() {
+        let problem = sample_problem();
+        for &p in &[1.5, 3.0, 4.0] {
+            let solver = PLaplacian::new(p).unwrap();
+            let (scores, rounds) = solver.fit_with_rounds(&problem).unwrap();
+            assert!(rounds >= 1, "p = {p}");
+            // The p-solution should not have larger p-energy than the
+            // quadratic solution (it optimizes that energy).
+            let quadratic = HardCriterion::new().fit(&problem).unwrap();
+            let e_p = solver.energy(&problem, scores.all()).unwrap();
+            let e_quad = solver.energy(&problem, quadratic.all()).unwrap();
+            assert!(
+                e_p <= e_quad + 1e-6,
+                "p = {p}: energy {e_p} vs quadratic start {e_quad}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximum_principle_holds_for_all_p() {
+        let problem = sample_problem();
+        for &p in &[1.2, 2.0, 3.5, 6.0] {
+            let scores = PLaplacian::new(p).unwrap().fit(&problem).unwrap();
+            for &s in scores.unlabeled() {
+                assert!(
+                    (-1e-9..=1.0 + 1e-9).contains(&s),
+                    "p = {p}: score {s} escapes label range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_stay_clamped() {
+        let problem = sample_problem();
+        let scores = PLaplacian::new(3.0).unwrap().fit(&problem).unwrap();
+        assert_eq!(scores.labeled(), problem.labels());
+    }
+
+    #[test]
+    fn rejects_unanchored_problems() {
+        let w = Matrix::from_diag(&[1.0, 1.0]);
+        let problem = Problem::new(w, vec![1.0]).unwrap();
+        assert!(matches!(
+            PLaplacian::new(3.0).unwrap().fit(&problem),
+            Err(Error::UnanchoredUnlabeled { .. })
+        ));
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        let problem = sample_problem();
+        let solver = PLaplacian::new(4.0)
+            .unwrap()
+            .max_rounds(1)
+            .tolerance(1e-300);
+        assert!(matches!(
+            solver.fit_with_rounds(&problem),
+            Err(Error::Linalg(gssl_linalg::Error::NotConverged { .. }))
+        ));
+    }
+
+    #[test]
+    fn energy_validates_length() {
+        let problem = sample_problem();
+        assert!(PLaplacian::new(2.0)
+            .unwrap()
+            .energy(&problem, &[0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn large_p_flattens_toward_midrange() {
+        // As p grows the solution approaches the Lipschitz extension,
+        // which on a symmetric two-anchor geometry pulls interior scores
+        // toward the midpoint of the labels.
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.7, 0.3],
+            &[0.0, 1.0, 0.3, 0.7],
+            &[0.7, 0.3, 1.0, 0.8],
+            &[0.3, 0.7, 0.8, 1.0],
+        ])
+        .unwrap();
+        let problem = Problem::new(w, vec![1.0, 0.0]).unwrap();
+        let p2 = PLaplacian::new(2.0).unwrap().fit(&problem).unwrap();
+        let p8 = PLaplacian::new(8.0).unwrap().fit(&problem).unwrap();
+        let spread = |s: &Scores| {
+            s.unlabeled()
+                .iter()
+                .map(|v| (v - 0.5).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(spread(&p8) <= spread(&p2) + 1e-9);
+    }
+
+    #[test]
+    fn name_mentions_p() {
+        assert!(PLaplacian::new(3.0).unwrap().name().contains("3"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The transductive problem instance and the score vectors the criteria
+//! return.
+
+use crate::error::{Error, Result};
+use gssl_graph::{affinity::affinity_matrix, components::unlabeled_anchored, Kernel};
+use gssl_linalg::{BlockPartition, Matrix, Vector};
+
+/// A graph-based semi-supervised learning problem: a symmetric similarity
+/// matrix over `n + m` points, of which the first `n` carry observed
+/// responses.
+///
+/// This is exactly the setting of the paper's Section II: `W = [w_ij]`
+/// with `0 ≤ w_ij ≤ 1` (soft requirement; any nonnegative symmetric matrix
+/// is accepted), responses `Y₁, …, Y_n` observed, `Y_{n+1}, …, Y_{n+m}`
+/// to be predicted.
+///
+/// ```
+/// use gssl::Problem;
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let w = Matrix::from_rows(&[
+///     &[1.0, 0.8, 0.1],
+///     &[0.8, 1.0, 0.2],
+///     &[0.1, 0.2, 1.0],
+/// ])?;
+/// let problem = Problem::new(w, vec![1.0])?; // 1 labeled, 2 unlabeled
+/// assert_eq!(problem.n_labeled(), 1);
+/// assert_eq!(problem.n_unlabeled(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    weights: Matrix,
+    labels: Vec<f64>,
+}
+
+impl Problem {
+    /// Symmetry tolerance accepted by the constructor.
+    const SYMMETRY_TOL: f64 = 1e-9;
+
+    /// Creates a problem from a similarity matrix and the observed labels
+    /// of the first `labels.len()` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProblem`] when:
+    /// * `weights` is not square or not symmetric (within `1e-9`),
+    /// * any weight is negative or non-finite,
+    /// * `labels` is empty or longer than the vertex count,
+    /// * any label is non-finite.
+    pub fn new(weights: Matrix, labels: Vec<f64>) -> Result<Self> {
+        if !weights.is_square() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "similarity matrix must be square, got {}x{}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        if labels.is_empty() {
+            return Err(Error::InvalidProblem {
+                message: "at least one labeled point is required".to_owned(),
+            });
+        }
+        if labels.len() > weights.rows() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "{} labels exceed the {} vertices",
+                    labels.len(),
+                    weights.rows()
+                ),
+            });
+        }
+        if labels.iter().any(|y| !y.is_finite()) {
+            return Err(Error::InvalidProblem {
+                message: "labels must be finite".to_owned(),
+            });
+        }
+        if weights.as_slice().iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(Error::InvalidProblem {
+                message: "weights must be finite and nonnegative".to_owned(),
+            });
+        }
+        if !weights.is_symmetric(Self::SYMMETRY_TOL) {
+            return Err(Error::InvalidProblem {
+                message: "similarity matrix must be symmetric".to_owned(),
+            });
+        }
+        Ok(Problem { weights, labels })
+    }
+
+    /// Builds the problem directly from points (rows of `points`, labeled
+    /// rows first) using a kernel graph, as the paper's experiments do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors and [`Problem::new`] errors.
+    pub fn from_points(
+        points: &Matrix,
+        labels: Vec<f64>,
+        kernel: Kernel,
+        bandwidth: f64,
+    ) -> Result<Self> {
+        let weights = affinity_matrix(points, kernel, bandwidth)?;
+        Problem::new(weights, labels)
+    }
+
+    /// Number of labeled points `n`.
+    pub fn n_labeled(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of unlabeled points `m`.
+    pub fn n_unlabeled(&self) -> usize {
+        self.weights.rows() - self.labels.len()
+    }
+
+    /// Total number of vertices `n + m`.
+    pub fn len(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Returns `true` when the problem has no vertices (impossible after
+    /// construction; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.rows() == 0
+    }
+
+    /// Borrows the similarity matrix `W`.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Borrows the observed labels `Y₁, …, Y_n`.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// The observed labels as a [`Vector`].
+    pub fn labels_vector(&self) -> Vector {
+        Vector::from(self.labels.as_slice())
+    }
+
+    /// Degree vector `d_i = Σ_j w_ij` over the full graph.
+    pub fn degrees(&self) -> Vector {
+        self.weights.row_sums()
+    }
+
+    /// Splits `W` into the 2×2 labeled/unlabeled block structure used by
+    /// Eq. (4)/(5) of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a constructed problem; errors are propagated from
+    /// the underlying partition for completeness.
+    pub fn weight_blocks(&self) -> Result<BlockPartition> {
+        Ok(BlockPartition::split(&self.weights, self.n_labeled())?)
+    }
+
+    /// The hard-criterion system matrix `D₂₂ − W₂₂` (degrees taken over
+    /// the *full* graph, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (none for a constructed problem).
+    pub fn unlabeled_system(&self) -> Result<Matrix> {
+        let blocks = self.weight_blocks()?;
+        let degrees = self.degrees();
+        let n = self.n_labeled();
+        let m = self.n_unlabeled();
+        let mut system = blocks.a22.map(|x| -x);
+        for a in 0..m {
+            system.set(a, a, degrees[n + a] - blocks.a22.get(a, a));
+        }
+        Ok(system)
+    }
+
+    /// The hard-criterion right-hand side `W₂₁ Y_n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (none for a constructed problem).
+    pub fn unlabeled_rhs(&self) -> Result<Vector> {
+        let blocks = self.weight_blocks()?;
+        Ok(blocks.a21.matvec(&self.labels_vector())?)
+    }
+
+    /// Checks that every unlabeled vertex is connected (through edges of
+    /// weight `> threshold`) to some labeled vertex — the condition under
+    /// which `D₂₂ − W₂₂` is nonsingular and the hard criterion well posed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnanchoredUnlabeled`] naming the first stranded
+    /// vertex.
+    pub fn require_anchored(&self, threshold: f64) -> Result<()> {
+        if unlabeled_anchored(&self.weights, self.n_labeled(), threshold)? {
+            return Ok(());
+        }
+        // Identify a stranded vertex for the error message.
+        let labels = gssl_graph::components::connected_components(&self.weights, threshold)?;
+        let anchored: std::collections::HashSet<usize> = labels[..self.n_labeled()]
+            .iter()
+            .copied()
+            .collect();
+        let stranded = labels[self.n_labeled()..]
+            .iter()
+            .position(|l| !anchored.contains(l))
+            .expect("unanchored vertex exists");
+        Err(Error::UnanchoredUnlabeled {
+            unlabeled_index: stranded,
+        })
+    }
+}
+
+/// Scores produced by a criterion: one value per vertex, labeled first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scores {
+    all: Vector,
+    n_labeled: usize,
+}
+
+impl Scores {
+    /// Assembles scores from the labeled and unlabeled parts.
+    pub(crate) fn from_parts(labeled: &[f64], unlabeled: &[f64]) -> Self {
+        let mut all = Vec::with_capacity(labeled.len() + unlabeled.len());
+        all.extend_from_slice(labeled);
+        all.extend_from_slice(unlabeled);
+        Scores {
+            all: Vector::from(all),
+            n_labeled: labeled.len(),
+        }
+    }
+
+    /// Scores of every vertex (labeled first).
+    pub fn all(&self) -> &[f64] {
+        self.all.as_slice()
+    }
+
+    /// Scores of the labeled vertices.
+    pub fn labeled(&self) -> &[f64] {
+        &self.all.as_slice()[..self.n_labeled]
+    }
+
+    /// Scores of the unlabeled vertices — `f̂_{(n+1):(n+m)}` in the paper.
+    pub fn unlabeled(&self) -> &[f64] {
+        &self.all.as_slice()[self.n_labeled..]
+    }
+
+    /// Number of labeled vertices.
+    pub fn n_labeled(&self) -> usize {
+        self.n_labeled
+    }
+
+    /// Binary predictions on the unlabeled vertices (`score >= threshold`).
+    pub fn unlabeled_predictions(&self, threshold: f64) -> Vec<bool> {
+        self.unlabeled().iter().map(|&s| s >= threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_weights() -> Matrix {
+        // 0 - 1 - 2 chain with weights 1 (plus unit self-loops like the
+        // Gaussian kernel produces).
+        Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 1.0], &[0.0, 1.0, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
+        assert_eq!(p.n_labeled(), 1);
+        assert_eq!(p.n_unlabeled(), 2);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.labels(), &[1.0]);
+        assert_eq!(p.degrees().as_slice(), &[2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Problem::new(Matrix::zeros(2, 3), vec![1.0]).is_err());
+        assert!(Problem::new(chain_weights(), vec![]).is_err());
+        assert!(Problem::new(chain_weights(), vec![1.0; 4]).is_err());
+        assert!(Problem::new(chain_weights(), vec![f64::NAN]).is_err());
+        let mut asym = chain_weights();
+        asym.set(0, 1, 0.5);
+        assert!(Problem::new(asym, vec![1.0]).is_err());
+        let mut negative = chain_weights();
+        negative.set(0, 1, -0.5);
+        negative.set(1, 0, -0.5);
+        assert!(Problem::new(negative, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_points_builds_kernel_graph() {
+        let pts = Matrix::from_rows(&[&[0.0], &[0.1], &[0.2]]).unwrap();
+        let p = Problem::from_points(&pts, vec![1.0, 0.0], Kernel::Gaussian, 1.0).unwrap();
+        assert_eq!(p.n_labeled(), 2);
+        assert!(p.weights().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn unlabeled_system_matches_hand_computation() {
+        // n = 1 labeled, m = 2 unlabeled on the chain.
+        let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
+        let system = p.unlabeled_system().unwrap();
+        // D22 = diag(3, 2); W22 = [[1, 1], [1, 1]].
+        let expected = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 1.0]]).unwrap();
+        assert!(system.approx_eq(&expected, 1e-12));
+        // RHS: W21 Y = [1, 0]ᵀ · 1.
+        assert_eq!(p.unlabeled_rhs().unwrap().as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn anchoring_check() {
+        let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
+        assert!(p.require_anchored(0.0).is_ok());
+        // Disconnect vertex 2 entirely.
+        let w = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]])
+            .unwrap();
+        let stranded = Problem::new(w, vec![1.0]).unwrap();
+        assert_eq!(
+            stranded.require_anchored(0.0),
+            Err(Error::UnanchoredUnlabeled { unlabeled_index: 1 })
+        );
+    }
+
+    #[test]
+    fn scores_views() {
+        let s = Scores::from_parts(&[1.0, 0.0], &[0.7, 0.2]);
+        assert_eq!(s.all(), &[1.0, 0.0, 0.7, 0.2]);
+        assert_eq!(s.labeled(), &[1.0, 0.0]);
+        assert_eq!(s.unlabeled(), &[0.7, 0.2]);
+        assert_eq!(s.n_labeled(), 2);
+        assert_eq!(s.unlabeled_predictions(0.5), vec![true, false]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Iterative label propagation (Zhu, Ghahramani & Lafferty, 2003).
+//!
+//! The harmonic fixed point of the hard criterion —
+//! `f_{n+a} = Σ_j w_{n+a,j} f_j / d_{n+a}` — can be reached without any
+//! matrix factorization by repeatedly averaging neighbours:
+//!
+//! ```text
+//! f_U ← D₂₂⁻¹ (W₂₁ Y + W₂₂ f_U)
+//! ```
+//!
+//! which is exactly Jacobi iteration on `(D₂₂ − W₂₂) f_U = W₂₁ Y`. This
+//! backend scales to sparse graphs where direct solves are too expensive.
+
+use crate::error::{Error, Result};
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+use gssl_linalg::stationary::{gauss_seidel, jacobi, IterationOptions};
+
+/// Which sweep order the propagation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SweepKind {
+    /// Classic simultaneous update (Jacobi) — the textbook formulation.
+    #[default]
+    Simultaneous,
+    /// In-place update (Gauss–Seidel) — usually converges in about half
+    /// the sweeps.
+    InPlace,
+}
+
+/// Iterative label propagation solver for the hard criterion.
+///
+/// ```
+/// use gssl::{LabelPropagation, Problem, TransductiveModel};
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// let w = Matrix::from_rows(&[
+///     &[1.0, 0.9, 0.0],
+///     &[0.9, 1.0, 0.9],
+///     &[0.0, 0.9, 1.0],
+/// ])?;
+/// let problem = Problem::new(w, vec![1.0])?;
+/// let scores = LabelPropagation::new().fit(&problem)?;
+/// assert!(scores.unlabeled().iter().all(|&s| (0.0..=1.0).contains(&s)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LabelPropagation {
+    sweep: SweepKind,
+    options: IterationOptions,
+}
+
+impl LabelPropagation {
+    /// Creates a propagation solver with default options (simultaneous
+    /// sweeps, `1e-10` tolerance, automatic iteration budget).
+    pub fn new() -> Self {
+        LabelPropagation::default()
+    }
+
+    /// Selects the sweep order.
+    pub fn sweep(mut self, sweep: SweepKind) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Sets the maximum number of sweeps (0 = automatic).
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.options.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance on the max-norm change per sweep.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.options.tolerance = tolerance;
+        self
+    }
+
+    /// Runs the propagation, also returning the number of sweeps.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnanchoredUnlabeled`] when some unlabeled vertex cannot
+    ///   be reached from the labeled set.
+    /// * [`Error::Linalg`] wrapping `NotConverged` when the sweep budget
+    ///   is exhausted.
+    pub fn fit_with_iterations(&self, problem: &Problem) -> Result<(Scores, usize)> {
+        problem.require_anchored(0.0)?;
+        if problem.n_unlabeled() == 0 {
+            return Ok((Scores::from_parts(problem.labels(), &[]), 0));
+        }
+        let system = problem.unlabeled_system()?;
+        let rhs = problem.unlabeled_rhs()?;
+        let outcome = match self.sweep {
+            SweepKind::Simultaneous => jacobi(&system, &rhs, None, &self.options),
+            SweepKind::InPlace => gauss_seidel(&system, &rhs, None, &self.options),
+        }
+        .map_err(Error::from)?;
+        Ok((
+            Scores::from_parts(problem.labels(), outcome.solution.as_slice()),
+            outcome.iterations,
+        ))
+    }
+}
+
+impl TransductiveModel for LabelPropagation {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        Ok(self.fit_with_iterations(problem)?.0)
+    }
+
+    fn name(&self) -> String {
+        match self.sweep {
+            SweepKind::Simultaneous => "label-propagation (jacobi)".to_owned(),
+            SweepKind::InPlace => "label-propagation (gauss-seidel)".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gssl_linalg::Matrix;
+
+    fn chain_problem() -> Problem {
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.0, 0.0],
+            &[0.5, 1.0, 0.5, 0.0],
+            &[0.0, 0.5, 1.0, 0.5],
+            &[0.0, 0.0, 0.5, 1.0],
+        ])
+        .unwrap();
+        Problem::new(w, vec![0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn propagation_reaches_harmonic_solution() {
+        let p = chain_problem();
+        let (scores, iterations) = LabelPropagation::new().fit_with_iterations(&p).unwrap();
+        assert!(iterations > 0);
+        // Harmonicity: each unlabeled score is the weighted average of its
+        // neighbours.
+        let f = scores.all();
+        let w = p.weights();
+        let d = p.degrees();
+        for a in 2..4 {
+            let avg: f64 = (0..4)
+                .filter(|&j| j != a)
+                .map(|j| w.get(a, j) * f[j])
+                .sum::<f64>()
+                / (d[a] - w.get(a, a));
+            assert!((f[a] - avg).abs() < 1e-7, "vertex {a} not harmonic");
+        }
+    }
+
+    #[test]
+    fn jacobi_and_gauss_seidel_agree() {
+        let p = chain_problem();
+        let a = LabelPropagation::new().fit(&p).unwrap();
+        let b = LabelPropagation::new()
+            .sweep(SweepKind::InPlace)
+            .fit(&p)
+            .unwrap();
+        for (x, y) in a.unlabeled().iter().zip(b.unlabeled()) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn labeled_scores_stay_clamped() {
+        let p = chain_problem();
+        let scores = LabelPropagation::new().fit(&p).unwrap();
+        assert_eq!(scores.labeled(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_unanchored_problem() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let p = Problem::new(w, vec![1.0]).unwrap();
+        assert!(matches!(
+            LabelPropagation::new().fit(&p),
+            Err(Error::UnanchoredUnlabeled { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let p = chain_problem();
+        let result = LabelPropagation::new()
+            .max_iterations(1)
+            .tolerance(1e-15)
+            .fit(&p);
+        assert!(matches!(result, Err(Error::Linalg(_))));
+    }
+
+    #[test]
+    fn fully_labeled_problem_short_circuits() {
+        let w = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 1.0]]).unwrap();
+        let p = Problem::new(w, vec![0.0, 1.0]).unwrap();
+        let (scores, iterations) = LabelPropagation::new().fit_with_iterations(&p).unwrap();
+        assert_eq!(iterations, 0);
+        assert!(scores.unlabeled().is_empty());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(
+            LabelPropagation::new().name(),
+            LabelPropagation::new().sweep(SweepKind::InPlace).name()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Self-training (Rosenberg et al. — the paper's introduction cites it as
+//! reference \[3\]): a meta-algorithm that repeatedly promotes the most
+//! confident unlabeled predictions into the labeled set and refits.
+//!
+//! Wrapped around a transductive criterion it extends the effective reach
+//! of short-range kernels: each round's pseudo-labels anchor the next
+//! round's propagation. Included as the classic baseline the paper's
+//! introduction positions graph-based methods against.
+
+use crate::error::{Error, Result};
+use crate::problem::{Problem, Scores};
+use crate::traits::TransductiveModel;
+use gssl_linalg::Matrix;
+
+/// Self-training wrapper around a binary transductive model.
+///
+/// Scores above `confidence` are pseudo-labeled 1, below `1 − confidence`
+/// pseudo-labeled 0; rounds continue until no point is confident enough
+/// or `max_rounds` is hit. The final [`Scores`] are reported in the
+/// *original* problem layout, with promoted points carrying their
+/// pseudo-labels.
+pub struct SelfTraining<M> {
+    model: M,
+    confidence: f64,
+    max_rounds: usize,
+}
+
+impl<M: TransductiveModel> SelfTraining<M> {
+    /// Wraps `model` with a confidence threshold in `(0.5, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for thresholds outside
+    /// `(0.5, 1]`.
+    pub fn new(model: M, confidence: f64) -> Result<Self> {
+        if !(0.5 < confidence && confidence <= 1.0) {
+            return Err(Error::InvalidParameter {
+                message: format!("confidence must be in (0.5, 1], got {confidence}"),
+            });
+        }
+        Ok(SelfTraining {
+            model,
+            confidence,
+            max_rounds: 50,
+        })
+    }
+
+    /// Sets the maximum number of promotion rounds (default 50).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Borrows the wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Runs self-training, returning the final scores (original layout)
+    /// and the number of promotion rounds performed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors from the wrapped model.
+    pub fn fit_with_rounds(&self, problem: &Problem) -> Result<(Scores, usize)> {
+        let total = problem.len();
+        let n0 = problem.n_labeled();
+
+        // Working state over ORIGINAL indices.
+        let mut labeled: Vec<usize> = (0..n0).collect();
+        let mut labels: Vec<f64> = problem.labels().to_vec();
+        let mut unlabeled: Vec<usize> = (n0..total).collect();
+        // Final per-original-vertex scores for the unlabeled block.
+        let mut final_scores: Vec<Option<f64>> = vec![None; total];
+
+        let mut rounds = 0;
+        loop {
+            // Assemble the permuted subproblem: labeled first.
+            let order: Vec<usize> = labeled.iter().chain(unlabeled.iter()).copied().collect();
+            let weights = permute_weights(problem.weights(), &order);
+            let subproblem = Problem::new(weights, labels.clone())?;
+            let scores = self.model.fit(&subproblem)?;
+
+            // Record current scores for the still-unlabeled points.
+            for (k, &orig) in unlabeled.iter().enumerate() {
+                final_scores[orig] = Some(scores.unlabeled()[k]);
+            }
+            if unlabeled.is_empty() || rounds >= self.max_rounds {
+                break;
+            }
+
+            // Promote confident points.
+            let mut promoted = Vec::new();
+            let mut remaining = Vec::new();
+            for (k, &orig) in unlabeled.iter().enumerate() {
+                let s = scores.unlabeled()[k];
+                if s >= self.confidence {
+                    promoted.push((orig, 1.0));
+                    final_scores[orig] = Some(1.0);
+                } else if s <= 1.0 - self.confidence {
+                    promoted.push((orig, 0.0));
+                    final_scores[orig] = Some(0.0);
+                } else {
+                    remaining.push(orig);
+                }
+            }
+            if promoted.is_empty() {
+                break;
+            }
+            for (orig, pseudo) in promoted {
+                labeled.push(orig);
+                labels.push(pseudo);
+            }
+            unlabeled = remaining;
+            rounds += 1;
+        }
+
+        let unlabeled_scores: Vec<f64> = (n0..total)
+            .map(|orig| final_scores[orig].expect("every unlabeled vertex was scored"))
+            .collect();
+        Ok((
+            Scores::from_parts(problem.labels(), &unlabeled_scores),
+            rounds,
+        ))
+    }
+}
+
+impl<M: TransductiveModel> TransductiveModel for SelfTraining<M> {
+    fn fit(&self, problem: &Problem) -> Result<Scores> {
+        Ok(self.fit_with_rounds(problem)?.0)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "self-training({}, confidence {})",
+            self.model.name(),
+            self.confidence
+        )
+    }
+}
+
+/// Symmetric permutation of a weight matrix: entry `(i, j)` of the result
+/// is `w[order[i], order[j]]`.
+fn permute_weights(weights: &Matrix, order: &[usize]) -> Matrix {
+    let k = order.len();
+    let mut out = Matrix::zeros(k, k);
+    for (i, &oi) in order.iter().enumerate() {
+        for (j, &oj) in order.iter().enumerate() {
+            out.set(i, j, weights.get(oi, oj));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nadaraya_watson::NadarayaWatson;
+
+    /// A chain of points where only immediate neighbours are similar:
+    /// vertex 0 labeled 1, vertex 9 labeled 0, the rest unlabeled in
+    /// between (arranged labeled-first as positions 0 and 1).
+    fn chain_problem() -> Problem {
+        // Original order: [left end, right end, middle 2..=9 left-to-right].
+        // Geometric positions on a line:
+        let positions: [f64; 10] = [0.0, 9.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let total = positions.len();
+        let mut w = Matrix::identity(total);
+        for i in 0..total {
+            for j in 0..total {
+                if i != j {
+                    let d: f64 = (positions[i] - positions[j]).abs();
+                    // Wide kernel: both ends contribute everywhere, so
+                    // plain NW scores are lukewarm in the interior.
+                    w.set(i, j, (-0.01 * d * d).exp());
+                }
+            }
+        }
+        Problem::new(w, vec![1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn confidence_validation() {
+        assert!(SelfTraining::new(NadarayaWatson::new(), 0.5).is_err());
+        assert!(SelfTraining::new(NadarayaWatson::new(), 1.1).is_err());
+        assert!(SelfTraining::new(NadarayaWatson::new(), 0.9).is_ok());
+    }
+
+    #[test]
+    fn self_training_sharpens_lukewarm_scores_without_flipping_decisions() {
+        let problem = chain_problem();
+        // Plain NW on the wide kernel: near-end points are only mildly
+        // confident because the far label still carries weight.
+        let plain = NadarayaWatson::new().fit(&problem).unwrap();
+        let plain_near_positive = plain.unlabeled()[0]; // position 1.0
+        assert!(
+            (0.55..0.80).contains(&plain_near_positive),
+            "expected a lukewarm score at position 1, got {plain_near_positive}"
+        );
+
+        // Self-training promotes the most confident points and re-anchors;
+        // confidence grows and no decision flips.
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.6).unwrap();
+        let (scores, rounds) = wrapped.fit_with_rounds(&problem).unwrap();
+        assert!(rounds >= 1, "promotion should happen");
+        for (k, (&st, &pl)) in scores
+            .unlabeled()
+            .iter()
+            .zip(plain.unlabeled())
+            .enumerate()
+        {
+            assert_eq!(
+                st >= 0.5,
+                pl >= 0.5,
+                "decision flipped at unlabeled index {k}: {pl} -> {st}"
+            );
+        }
+        // Aggregate confidence grows (individual points may wobble when
+        // opposite-side pseudo-labels enter, but the mean must not drop).
+        let mean_confidence = |s: &[f64]| {
+            s.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / s.len() as f64
+        };
+        assert!(
+            mean_confidence(scores.unlabeled()) > mean_confidence(plain.unlabeled()),
+            "self-training should raise average confidence"
+        );
+        // The near-end point ends pinned at its pseudo-label.
+        assert!(scores.unlabeled()[0] > 0.95);
+    }
+
+    #[test]
+    fn fully_confident_round_labels_everything() {
+        // Tight cluster around a single positive label: one round promotes
+        // everything to 1.
+        let w = Matrix::filled(4, 4, 1.0);
+        let problem = Problem::new(w, vec![1.0]).unwrap();
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.9).unwrap();
+        let (scores, rounds) = wrapped.fit_with_rounds(&problem).unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(scores.unlabeled(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn no_confident_points_stops_immediately() {
+        // Ambiguous geometry: a point equidistant from both labels.
+        let w = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.5],
+            &[0.0, 1.0, 0.5],
+            &[0.5, 0.5, 1.0],
+        ])
+        .unwrap();
+        let problem = Problem::new(w, vec![1.0, 0.0]).unwrap();
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.95).unwrap();
+        let (scores, rounds) = wrapped.fit_with_rounds(&problem).unwrap();
+        assert_eq!(rounds, 0);
+        assert!((scores.unlabeled()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let problem = chain_problem();
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.8)
+            .unwrap()
+            .max_rounds(1);
+        let (_, rounds) = wrapped.fit_with_rounds(&problem).unwrap();
+        assert!(rounds <= 1);
+    }
+
+    #[test]
+    fn name_and_accessor() {
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.85).unwrap();
+        assert!(wrapped.name().contains("self-training"));
+        assert!(wrapped.name().contains("0.85"));
+        assert_eq!(wrapped.model().name(), "nadaraya-watson");
+    }
+
+    #[test]
+    fn labeled_scores_match_observations() {
+        let problem = chain_problem();
+        let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.8).unwrap();
+        let scores = wrapped.fit(&problem).unwrap();
+        assert_eq!(scores.labeled(), problem.labels());
+        assert_eq!(scores.all().len(), problem.len());
+    }
+}

@@ -1,0 +1,530 @@
+//! Matrix-free hard criterion on sparse (CSR) graphs.
+//!
+//! Dense `Problem`s store `(n+m)²` weights and factor an `m × m` system;
+//! for kNN or ε-graphs with `O(k(n+m))` edges this module solves the same
+//! harmonic system without densifying anything: the operator
+//! `x ↦ (D₂₂ − W₂₂) x` is applied row-by-row from the CSR structure and
+//! handed to conjugate gradient. This is the path a production deployment
+//! takes once `n + m` reaches tens of thousands.
+
+use crate::error::{Error, Result};
+use crate::problem::Scores;
+use gssl_linalg::{conjugate_gradient, CgOptions, CsrMatrix, LinearOperator, Vector};
+
+/// A transductive problem over a sparse symmetric affinity graph.
+///
+/// ```
+/// use gssl::SparseProblem;
+/// use gssl_linalg::CsrMatrix;
+/// # fn main() -> Result<(), gssl::Error> {
+/// // Chain 0 - 1 - 2 with unit weights; vertex 0 labeled 1.
+/// let w = CsrMatrix::from_triplets(3, 3, &[
+///     (0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0),
+/// ]).expect("valid triplets");
+/// let problem = SparseProblem::new(w, vec![1.0])?;
+/// let scores = problem.solve_hard(&Default::default())?;
+/// // Everything connects to the single label: all scores are 1.
+/// assert!((scores.unlabeled()[0] - 1.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseProblem {
+    weights: CsrMatrix,
+    labels: Vec<f64>,
+    degrees: Vec<f64>,
+}
+
+impl SparseProblem {
+    /// Creates a sparse problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProblem`] when the matrix is not square or
+    /// not symmetric, weights are negative/non-finite, or the label count
+    /// is empty or exceeds the vertex count.
+    pub fn new(weights: CsrMatrix, labels: Vec<f64>) -> Result<Self> {
+        if weights.rows() != weights.cols() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "affinity matrix must be square, got {}x{}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        if labels.is_empty() || labels.len() > weights.rows() {
+            return Err(Error::InvalidProblem {
+                message: format!(
+                    "label count {} invalid for {} vertices",
+                    labels.len(),
+                    weights.rows()
+                ),
+            });
+        }
+        if labels.iter().any(|y| !y.is_finite()) {
+            return Err(Error::InvalidProblem {
+                message: "labels must be finite".to_owned(),
+            });
+        }
+        for i in 0..weights.rows() {
+            for (_, v) in weights.row_iter(i) {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(Error::InvalidProblem {
+                        message: "weights must be finite and nonnegative".to_owned(),
+                    });
+                }
+            }
+        }
+        if !weights.is_symmetric(1e-9) {
+            return Err(Error::InvalidProblem {
+                message: "affinity matrix must be symmetric".to_owned(),
+            });
+        }
+        let degrees = weights.row_sums();
+        Ok(SparseProblem {
+            weights,
+            labels,
+            degrees,
+        })
+    }
+
+    /// Number of labeled vertices `n`.
+    pub fn n_labeled(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of unlabeled vertices `m`.
+    pub fn n_unlabeled(&self) -> usize {
+        self.weights.rows() - self.labels.len()
+    }
+
+    /// Borrows the sparse affinity matrix.
+    pub fn weights(&self) -> &CsrMatrix {
+        &self.weights
+    }
+
+    /// Borrows the observed labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Checks that every unlabeled vertex reaches a labeled vertex through
+    /// positive-weight edges (BFS over the sparse structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnanchoredUnlabeled`] naming the first stranded
+    /// vertex.
+    pub fn require_anchored(&self) -> Result<()> {
+        let total = self.weights.rows();
+        let n = self.n_labeled();
+        let mut reached = vec![false; total];
+        let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
+        for v in 0..n {
+            reached[v] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for (j, w) in self.weights.row_iter(v) {
+                if w > 0.0 && !reached[j] {
+                    reached[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        match reached[n..].iter().position(|&r| !r) {
+            None => Ok(()),
+            Some(a) => Err(Error::UnanchoredUnlabeled { unlabeled_index: a }),
+        }
+    }
+
+    /// Right-hand side `W₂₁ Y` of the hard system.
+    fn unlabeled_rhs(&self) -> Vector {
+        let n = self.n_labeled();
+        let m = self.n_unlabeled();
+        let mut rhs = Vector::zeros(m);
+        for a in 0..m {
+            let mut sum = 0.0;
+            for (j, w) in self.weights.row_iter(n + a) {
+                if j < n {
+                    sum += w * self.labels[j];
+                }
+            }
+            rhs[a] = sum;
+        }
+        rhs
+    }
+
+    /// Solves the hard criterion matrix-free with conjugate gradient.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnanchoredUnlabeled`] when the system is singular.
+    /// * [`Error::Linalg`] when CG exhausts its budget.
+    pub fn solve_hard(&self, options: &CgOptions) -> Result<Scores> {
+        self.require_anchored()?;
+        if self.n_unlabeled() == 0 {
+            return Ok(Scores::from_parts(&self.labels, &[]));
+        }
+        let operator = UnlabeledSystem { problem: self };
+        let rhs = self.unlabeled_rhs();
+        let outcome = conjugate_gradient(&operator, &rhs, options)?;
+        Ok(Scores::from_parts(
+            &self.labels,
+            outcome.solution.as_slice(),
+        ))
+    }
+
+    /// Solves the **soft criterion** `(V + λL) f = (Y; 0)` matrix-free
+    /// with conjugate gradient (`λ > 0`; use [`SparseProblem::solve_hard`]
+    /// for the λ = 0 limit).
+    ///
+    /// `V + λL` is symmetric positive definite exactly when every
+    /// component of the graph contains a labeled vertex — the same
+    /// anchoring condition as the hard criterion.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] when `lambda <= 0` or not finite.
+    /// * [`Error::UnanchoredUnlabeled`] when a component has no label.
+    /// * [`Error::Linalg`] when CG exhausts its budget.
+    pub fn solve_soft(&self, lambda: f64, options: &CgOptions) -> Result<Scores> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "sparse soft criterion requires finite lambda > 0, got {lambda}; \
+                     use solve_hard for lambda = 0"
+                ),
+            });
+        }
+        self.require_anchored()?;
+        let n = self.n_labeled();
+        let total = self.weights.rows();
+        let operator = SoftSystem {
+            problem: self,
+            lambda,
+        };
+        let mut rhs = Vector::zeros(total);
+        for (i, &y) in self.labels.iter().enumerate() {
+            rhs[i] = y;
+        }
+        let outcome = conjugate_gradient(&operator, &rhs, options)?;
+        let f = outcome.solution;
+        Ok(Scores::from_parts(
+            &f.as_slice()[..n],
+            &f.as_slice()[n..],
+        ))
+    }
+
+    /// Solves the hard criterion by Jacobi label propagation over the
+    /// sparse structure, returning scores and sweep count.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnanchoredUnlabeled`] when the system is singular.
+    /// * [`Error::Linalg`] wrapping `NotConverged` on budget exhaustion.
+    pub fn propagate(&self, max_sweeps: usize, tolerance: f64) -> Result<(Scores, usize)> {
+        self.require_anchored()?;
+        let n = self.n_labeled();
+        let m = self.n_unlabeled();
+        if m == 0 {
+            return Ok((Scores::from_parts(&self.labels, &[]), 0));
+        }
+        let rhs = self.unlabeled_rhs();
+        let mut f = vec![0.0; m];
+        let mut next = vec![0.0; m];
+        let budget = if max_sweeps == 0 { 100_000 } else { max_sweeps };
+        for sweep in 1..=budget {
+            let mut change = 0.0f64;
+            for a in 0..m {
+                let mut numerator = rhs[a];
+                let mut diagonal = self.degrees[n + a];
+                for (j, w) in self.weights.row_iter(n + a) {
+                    if j == n + a {
+                        diagonal -= w;
+                    } else if j >= n {
+                        numerator += w * f[j - n];
+                    }
+                }
+                if diagonal <= 0.0 {
+                    return Err(Error::UnanchoredUnlabeled { unlabeled_index: a });
+                }
+                let value = numerator / diagonal;
+                change = change.max((value - f[a]).abs());
+                next[a] = value;
+            }
+            std::mem::swap(&mut f, &mut next);
+            if change <= tolerance {
+                return Ok((Scores::from_parts(&self.labels, &f), sweep));
+            }
+        }
+        Err(Error::Linalg(gssl_linalg::Error::NotConverged {
+            iterations: budget,
+            residual: f64::NAN,
+        }))
+    }
+}
+
+/// Matrix-free `x ↦ (V + λL) x = V x + λ(D − W) x` over the full graph.
+struct SoftSystem<'a> {
+    problem: &'a SparseProblem,
+    lambda: f64,
+}
+
+impl LinearOperator for SoftSystem<'_> {
+    fn dim(&self) -> usize {
+        self.problem.weights.rows()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.problem.n_labeled();
+        for (i, o) in out.iter_mut().enumerate() {
+            let v_term = if i < n { x[i] } else { 0.0 };
+            let mut wx = 0.0;
+            for (j, w) in self.problem.weights.row_iter(i) {
+                wx += w * x[j];
+            }
+            *o = v_term + self.lambda * (self.problem.degrees[i] * x[i] - wx);
+        }
+    }
+}
+
+/// Matrix-free `x ↦ (D₂₂ − W₂₂) x` over the sparse graph.
+struct UnlabeledSystem<'a> {
+    problem: &'a SparseProblem,
+}
+
+impl LinearOperator for UnlabeledSystem<'_> {
+    fn dim(&self) -> usize {
+        self.problem.n_unlabeled()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.problem.n_labeled();
+        for (a, o) in out.iter_mut().enumerate() {
+            let global = n + a;
+            let mut sum = self.problem.degrees[global] * x[a];
+            for (j, w) in self.problem.weights.row_iter(global) {
+                if j >= n {
+                    sum -= w * x[j - n];
+                }
+            }
+            *o = sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hard::HardCriterion;
+    use crate::problem::Problem;
+
+    fn random_sparse_graph(total: usize, seed: u64) -> CsrMatrix {
+        // Deterministic pseudo-random sparse symmetric graph with a
+        // guaranteed spanning path (so everything is anchored).
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut triplets = Vec::new();
+        for i in 0..total - 1 {
+            let w = 0.2 + 0.8 * next();
+            triplets.push((i, i + 1, w));
+            triplets.push((i + 1, i, w));
+        }
+        for i in 0..total {
+            for j in (i + 2)..total {
+                if next() < 0.2 {
+                    let w = next();
+                    triplets.push((i, j, w));
+                    triplets.push((j, i, w));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(total, total, &triplets).expect("valid triplets")
+    }
+
+    #[test]
+    fn matches_dense_solution() {
+        let sparse = random_sparse_graph(25, 3);
+        let labels = vec![1.0, 0.0, 1.0, 0.0, 0.5];
+        let sparse_problem = SparseProblem::new(sparse.clone(), labels.clone()).unwrap();
+        let dense_problem = Problem::new(sparse.to_dense(), labels).unwrap();
+
+        let dense = HardCriterion::new().fit(&dense_problem).unwrap();
+        let cg = sparse_problem
+            .solve_hard(&CgOptions {
+                tolerance: 1e-12,
+                ..CgOptions::default()
+            })
+            .unwrap();
+        let (prop, sweeps) = sparse_problem.propagate(0, 1e-12).unwrap();
+        assert!(sweeps > 0);
+        for ((d, c), p) in dense
+            .unlabeled()
+            .iter()
+            .zip(cg.unlabeled())
+            .zip(prop.unlabeled())
+        {
+            assert!((d - c).abs() < 1e-7, "CG diverges: {d} vs {c}");
+            assert!((d - p).abs() < 1e-7, "propagation diverges: {d} vs {p}");
+        }
+    }
+
+    #[test]
+    fn sparse_soft_matches_dense_soft() {
+        let sparse = random_sparse_graph(20, 7);
+        let labels = vec![1.0, 0.0, 0.7];
+        let sparse_problem = SparseProblem::new(sparse.clone(), labels.clone()).unwrap();
+        let dense_problem = Problem::new(sparse.to_dense(), labels).unwrap();
+        for &lambda in &[0.05, 0.5, 2.0] {
+            let dense = crate::soft::SoftCriterion::new(lambda)
+                .unwrap()
+                .fit(&dense_problem)
+                .unwrap();
+            let via_cg = sparse_problem
+                .solve_soft(
+                    lambda,
+                    &CgOptions {
+                        tolerance: 1e-12,
+                        max_iterations: 10_000,
+                    },
+                )
+                .unwrap();
+            for (a, b) in dense.all().iter().zip(via_cg.all()) {
+                assert!((a - b).abs() < 1e-7, "lambda {lambda}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_soft_validates_lambda_and_anchoring() {
+        let p = SparseProblem::new(random_sparse_graph(8, 2), vec![1.0]).unwrap();
+        assert!(p.solve_soft(0.0, &CgOptions::default()).is_err());
+        assert!(p.solve_soft(-1.0, &CgOptions::default()).is_err());
+        assert!(p.solve_soft(f64::NAN, &CgOptions::default()).is_err());
+        let disconnected = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0)],
+        )
+        .unwrap();
+        let stranded = SparseProblem::new(disconnected, vec![1.0]).unwrap();
+        assert!(matches!(
+            stranded.solve_soft(0.5, &CgOptions::default()),
+            Err(Error::UnanchoredUnlabeled { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rules() {
+        let w = random_sparse_graph(5, 1);
+        assert!(SparseProblem::new(w.clone(), vec![]).is_err());
+        assert!(SparseProblem::new(w.clone(), vec![1.0; 6]).is_err());
+        assert!(SparseProblem::new(w.clone(), vec![f64::NAN]).is_err());
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(SparseProblem::new(rect, vec![1.0]).is_err());
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(SparseProblem::new(asym, vec![1.0]).is_err());
+        let negative =
+            CsrMatrix::from_triplets(2, 2, &[(0, 1, -1.0), (1, 0, -1.0)]).unwrap();
+        assert!(SparseProblem::new(negative, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn detects_stranded_components() {
+        // Two disconnected edges; only the first component is labeled.
+        let w = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
+        )
+        .unwrap();
+        let p = SparseProblem::new(w, vec![1.0]).unwrap();
+        assert_eq!(
+            p.require_anchored(),
+            Err(Error::UnanchoredUnlabeled { unlabeled_index: 1 })
+        );
+        assert!(p.solve_hard(&CgOptions::default()).is_err());
+        assert!(p.propagate(100, 1e-8).is_err());
+    }
+
+    #[test]
+    fn maximum_principle_on_sparse_graphs() {
+        let p = SparseProblem::new(random_sparse_graph(40, 9), vec![0.0, 1.0, 0.3]).unwrap();
+        let scores = p.solve_hard(&CgOptions::default()).unwrap();
+        for &s in scores.unlabeled() {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fully_labeled_short_circuits() {
+        let w = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let p = SparseProblem::new(w, vec![0.2, 0.9]).unwrap();
+        let scores = p.solve_hard(&CgOptions::default()).unwrap();
+        assert_eq!(scores.all(), &[0.2, 0.9]);
+        let (prop, sweeps) = p.propagate(10, 1e-8).unwrap();
+        assert_eq!(sweeps, 0);
+        assert!(prop.unlabeled().is_empty());
+    }
+
+    #[test]
+    fn propagation_budget_is_enforced() {
+        let p = SparseProblem::new(random_sparse_graph(30, 5), vec![1.0, 0.0]).unwrap();
+        assert!(matches!(
+            p.propagate(1, 1e-15),
+            Err(Error::Linalg(gssl_linalg::Error::NotConverged { .. }))
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let w = random_sparse_graph(10, 2);
+        let p = SparseProblem::new(w.clone(), vec![1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(p.n_labeled(), 3);
+        assert_eq!(p.n_unlabeled(), 7);
+        assert_eq!(p.labels(), &[1.0, 0.0, 1.0]);
+        assert_eq!(p.weights().nnz(), w.nnz());
+    }
+
+    #[test]
+    fn dense_matrix_equivalence_on_grid_graph() {
+        // 1-D grid graph, labeled at both ends: harmonic solution is the
+        // linear interpolation — check it exactly.
+        let total = 12;
+        let mut triplets = Vec::new();
+        // Arrange labels first: vertices 0 and 1 are the two ends.
+        // Path: 0 - 2 - 3 - ... - 11 - 1.
+        let path: Vec<usize> = std::iter::once(0)
+            .chain(2..total)
+            .chain(std::iter::once(1))
+            .collect();
+        for pair in path.windows(2) {
+            triplets.push((pair[0], pair[1], 1.0));
+            triplets.push((pair[1], pair[0], 1.0));
+        }
+        let w = CsrMatrix::from_triplets(total, total, &triplets).unwrap();
+        let p = SparseProblem::new(w, vec![0.0, 1.0]).unwrap();
+        let scores = p
+            .solve_hard(&CgOptions {
+                tolerance: 1e-13,
+                ..CgOptions::default()
+            })
+            .unwrap();
+        // Vertex path[k] should score k / (total - 1).
+        let f = scores.all();
+        for (k, &v) in path.iter().enumerate() {
+            let expected = k as f64 / (total - 1) as f64;
+            assert!(
+                (f[v] - expected).abs() < 1e-8,
+                "grid vertex {v}: {} vs {expected}",
+                f[v]
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The common interface every transductive learner in this crate exposes.
+
+use crate::error::Result;
+use crate::problem::{Problem, Scores};
+
+/// A transductive model: given the similarity graph and observed labels,
+/// produce scores for every vertex.
+///
+/// The trait is object-safe so heterogeneous collections of criteria can
+/// be swept in experiments:
+///
+/// ```
+/// use gssl::{HardCriterion, MeanPredictor, SoftCriterion, TransductiveModel};
+/// let models: Vec<Box<dyn TransductiveModel>> = vec![
+///     Box::new(HardCriterion::new()),
+///     Box::new(SoftCriterion::new(0.1).unwrap()),
+///     Box::new(MeanPredictor::new()),
+/// ];
+/// assert_eq!(models.len(), 3);
+/// ```
+pub trait TransductiveModel {
+    /// Fits the model on a problem, returning scores for all vertices
+    /// (labeled first).
+    ///
+    /// # Errors
+    ///
+    /// Implementations report ill-posed problems (singular systems,
+    /// stranded unlabeled components, invalid parameters) through
+    /// [`crate::Error`].
+    fn fit(&self, problem: &Problem) -> Result<Scores>;
+
+    /// A short human-readable name for experiment reports.
+    fn name(&self) -> String;
+}

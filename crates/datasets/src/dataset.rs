@@ -1,0 +1,278 @@
+//! Core dataset containers and the labeled/unlabeled arrangement used by
+//! transductive learners.
+
+use crate::error::{Error, Result};
+use gssl_linalg::Matrix;
+
+/// A supervised dataset: inputs (rows of a matrix), observed targets, and —
+/// for synthetic data — the true regression function `q(X) = E[Y | X]`
+/// evaluated at each input.
+///
+/// `true_probabilities` is what the paper's RMSE compares against (its
+/// synthetic studies score `q̂` against `q(X)`, not against the noisy
+/// labels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Matrix,
+    targets: Vec<f64>,
+    true_probabilities: Option<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Creates a dataset from inputs (rows are samples) and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] when counts differ.
+    pub fn new(inputs: Matrix, targets: Vec<f64>) -> Result<Self> {
+        if inputs.rows() != targets.len() {
+            return Err(Error::LengthMismatch {
+                operation: "dataset",
+                left: inputs.rows(),
+                right: targets.len(),
+            });
+        }
+        Ok(Dataset {
+            inputs,
+            targets,
+            true_probabilities: None,
+        })
+    }
+
+    /// Creates a dataset that also records the true regression function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] when any of the lengths differ.
+    pub fn with_truth(inputs: Matrix, targets: Vec<f64>, truth: Vec<f64>) -> Result<Self> {
+        if truth.len() != targets.len() {
+            return Err(Error::LengthMismatch {
+                operation: "dataset truth",
+                left: targets.len(),
+                right: truth.len(),
+            });
+        }
+        let mut ds = Dataset::new(inputs, targets)?;
+        ds.true_probabilities = Some(truth);
+        Ok(ds)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// Borrows the input matrix (rows are samples).
+    pub fn inputs(&self) -> &Matrix {
+        &self.inputs
+    }
+
+    /// Borrows the observed targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Borrows the true regression function values, when known.
+    pub fn true_probabilities(&self) -> Option<&[f64]> {
+        self.true_probabilities.as_deref()
+    }
+
+    /// Arranges the dataset for transduction: the samples at
+    /// `labeled_indices` come first (their targets are revealed), all other
+    /// samples follow (their targets are hidden).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `labeled_indices` is empty,
+    /// contains duplicates, or references out-of-range samples.
+    pub fn arrange(&self, labeled_indices: &[usize]) -> Result<SemiSupervisedData> {
+        let total = self.len();
+        if labeled_indices.is_empty() {
+            return Err(Error::InvalidParameter {
+                message: "at least one labeled index is required".to_owned(),
+            });
+        }
+        let mut is_labeled = vec![false; total];
+        for &i in labeled_indices {
+            if i >= total {
+                return Err(Error::InvalidParameter {
+                    message: format!("labeled index {i} out of range for {total} samples"),
+                });
+            }
+            if is_labeled[i] {
+                return Err(Error::InvalidParameter {
+                    message: format!("labeled index {i} appears twice"),
+                });
+            }
+            is_labeled[i] = true;
+        }
+
+        let unlabeled: Vec<usize> = (0..total).filter(|&i| !is_labeled[i]).collect();
+        let order: Vec<usize> = labeled_indices
+            .iter()
+            .copied()
+            .chain(unlabeled.iter().copied())
+            .collect();
+
+        let mut inputs = Matrix::zeros(total, self.dim());
+        for (row, &src) in order.iter().enumerate() {
+            inputs.row_mut(row).copy_from_slice(self.inputs.row(src));
+        }
+        let labels: Vec<f64> = labeled_indices.iter().map(|&i| self.targets[i]).collect();
+        let hidden_targets: Vec<f64> = unlabeled.iter().map(|&i| self.targets[i]).collect();
+        let hidden_truth = self
+            .true_probabilities
+            .as_ref()
+            .map(|q| unlabeled.iter().map(|&i| q[i]).collect());
+
+        Ok(SemiSupervisedData {
+            inputs,
+            labels,
+            hidden_targets,
+            hidden_truth,
+            original_order: order,
+        })
+    }
+
+    /// Arranges the *first* `n_labeled` samples as labeled and the rest as
+    /// unlabeled — the layout of the paper's Section II.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `n_labeled` is 0 or exceeds
+    /// the sample count.
+    pub fn arrange_prefix(&self, n_labeled: usize) -> Result<SemiSupervisedData> {
+        if n_labeled == 0 || n_labeled > self.len() {
+            return Err(Error::InvalidParameter {
+                message: format!(
+                    "n_labeled must be in 1..={}, got {n_labeled}",
+                    self.len()
+                ),
+            });
+        }
+        let indices: Vec<usize> = (0..n_labeled).collect();
+        self.arrange(&indices)
+    }
+}
+
+/// A dataset arranged for transduction: labeled samples first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemiSupervisedData {
+    /// All inputs, labeled rows first (`n + m` rows total).
+    pub inputs: Matrix,
+    /// Observed responses for the first `labels.len()` rows.
+    pub labels: Vec<f64>,
+    /// The held-out responses of the unlabeled rows (for evaluation only).
+    pub hidden_targets: Vec<f64>,
+    /// The true regression values `q(X)` of the unlabeled rows, when known.
+    pub hidden_truth: Option<Vec<f64>>,
+    /// Mapping from arranged row index to index in the original dataset.
+    pub original_order: Vec<usize>,
+}
+
+impl SemiSupervisedData {
+    /// Number of labeled samples `n`.
+    pub fn n_labeled(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of unlabeled samples `m`.
+    pub fn n_unlabeled(&self) -> usize {
+        self.inputs.rows() - self.labels.len()
+    }
+
+    /// Hidden binary targets as booleans (`target > 0.5` is positive) —
+    /// convenient for AUC evaluation.
+    pub fn hidden_targets_binary(&self) -> Vec<bool> {
+        self.hidden_targets.iter().map(|&y| y > 0.5).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        Dataset::with_truth(
+            inputs,
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec![0.1, 0.9, 0.2, 0.8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let inputs = Matrix::zeros(3, 2);
+        assert!(Dataset::new(inputs.clone(), vec![1.0; 2]).is_err());
+        assert!(Dataset::with_truth(inputs.clone(), vec![1.0; 3], vec![0.5; 2]).is_err());
+        let ds = Dataset::new(inputs, vec![1.0; 3]).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert!(!ds.is_empty());
+        assert!(ds.true_probabilities().is_none());
+    }
+
+    #[test]
+    fn arrange_reorders_labeled_first() {
+        let ds = toy();
+        let ssl = ds.arrange(&[2, 0]).unwrap();
+        assert_eq!(ssl.n_labeled(), 2);
+        assert_eq!(ssl.n_unlabeled(), 2);
+        // Row 0 = original 2, row 1 = original 0, rows 2-3 = originals 1, 3.
+        assert_eq!(ssl.inputs.row(0), &[2.0]);
+        assert_eq!(ssl.inputs.row(1), &[0.0]);
+        assert_eq!(ssl.inputs.row(2), &[1.0]);
+        assert_eq!(ssl.inputs.row(3), &[3.0]);
+        assert_eq!(ssl.labels, vec![0.0, 0.0]);
+        assert_eq!(ssl.hidden_targets, vec![1.0, 1.0]);
+        assert_eq!(ssl.hidden_truth.as_deref(), Some(&[0.9, 0.8][..]));
+        assert_eq!(ssl.original_order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn arrange_prefix_matches_paper_layout() {
+        let ds = toy();
+        let ssl = ds.arrange_prefix(3).unwrap();
+        assert_eq!(ssl.labels, vec![0.0, 1.0, 0.0]);
+        assert_eq!(ssl.hidden_targets, vec![1.0]);
+        assert_eq!(ssl.inputs.row(0), &[0.0]);
+        assert_eq!(ssl.inputs.row(3), &[3.0]);
+    }
+
+    #[test]
+    fn arrange_validates_indices() {
+        let ds = toy();
+        assert!(ds.arrange(&[]).is_err());
+        assert!(ds.arrange(&[9]).is_err());
+        assert!(ds.arrange(&[1, 1]).is_err());
+        assert!(ds.arrange_prefix(0).is_err());
+        assert!(ds.arrange_prefix(5).is_err());
+    }
+
+    #[test]
+    fn binary_view_thresholds_targets() {
+        let ds = toy();
+        let ssl = ds.arrange_prefix(2).unwrap();
+        assert_eq!(ssl.hidden_targets_binary(), vec![false, true]);
+    }
+
+    #[test]
+    fn fully_labeled_arrangement_is_allowed() {
+        let ds = toy();
+        let ssl = ds.arrange_prefix(4).unwrap();
+        assert_eq!(ssl.n_unlabeled(), 0);
+        assert!(ssl.hidden_targets.is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for dataset generation.
+
+use std::fmt;
+
+/// Errors returned by dataset constructors and generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// Inputs that must be paired have different lengths.
+    LengthMismatch {
+        /// Human-readable name of the failing operation.
+        operation: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// An underlying statistics operation failed.
+    Stats(gssl_stats::Error),
+    /// An underlying linear-algebra operation failed.
+    Linalg(gssl_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            Error::LengthMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "length mismatch in {operation}: {left} vs {right} elements"
+            ),
+            Error::Stats(inner) => write!(f, "statistics error: {inner}"),
+            Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Stats(inner) => Some(inner),
+            Error::Linalg(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl_stats::Error> for Error {
+    fn from(inner: gssl_stats::Error) -> Self {
+        Error::Stats(inner)
+    }
+}
+
+impl From<gssl_linalg::Error> for Error {
+    fn from(inner: gssl_linalg::Error) -> Self {
+        Error::Linalg(inner)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = Error::InvalidParameter {
+            message: "count must be positive".to_owned(),
+        };
+        assert!(e.to_string().contains("count"));
+        let from_stats: Error = gssl_stats::Error::EmptyInput { required: "data" }.into();
+        assert!(from_stats.to_string().contains("statistics error"));
+        let from_linalg: Error = gssl_linalg::Error::Singular { pivot: 1 }.into();
+        assert!(from_linalg.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&from_linalg).is_some());
+    }
+}

@@ -1,0 +1,354 @@
+//! Procedural renderer for the synthetic COIL substitute.
+//!
+//! The real Columbia Object Image Library photographs 24 physical objects
+//! on a turntable at 72 viewing angles. We do not ship that data; instead
+//! each "object" here is a parametric 2-D shape rendered into a 16×16
+//! grayscale image (the paper also uses 16×16 pixel inputs) and "rotated"
+//! by rotating the shape before rasterization. Anisotropic shapes make the
+//! rotation orbit a genuine 1-D manifold in 256-dimensional pixel space —
+//! the structural property graph-based SSL exploits on the real COIL.
+
+use crate::error::{Error, Result};
+use gssl_stats::dist::Normal;
+use rand::Rng;
+
+/// Side length of a rendered image.
+pub const IMAGE_SIZE: usize = 16;
+
+/// Number of pixels per image (the input dimension).
+pub const PIXEL_COUNT: usize = IMAGE_SIZE * IMAGE_SIZE;
+
+/// The six shape families, one per COIL class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ShapeFamily {
+    /// Superellipse `|u/a|^p + |v/b|^p ≤ 1` with family-specific exponent.
+    Superellipse,
+    /// Two overlapping disks (a "peanut").
+    Peanut,
+    /// Axis-aligned rectangle (rotates to any orientation).
+    Rectangle,
+    /// Isoceles triangle.
+    Triangle,
+    /// Five-pointed star `r(θ) = s(1 + q·cos 5θ)`.
+    Star,
+    /// A plus-shaped cross.
+    Cross,
+}
+
+impl ShapeFamily {
+    /// All families in class order.
+    pub fn all() -> [ShapeFamily; 6] {
+        [
+            ShapeFamily::Superellipse,
+            ShapeFamily::Peanut,
+            ShapeFamily::Rectangle,
+            ShapeFamily::Triangle,
+            ShapeFamily::Star,
+            ShapeFamily::Cross,
+        ]
+    }
+}
+
+/// A fully parameterized object: family plus continuous shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShapeSpec {
+    /// Shape family (determines the class).
+    pub family: ShapeFamily,
+    /// Overall size in `(0, 1]` (object-frame units; the image spans
+    /// `[-1, 1]²`).
+    pub scale: f64,
+    /// Height/width anisotropy in `(0, 1]`; values below 1 make rotation
+    /// visible.
+    pub aspect: f64,
+    /// Family-specific parameter (superellipse exponent, peanut separation,
+    /// star pointiness, cross arm width, …).
+    pub param: f64,
+    /// Base brightness in `(0, 1]`.
+    pub intensity: f64,
+}
+
+impl ShapeSpec {
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any parameter leaves its
+    /// documented range.
+    pub fn validate(&self) -> Result<()> {
+        let ok = (0.0..=1.0).contains(&self.scale)
+            && self.scale > 0.0
+            && (0.0..=1.0).contains(&self.aspect)
+            && self.aspect > 0.0
+            && self.param.is_finite()
+            && self.param > 0.0
+            && (0.0..=1.0).contains(&self.intensity)
+            && self.intensity > 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidParameter {
+                message: format!("shape parameters out of range: {self:?}"),
+            })
+        }
+    }
+
+    /// Inside test in the object frame (no rotation), coordinates in
+    /// `[-1, 1]`.
+    fn contains(&self, u: f64, v: f64) -> bool {
+        let a = self.scale;
+        let b = self.scale * self.aspect;
+        match self.family {
+            ShapeFamily::Superellipse => {
+                let p = self.param;
+                (u / a).abs().powf(p) + (v / b).abs().powf(p) <= 1.0
+            }
+            ShapeFamily::Peanut => {
+                let sep = self.param * a;
+                let r = a * 0.55;
+                let d1 = (u - sep).powi(2) + (v / self.aspect.max(0.2)).powi(2);
+                let d2 = (u + sep).powi(2) + (v / self.aspect.max(0.2)).powi(2);
+                d1 <= r * r || d2 <= r * r
+            }
+            ShapeFamily::Rectangle => u.abs() <= a && v.abs() <= b,
+            ShapeFamily::Triangle => {
+                // Vertices (0, b), (-a, -b), (a, -b).
+                if v < -b || v > b {
+                    return false;
+                }
+                let half_width_at_v = a * (b - v) / (2.0 * b);
+                u.abs() <= half_width_at_v
+            }
+            ShapeFamily::Star => {
+                let theta = v.atan2(u / self.aspect.max(0.2));
+                let radius = ((u / self.aspect.max(0.2)).powi(2) + v * v).sqrt();
+                let boundary = a * (1.0 + self.param * (5.0 * theta).cos()) / (1.0 + self.param);
+                radius <= boundary
+            }
+            ShapeFamily::Cross => {
+                let w = self.param * a;
+                (u.abs() <= w && v.abs() <= a) || (v.abs() <= w * self.aspect && u.abs() <= a)
+            }
+        }
+    }
+
+    /// Renders the shape rotated by `angle` radians into a `PIXEL_COUNT`
+    /// grayscale vector with values in `[0, 1]`.
+    ///
+    /// Pixels are supersampled 2×2 for soft edges; `noise_std` adds
+    /// clamped Gaussian pixel noise (sensor noise in the real COIL).
+    ///
+    /// # Errors
+    ///
+    /// * Propagates [`ShapeSpec::validate`] errors.
+    /// * Returns [`Error::InvalidParameter`] when `noise_std < 0`.
+    pub fn render(&self, angle: f64, noise_std: f64, rng: &mut impl Rng) -> Result<Vec<f64>> {
+        self.validate()?;
+        if noise_std < 0.0 {
+            return Err(Error::InvalidParameter {
+                message: format!("noise_std must be nonnegative, got {noise_std}"),
+            });
+        }
+        let noise = Normal::new(0.0, noise_std).map_err(crate::error::Error::from)?;
+        let (sin, cos) = angle.sin_cos();
+        let mut pixels = Vec::with_capacity(PIXEL_COUNT);
+        let step = 2.0 / IMAGE_SIZE as f64;
+        // 2x2 subsample offsets within a pixel.
+        let offsets = [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)];
+        for py in 0..IMAGE_SIZE {
+            for px in 0..IMAGE_SIZE {
+                let mut coverage = 0.0;
+                let mut shade = 0.0;
+                for &(ox, oy) in &offsets {
+                    let x = -1.0 + (px as f64 + ox) * step;
+                    let y = -1.0 + (py as f64 + oy) * step;
+                    // Rotate the sampling point into the object frame.
+                    let u = cos * x + sin * y;
+                    let v = -sin * x + cos * y;
+                    if self.contains(u, v) {
+                        coverage += 0.25;
+                        // Gentle radial shading so interiors carry signal.
+                        let r2 = u * u + v * v;
+                        shade += 0.25 * (1.0 - 0.35 * r2);
+                    }
+                }
+                let mut value = self.intensity * shade.min(coverage);
+                if noise_std > 0.0 {
+                    value += noise.sample(rng);
+                }
+                pixels.push(value.clamp(0.0, 1.0));
+            }
+        }
+        Ok(pixels)
+    }
+}
+
+/// The 24 objects of the synthetic library: four variants per family.
+///
+/// Variants differ in scale, aspect, family parameter and brightness, like
+/// the four distinct physical objects per class in the COIL benchmark's
+/// 6-class grouping.
+pub fn object_catalog() -> Vec<ShapeSpec> {
+    let mut objects = Vec::with_capacity(24);
+    for (f, family) in ShapeFamily::all().into_iter().enumerate() {
+        for variant in 0..4usize {
+            let t = variant as f64 / 3.0; // 0, 1/3, 2/3, 1
+            let param = match family {
+                ShapeFamily::Superellipse => 0.8 + 2.4 * t, // exponent 0.8..3.2
+                ShapeFamily::Peanut => 0.35 + 0.3 * t,      // disk separation
+                ShapeFamily::Rectangle => 1.0,              // unused
+                ShapeFamily::Triangle => 1.0,               // unused
+                ShapeFamily::Star => 0.25 + 0.35 * t,       // pointiness
+                ShapeFamily::Cross => 0.2 + 0.2 * t,        // arm width
+            };
+            objects.push(ShapeSpec {
+                family,
+                scale: 0.62 + 0.09 * t,
+                aspect: 0.45 + 0.14 * t + 0.02 * f as f64,
+                param,
+                intensity: 0.70 + 0.10 * t,
+            });
+        }
+    }
+    objects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn sample_spec(family: ShapeFamily) -> ShapeSpec {
+        ShapeSpec {
+            family,
+            scale: 0.7,
+            aspect: 0.5,
+            param: 0.9,
+            intensity: 0.8,
+        }
+    }
+
+    #[test]
+    fn catalog_has_24_valid_objects_in_class_order() {
+        let catalog = object_catalog();
+        assert_eq!(catalog.len(), 24);
+        for (i, spec) in catalog.iter().enumerate() {
+            spec.validate().unwrap();
+            assert_eq!(spec.family, ShapeFamily::all()[i / 4]);
+        }
+    }
+
+    #[test]
+    fn render_produces_normalized_pixels() {
+        for family in ShapeFamily::all() {
+            let img = sample_spec(family).render(0.3, 0.02, &mut rng()).unwrap();
+            assert_eq!(img.len(), PIXEL_COUNT);
+            for &p in &img {
+                assert!((0.0..=1.0).contains(&p));
+            }
+            // Shape occupies some but not all of the frame.
+            let lit = img.iter().filter(|&&p| p > 0.1).count();
+            assert!(lit > 8, "{family:?} renders almost empty ({lit} lit)");
+            assert!(lit < PIXEL_COUNT, "{family:?} floods the frame");
+        }
+    }
+
+    #[test]
+    fn rotation_changes_the_image() {
+        for family in ShapeFamily::all() {
+            let spec = sample_spec(family);
+            let a = spec.render(0.0, 0.0, &mut rng()).unwrap();
+            let b = spec
+                .render(std::f64::consts::FRAC_PI_3, 0.0, &mut rng())
+                .unwrap();
+            let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(diff > 0.5, "{family:?} is rotation-invariant (diff {diff})");
+        }
+    }
+
+    #[test]
+    fn nearby_angles_give_nearby_images() {
+        // The rotation orbit is a smooth manifold: 5° steps move the image
+        // much less than 90° steps.
+        let spec = sample_spec(ShapeFamily::Rectangle);
+        let base = spec.render(0.0, 0.0, &mut rng()).unwrap();
+        let near = spec.render(5f64.to_radians(), 0.0, &mut rng()).unwrap();
+        let far = spec.render(90f64.to_radians(), 0.0, &mut rng()).unwrap();
+        let d_near: f64 = base.iter().zip(&near).map(|(a, b)| (a - b).powi(2)).sum();
+        let d_far: f64 = base.iter().zip(&far).map(|(a, b)| (a - b).powi(2)).sum();
+        assert!(
+            d_near < d_far / 2.0,
+            "manifold not smooth: near {d_near}, far {d_far}"
+        );
+    }
+
+    #[test]
+    fn full_turn_returns_to_start() {
+        let spec = sample_spec(ShapeFamily::Star);
+        let a = spec.render(0.1, 0.0, &mut rng()).unwrap();
+        let b = spec
+            .render(0.1 + std::f64::consts::TAU, 0.0, &mut rng())
+            .unwrap();
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_without_noise() {
+        let spec = sample_spec(ShapeFamily::Cross);
+        let a = spec.render(1.0, 0.0, &mut rng()).unwrap();
+        let b = spec.render(1.0, 0.0, &mut rng()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_clamped() {
+        let spec = sample_spec(ShapeFamily::Triangle);
+        let clean = spec.render(0.5, 0.0, &mut rng()).unwrap();
+        let noisy = spec.render(0.5, 0.1, &mut rng()).unwrap();
+        assert_ne!(clean, noisy);
+        for &p in &noisy {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut spec = sample_spec(ShapeFamily::Rectangle);
+        spec.scale = 0.0;
+        assert!(spec.validate().is_err());
+        spec.scale = 0.5;
+        spec.intensity = 1.5;
+        assert!(spec.validate().is_err());
+        spec.intensity = 0.5;
+        spec.param = -1.0;
+        assert!(spec.validate().is_err());
+        let good = sample_spec(ShapeFamily::Rectangle);
+        assert!(good.render(0.0, -0.1, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn distinct_objects_render_distinct_images() {
+        let catalog = object_catalog();
+        let mut images: Vec<Vec<f64>> = Vec::new();
+        for spec in catalog.iter().take(8) {
+            images.push(spec.render(0.0, 0.0, &mut rng()).unwrap());
+        }
+        for i in 0..images.len() {
+            for j in (i + 1)..images.len() {
+                let diff: f64 = images[i]
+                    .iter()
+                    .zip(&images[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 0.1, "objects {i} and {j} are identical");
+            }
+        }
+    }
+}

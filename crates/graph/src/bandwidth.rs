@@ -1,0 +1,249 @@
+//! Bandwidth selection rules for kernel graphs.
+//!
+//! Theorem II.1 needs `h_n → 0` with `n·h_n^d → ∞`; the paper's synthetic
+//! experiments use `h_n = (log n / n)^{1/d}` with `d = 5`, and the COIL
+//! experiment uses the median heuristic `σ² = median‖x_i − x_j‖²`.
+
+use crate::error::{Error, Result};
+use gssl_linalg::Matrix;
+
+/// The paper's bandwidth rate `h_n = (log n / n)^{1/d}`.
+///
+/// Satisfies both conditions of Theorem II.1: `h_n → 0` and
+/// `n h_n^d = log n → ∞`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] when `n < 2` (so `log n > 0`) or
+/// `dim == 0`.
+///
+/// ```
+/// use gssl_graph::bandwidth::paper_rate;
+/// let h = paper_rate(100, 5).unwrap();
+/// assert!((h - (100f64.ln() / 100.0).powf(0.2)).abs() < 1e-15);
+/// ```
+pub fn paper_rate(n: usize, dim: usize) -> Result<f64> {
+    if n < 2 {
+        return Err(Error::InvalidArgument {
+            message: format!("paper_rate requires n >= 2, got {n}"),
+        });
+    }
+    if dim == 0 {
+        return Err(Error::InvalidArgument {
+            message: "paper_rate requires dim >= 1".to_owned(),
+        });
+    }
+    let n = n as f64;
+    Ok((n.ln() / n).powf(1.0 / dim as f64))
+}
+
+/// The median heuristic: bandwidth `σ` with `σ²` the median of all
+/// pairwise *squared* Euclidean distances (the rule the paper uses for
+/// the COIL experiment).
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] when fewer than two points are given.
+/// * [`Error::InvalidBandwidth`] when all points coincide (median distance
+///   zero gives an unusable bandwidth).
+pub fn median_heuristic(points: &Matrix) -> Result<f64> {
+    let n = points.rows();
+    if n < 2 {
+        return Err(Error::EmptyInput {
+            required: "at least two points",
+        });
+    }
+    let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dists.push(squared_distance(points.row(i), points.row(j)));
+        }
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    let mid = dists.len() / 2;
+    let median = if dists.len() % 2 == 0 {
+        0.5 * (dists[mid - 1] + dists[mid])
+    } else {
+        dists[mid]
+    };
+    if median <= 0.0 {
+        return Err(Error::InvalidBandwidth { value: 0.0 });
+    }
+    Ok(median.sqrt())
+}
+
+/// Silverman's rule of thumb `h = σ̂ (4 / ((d + 2) n))^{1/(d+4)}`, with
+/// `σ̂` the average per-coordinate standard deviation.
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] when fewer than two points are given.
+/// * [`Error::InvalidBandwidth`] when the data has zero variance.
+pub fn silverman(points: &Matrix) -> Result<f64> {
+    let n = points.rows();
+    let d = points.cols();
+    if n < 2 || d == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least two points of dimension >= 1",
+        });
+    }
+    let mut sigma_sum = 0.0;
+    for j in 0..d {
+        let col = points.col(j);
+        let mean = col.mean();
+        let var = col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        sigma_sum += var.sqrt();
+    }
+    let sigma = sigma_sum / d as f64;
+    if sigma <= 0.0 {
+        return Err(Error::InvalidBandwidth { value: sigma });
+    }
+    let factor = (4.0 / ((d as f64 + 2.0) * n as f64)).powf(1.0 / (d as f64 + 4.0));
+    Ok(sigma * factor)
+}
+
+/// A declarative bandwidth rule, resolved against data when the graph is
+/// built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Bandwidth {
+    /// Use the given bandwidth as-is.
+    Fixed(f64),
+    /// The paper's `(log n / n)^{1/d}` rate, with `n` the number of points
+    /// the rule is resolved against (the paper resolves it with the labeled
+    /// sample size).
+    PaperRate,
+    /// Median of pairwise squared distances (square-rooted).
+    MedianHeuristic,
+    /// Silverman's rule of thumb.
+    Silverman,
+}
+
+impl Bandwidth {
+    /// Resolves the rule to a concrete bandwidth for `points`.
+    ///
+    /// For [`Bandwidth::PaperRate`], `rate_n` overrides the sample size used
+    /// in the formula (the paper uses the *labeled* count `n` even though
+    /// the graph spans `n + m` points); when `None`, `points.rows()` is used.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBandwidth`] when a fixed bandwidth is not positive.
+    /// * Errors from the underlying rules otherwise.
+    pub fn resolve(self, points: &Matrix, rate_n: Option<usize>) -> Result<f64> {
+        match self {
+            Bandwidth::Fixed(h) => {
+                if h > 0.0 {
+                    Ok(h)
+                } else {
+                    Err(Error::InvalidBandwidth { value: h })
+                }
+            }
+            Bandwidth::PaperRate => paper_rate(rate_n.unwrap_or(points.rows()), points.cols()),
+            Bandwidth::MedianHeuristic => median_heuristic(points),
+            Bandwidth::Silverman => silverman(points),
+        }
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds when the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "points must share a dimension");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rate_formula_and_limits() {
+        let h100 = paper_rate(100, 5).unwrap();
+        assert!((h100 - (100f64.ln() / 100.0).powf(0.2)).abs() < 1e-15);
+        // h_n -> 0 ...
+        let h_big = paper_rate(1_000_000, 5).unwrap();
+        assert!(h_big < h100);
+        // ... while n h^d = log n -> infinity.
+        let n = 1_000_000f64;
+        assert!((n * h_big.powi(5) - n.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_rate_validates() {
+        assert!(paper_rate(1, 5).is_err());
+        assert!(paper_rate(10, 0).is_err());
+    }
+
+    #[test]
+    fn median_heuristic_on_known_points() {
+        // Three collinear points: pairwise squared distances 1, 1, 4.
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let h = median_heuristic(&pts).unwrap();
+        assert!((h - 1.0).abs() < 1e-15); // median of {1,1,4} is 1
+    }
+
+    #[test]
+    fn median_heuristic_even_count_averages() {
+        // Four points on a line: distances² {1, 4, 9, 1, 4, 1} sorted
+        // {1,1,1,4,4,9}; median = (1+4)/2 = 2.5.
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        let h = median_heuristic(&pts).unwrap();
+        assert!((h - 2.5f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_heuristic_rejects_degenerate_input() {
+        let one = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            median_heuristic(&one),
+            Err(Error::EmptyInput { .. })
+        ));
+        let same = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        assert!(matches!(
+            median_heuristic(&same),
+            Err(Error::InvalidBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn silverman_positive_on_spread_data() {
+        let pts = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0], &[2.0, 1.0], &[3.0, 4.0]])
+            .unwrap();
+        let h = silverman(&pts).unwrap();
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn silverman_rejects_constant_data() {
+        let pts = Matrix::filled(4, 2, 3.0);
+        assert!(silverman(&pts).is_err());
+    }
+
+    #[test]
+    fn bandwidth_rule_resolution() {
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        assert_eq!(Bandwidth::Fixed(0.3).resolve(&pts, None).unwrap(), 0.3);
+        assert!(Bandwidth::Fixed(0.0).resolve(&pts, None).is_err());
+        let h_rate = Bandwidth::PaperRate.resolve(&pts, Some(100)).unwrap();
+        assert!((h_rate - paper_rate(100, 1).unwrap()).abs() < 1e-15);
+        let h_med = Bandwidth::MedianHeuristic.resolve(&pts, None).unwrap();
+        assert!((h_med - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_distance(&[], &[]), 0.0);
+    }
+}

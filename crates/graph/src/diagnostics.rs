@@ -1,0 +1,213 @@
+//! Pre-flight diagnostics for similarity graphs.
+//!
+//! Both failure modes of graph-based SSL observed in this workspace's
+//! experiments — stranded unlabeled vertices (compact kernels at small
+//! bandwidths) and over-smoothing collapse (bandwidths past the data
+//! scale) — are visible in simple graph statistics before any solve.
+//! [`GraphReport`] gathers them in one pass.
+
+use crate::components::connected_components;
+use crate::error::{Error, Result};
+use gssl_linalg::Matrix;
+
+/// Summary statistics of a (dense) affinity graph.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphReport {
+    /// Number of vertices.
+    pub vertex_count: usize,
+    /// Number of undirected edges with weight above the threshold
+    /// (self-loops not counted).
+    pub edge_count: usize,
+    /// Smallest degree (full weighted degree, including self-loops).
+    pub min_degree: f64,
+    /// Largest degree.
+    pub max_degree: f64,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Number of connected components (edges above the threshold).
+    pub component_count: usize,
+    /// Vertices with no edge above the threshold to any other vertex.
+    pub isolated_count: usize,
+    /// Ratio of the mean off-diagonal weight to the maximum possible
+    /// weight (1 for the kernels in this workspace). Values near 1 signal
+    /// the over-smoothing collapse of the toy example: `W ≈ 11ᵀ`.
+    pub saturation: f64,
+}
+
+impl GraphReport {
+    /// Computes the report for a symmetric affinity matrix, counting
+    /// edges with weight strictly greater than `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `weights` is not square.
+    pub fn compute(weights: &Matrix, threshold: f64) -> Result<Self> {
+        if !weights.is_square() {
+            return Err(Error::InvalidArgument {
+                message: format!(
+                    "affinity matrix must be square, got {}x{}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        let n = weights.rows();
+        let labels = connected_components(weights, threshold)?;
+        let component_count = labels.iter().copied().max().map_or(0, |m| m + 1);
+
+        let degrees = weights.row_sums();
+        let mut edge_count = 0;
+        let mut isolated_count = 0;
+        let mut off_diag_sum = 0.0;
+        for i in 0..n {
+            let mut connected = false;
+            for j in 0..n {
+                if i != j {
+                    off_diag_sum += weights.get(i, j);
+                    if j > i && weights.get(i, j) > threshold {
+                        edge_count += 1;
+                    }
+                    if weights.get(i, j) > threshold {
+                        connected = true;
+                    }
+                }
+            }
+            if !connected {
+                isolated_count += 1;
+            }
+        }
+        let off_diag_pairs = (n * n).saturating_sub(n) as f64;
+        let saturation = if off_diag_pairs > 0.0 {
+            off_diag_sum / off_diag_pairs
+        } else {
+            0.0
+        };
+
+        Ok(GraphReport {
+            vertex_count: n,
+            edge_count,
+            min_degree: degrees.min().unwrap_or(0.0),
+            max_degree: degrees.max().unwrap_or(0.0),
+            mean_degree: if n > 0 { degrees.sum() / n as f64 } else { 0.0 },
+            component_count,
+            isolated_count,
+            saturation,
+        })
+    }
+
+    /// Returns `true` when the graph is connected (single component, no
+    /// vertices at all counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.component_count <= 1
+    }
+
+    /// Human-readable warnings about the failure modes the report can
+    /// detect. Empty when the graph looks healthy.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if self.isolated_count > 0 {
+            warnings.push(format!(
+                "{} isolated vertices — increase the bandwidth or use a kernel \
+                 with wider support (criteria will reject stranded unlabeled points)",
+                self.isolated_count
+            ));
+        }
+        if self.component_count > 1 {
+            warnings.push(format!(
+                "{} connected components — scores cannot propagate across them",
+                self.component_count
+            ));
+        }
+        if self.saturation > 0.9 {
+            warnings.push(format!(
+                "weight saturation {:.2} — the graph is nearly complete with \
+                 uniform weights; scores will collapse toward the labeled mean \
+                 (decrease the bandwidth)",
+                self.saturation
+            ));
+        }
+        warnings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::affinity_matrix;
+    use crate::Kernel;
+
+    fn spread_points() -> Matrix {
+        Matrix::from_fn(10, 2, |i, j| (i * 2 + j) as f64 * 0.37)
+    }
+
+    #[test]
+    fn healthy_graph_has_no_warnings() {
+        let w = affinity_matrix(&spread_points(), Kernel::Gaussian, 1.0).unwrap();
+        let report = GraphReport::compute(&w, 1e-6).unwrap();
+        assert_eq!(report.vertex_count, 10);
+        assert!(report.is_connected());
+        assert_eq!(report.isolated_count, 0);
+        assert!(report.min_degree > 0.0);
+        assert!(report.min_degree <= report.mean_degree);
+        assert!(report.mean_degree <= report.max_degree);
+        assert!(report.warnings().is_empty(), "{:?}", report.warnings());
+    }
+
+    #[test]
+    fn oversmoothed_graph_warns_about_saturation() {
+        let w = affinity_matrix(&spread_points(), Kernel::Gaussian, 500.0).unwrap();
+        let report = GraphReport::compute(&w, 1e-6).unwrap();
+        assert!(report.saturation > 0.99);
+        assert!(report
+            .warnings()
+            .iter()
+            .any(|w| w.contains("saturation")));
+    }
+
+    #[test]
+    fn fragmented_graph_warns_about_components() {
+        // Two far clusters with a compact kernel.
+        let points = Matrix::from_rows(&[&[0.0], &[0.1], &[50.0], &[50.1]]).unwrap();
+        let w = affinity_matrix(&points, Kernel::Boxcar, 1.0).unwrap();
+        let report = GraphReport::compute(&w, 0.0).unwrap();
+        assert_eq!(report.component_count, 2);
+        assert!(!report.is_connected());
+        assert!(report
+            .warnings()
+            .iter()
+            .any(|w| w.contains("components")));
+    }
+
+    #[test]
+    fn isolated_vertices_are_counted() {
+        let points = Matrix::from_rows(&[&[0.0], &[0.5], &[99.0]]).unwrap();
+        let w = affinity_matrix(&points, Kernel::Boxcar, 1.0).unwrap();
+        let report = GraphReport::compute(&w, 0.0).unwrap();
+        assert_eq!(report.isolated_count, 1);
+        assert!(report.warnings().iter().any(|w| w.contains("isolated")));
+    }
+
+    #[test]
+    fn edge_count_matches_hand_count() {
+        // Path graph 0-1-2 (unit weights, no self-loops).
+        let w = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let report = GraphReport::compute(&w, 0.0).unwrap();
+        assert_eq!(report.edge_count, 2);
+        assert_eq!(report.mean_degree, 4.0 / 3.0);
+    }
+
+    #[test]
+    fn validates_shape_and_handles_empty() {
+        assert!(GraphReport::compute(&Matrix::zeros(2, 3), 0.0).is_err());
+        let report = GraphReport::compute(&Matrix::zeros(0, 0), 0.0).unwrap();
+        assert_eq!(report.vertex_count, 0);
+        assert!(report.is_connected());
+        assert_eq!(report.saturation, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for graph construction.
+
+use std::fmt;
+
+/// Errors returned by kernel, bandwidth and graph constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input point set is empty (or otherwise too small).
+    EmptyInput {
+        /// What the operation needed, e.g. `"at least two points"`.
+        required: &'static str,
+    },
+    /// Points have inconsistent dimensions.
+    DimensionMismatch {
+        /// Dimension of the first point.
+        expected: usize,
+        /// Dimension of the offending point.
+        actual: usize,
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A bandwidth (or other scale parameter) must be strictly positive.
+    InvalidBandwidth {
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(gssl_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput { required } => {
+                write!(f, "input is too small: {required} required")
+            }
+            Error::DimensionMismatch {
+                expected,
+                actual,
+                index,
+            } => write!(
+                f,
+                "point {index} has dimension {actual}, expected {expected}"
+            ),
+            Error::InvalidBandwidth { value } => {
+                write!(f, "bandwidth must be strictly positive, got {value}")
+            }
+            Error::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl_linalg::Error> for Error {
+    fn from(inner: gssl_linalg::Error) -> Self {
+        Error::Linalg(inner)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::EmptyInput {
+            required: "at least two points"
+        }
+        .to_string()
+        .contains("two points"));
+        assert!(Error::InvalidBandwidth { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+        let e = Error::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+            index: 7,
+        };
+        assert!(e.to_string().contains("point 7"));
+    }
+
+    #[test]
+    fn wraps_linalg_errors() {
+        let inner = gssl_linalg::Error::Singular { pivot: 0 };
+        let err: Error = inner.clone().into();
+        assert_eq!(err, Error::Linalg(inner));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

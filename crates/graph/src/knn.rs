@@ -1,0 +1,240 @@
+//! Sparse graph constructions: k-nearest-neighbour and ε-threshold graphs.
+//!
+//! Dense kernel graphs scale as `O((n+m)²)` memory; for large unlabeled
+//! pools the standard alternative (Chapelle et al., §11) is to keep only
+//! the strongest edges. These builders produce [`CsrMatrix`] affinities
+//! compatible with the iterative solvers in `gssl`.
+
+use crate::bandwidth::squared_distance;
+use crate::error::{Error, Result};
+use crate::kernel::Kernel;
+use gssl_linalg::{CsrMatrix, Matrix};
+
+/// How to symmetrize a directed kNN relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Symmetrization {
+    /// Keep an edge when *either* endpoint lists the other among its k
+    /// nearest neighbours (the usual choice; keeps the graph connected
+    /// longer).
+    #[default]
+    Union,
+    /// Keep an edge only when *both* endpoints list each other.
+    Mutual,
+}
+
+/// Builds a symmetric k-nearest-neighbour affinity graph.
+///
+/// Edge weights are `kernel.weight(dist², bandwidth)`. Self-loops are not
+/// included (the paper's dense `W` has them, but they cancel in `D − W`;
+/// sparse graphs conventionally omit them).
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] when `points` has no rows.
+/// * [`Error::InvalidArgument`] when `k == 0` or `k >= points.rows()`.
+/// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+pub fn knn_graph(
+    points: &Matrix,
+    k: usize,
+    kernel: Kernel,
+    bandwidth: f64,
+    symmetrization: Symmetrization,
+) -> Result<CsrMatrix> {
+    let n = points.rows();
+    if n == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one point",
+        });
+    }
+    if k == 0 || k >= n {
+        return Err(Error::InvalidArgument {
+            message: format!("k must satisfy 1 <= k < n (= {n}), got {k}"),
+        });
+    }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
+
+    // Directed relation: neighbor_of[i] = set of i's k nearest.
+    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, squared_distance(points.row(i), points.row(j))))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        neighbors.push(dists[..k].iter().map(|&(j, _)| j).collect());
+    }
+
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for &j in &neighbors[i] {
+            let keep = match symmetrization {
+                Symmetrization::Union => true,
+                Symmetrization::Mutual => neighbors[j].contains(&i),
+            };
+            if keep && i < j {
+                let w = kernel.weight(squared_distance(points.row(i), points.row(j)), bandwidth)?;
+                if w > 0.0 {
+                    triplets.push((i, j, w));
+                    triplets.push((j, i, w));
+                }
+            } else if keep && j < i && !neighbors[j].contains(&i) {
+                // Union edge discovered from the higher-index side only.
+                let w = kernel.weight(squared_distance(points.row(i), points.row(j)), bandwidth)?;
+                if w > 0.0 {
+                    triplets.push((i, j, w));
+                    triplets.push((j, i, w));
+                }
+            }
+        }
+    }
+    Ok(CsrMatrix::from_triplets(n, n, &triplets)?)
+}
+
+/// Builds an ε-neighbourhood affinity graph: vertices within Euclidean
+/// distance `epsilon` are connected with kernel weights.
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] when `points` has no rows.
+/// * [`Error::InvalidArgument`] when `epsilon <= 0`.
+/// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+pub fn epsilon_graph(
+    points: &Matrix,
+    epsilon: f64,
+    kernel: Kernel,
+    bandwidth: f64,
+) -> Result<CsrMatrix> {
+    let n = points.rows();
+    if n == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one point",
+        });
+    }
+    if !(epsilon > 0.0) {
+        return Err(Error::InvalidArgument {
+            message: format!("epsilon must be positive, got {epsilon}"),
+        });
+    }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
+    let eps2 = epsilon * epsilon;
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2 = squared_distance(points.row(i), points.row(j));
+            if d2 <= eps2 {
+                let w = kernel.weight(d2, bandwidth)?;
+                if w > 0.0 {
+                    triplets.push((i, j, w));
+                    triplets.push((j, i, w));
+                }
+            }
+        }
+    }
+    Ok(CsrMatrix::from_triplets(n, n, &triplets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Five points on a line at 0, 1, 2, 10, 11.
+    fn line_points() -> Matrix {
+        Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0]]).unwrap()
+    }
+
+    #[test]
+    fn knn_graph_is_symmetric() {
+        let g = knn_graph(&line_points(), 2, Kernel::Gaussian, 1.0, Symmetrization::Union)
+            .unwrap();
+        assert!(g.is_symmetric(1e-15));
+        assert_eq!(g.rows(), 5);
+    }
+
+    #[test]
+    fn knn_union_vs_mutual() {
+        // Point 2's 1-NN is point 1; point 3's 1-NN is point 4.
+        // Union(1-NN) keeps 1-2 and 3-4 edges; mutual keeps only pairs that
+        // choose each other: (0,1)? 0's NN is 1; 1's NN is 0 or 2 (dist 1
+        // both, sort stable -> 0 first). Check counts differ or mutual ⊆ union.
+        let union = knn_graph(&line_points(), 2, Kernel::Gaussian, 5.0, Symmetrization::Union)
+            .unwrap();
+        let mutual = knn_graph(&line_points(), 2, Kernel::Gaussian, 5.0, Symmetrization::Mutual)
+            .unwrap();
+        assert!(mutual.nnz() <= union.nnz());
+        // Every mutual edge is a union edge with equal weight.
+        for i in 0..5 {
+            for (j, v) in mutual.row_iter(i) {
+                assert!((union.get(i, j) - v).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_has_no_self_loops() {
+        let g = knn_graph(&line_points(), 3, Kernel::Gaussian, 1.0, Symmetrization::Union)
+            .unwrap();
+        for i in 0..5 {
+            assert_eq!(g.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_weights_match_kernel() {
+        let g = knn_graph(&line_points(), 1, Kernel::Gaussian, 2.0, Symmetrization::Union)
+            .unwrap();
+        // Edge 0-1 has distance 1 => weight exp(-1/4).
+        assert!((g.get(0, 1) - (-0.25f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn knn_validates_arguments() {
+        let pts = line_points();
+        assert!(knn_graph(&pts, 0, Kernel::Gaussian, 1.0, Symmetrization::Union).is_err());
+        assert!(knn_graph(&pts, 5, Kernel::Gaussian, 1.0, Symmetrization::Union).is_err());
+        assert!(knn_graph(&pts, 2, Kernel::Gaussian, 0.0, Symmetrization::Union).is_err());
+        assert!(knn_graph(&Matrix::zeros(0, 1), 1, Kernel::Gaussian, 1.0, Symmetrization::Union)
+            .is_err());
+    }
+
+    #[test]
+    fn epsilon_graph_connects_only_near_points() {
+        let g = epsilon_graph(&line_points(), 1.5, Kernel::Boxcar, 2.0).unwrap();
+        assert!(g.get(0, 1) > 0.0);
+        assert!(g.get(1, 2) > 0.0);
+        assert_eq!(g.get(2, 3), 0.0); // distance 8 > epsilon
+        assert!(g.get(3, 4) > 0.0);
+        assert!(g.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn epsilon_graph_cluster_structure() {
+        let g = epsilon_graph(&line_points(), 2.5, Kernel::Gaussian, 1.0).unwrap();
+        let dense = g.to_dense();
+        let labels = crate::components::connected_components(&dense, 0.0).unwrap();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn epsilon_graph_validates_arguments() {
+        let pts = line_points();
+        assert!(epsilon_graph(&pts, 0.0, Kernel::Gaussian, 1.0).is_err());
+        assert!(epsilon_graph(&pts, 1.0, Kernel::Gaussian, -1.0).is_err());
+        assert!(epsilon_graph(&Matrix::zeros(0, 1), 1.0, Kernel::Gaussian, 1.0).is_err());
+    }
+
+    #[test]
+    fn compact_kernel_can_zero_out_knn_edges() {
+        // Boxcar with bandwidth 0.5: even nearest neighbours at distance 1
+        // get weight 0, so the edge is dropped entirely.
+        let g = knn_graph(&line_points(), 1, Kernel::Boxcar, 0.5, Symmetrization::Union)
+            .unwrap();
+        assert_eq!(g.nnz(), 0);
+    }
+}

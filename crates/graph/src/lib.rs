@@ -1,0 +1,54 @@
+//! # gssl-graph
+//!
+//! Similarity-graph substrate for the `gssl` workspace — everything needed
+//! to turn a point cloud into the weighted graph `G = (V, E)` on which
+//! graph-based semi-supervised learning operates (Du, Zhao & Wang,
+//! ICDCS 2019).
+//!
+//! * [`Kernel`] — radial smoothing kernels, with predicates for the three
+//!   conditions of the paper's Theorem II.1.
+//! * [`bandwidth`] — the paper's `(log n/n)^{1/d}` rate, the median
+//!   heuristic used in its COIL experiment, and Silverman's rule.
+//! * [`affinity`] — dense similarity matrices `W = [K(‖x_i − x_j‖/h)]`.
+//! * [`knn_graph`] / [`epsilon_graph`] — sparse CSR graph builders.
+//! * [`laplacian`] — unnormalized / symmetric / random-walk Laplacians and
+//!   the Dirichlet energy `Σ w_ij (f_i − f_j)²` both criteria penalize.
+//! * [`components`] — connectivity checks backing Proposition II.2's
+//!   hypotheses and the hard criterion's solvability condition.
+//! * [`spectral`] — power iteration, used to measure the spectral radius
+//!   of `D₂₂⁻¹W₂₂` from the paper's Neumann-series argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use gssl_graph::{affinity::affinity_matrix, laplacian, Kernel, LaplacianKind};
+//! use gssl_linalg::Matrix;
+//! # fn main() -> Result<(), gssl_graph::Error> {
+//! let points = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[5.0, 5.0]])?;
+//! let w = affinity_matrix(&points, Kernel::Gaussian, 1.0)?;
+//! let l = laplacian(&w, LaplacianKind::Unnormalized)?;
+//! assert!(l.is_symmetric(1e-12));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod bandwidth;
+pub mod components;
+mod diagnostics;
+mod error;
+mod kernel;
+mod knn;
+mod laplacian;
+pub mod spectral;
+
+pub use diagnostics::GraphReport;
+
+pub use bandwidth::Bandwidth;
+pub use error::{Error, Result};
+pub use kernel::Kernel;
+pub use knn::{epsilon_graph, knn_graph, Symmetrization};
+pub use laplacian::{degrees, dirichlet_energy, laplacian, volume, LaplacianKind};

@@ -1,0 +1,136 @@
+//! 2×2 block partitions of square matrices.
+//!
+//! The paper's derivation of Eq. (4)/(5) works entirely in terms of the
+//! blocks `W₁₁, W₁₂, W₂₁, W₂₂` (labeled/unlabeled split at index `n`);
+//! [`BlockPartition`] makes that split a first-class, well-tested object.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// A square matrix split into four blocks at row/column `split`:
+///
+/// ```text
+///        ┌ a11 (split × split)   a12 (split × rest) ┐
+///  A  =  │                                          │
+///        └ a21 (rest × split)    a22 (rest × rest)  ┘
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPartition {
+    /// Top-left block (`split × split`).
+    pub a11: Matrix,
+    /// Top-right block (`split × rest`).
+    pub a12: Matrix,
+    /// Bottom-left block (`rest × split`).
+    pub a21: Matrix,
+    /// Bottom-right block (`rest × rest`).
+    pub a22: Matrix,
+}
+
+impl BlockPartition {
+    /// Splits a square matrix at index `split`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::InvalidArgument`] when `split > a.rows()`.
+    ///
+    /// ```
+    /// use gssl_linalg::{BlockPartition, Matrix};
+    /// # fn main() -> Result<(), gssl_linalg::Error> {
+    /// let a = Matrix::from_fn(3, 3, |i, j| (3 * i + j) as f64);
+    /// let blocks = BlockPartition::split(&a, 2)?;
+    /// assert_eq!(blocks.a11.shape(), (2, 2));
+    /// assert_eq!(blocks.a22.get(0, 0), 8.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn split(a: &Matrix, split: usize) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if split > n {
+            return Err(Error::InvalidArgument {
+                message: format!("split index {split} exceeds matrix dimension {n}"),
+            });
+        }
+        Ok(BlockPartition {
+            a11: a.submatrix(0, split, 0, split),
+            a12: a.submatrix(0, split, split, n),
+            a21: a.submatrix(split, n, 0, split),
+            a22: a.submatrix(split, n, split, n),
+        })
+    }
+
+    /// Reassembles the original matrix from the four blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the blocks are not
+    /// conformal.
+    pub fn assemble(&self) -> Result<Matrix> {
+        let top = self.a11.hstack(&self.a12)?;
+        let bottom = self.a21.hstack(&self.a22)?;
+        top.vstack(&bottom)
+    }
+
+    /// Size of the leading (labeled) block.
+    pub fn split_index(&self) -> usize {
+        self.a11.rows()
+    }
+
+    /// Size of the trailing (unlabeled) block.
+    pub fn trailing_size(&self) -> usize {
+        self.a22.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| (n * i + j) as f64)
+    }
+
+    #[test]
+    fn split_assemble_roundtrip() {
+        let a = numbered(5);
+        for split in 0..=5 {
+            let blocks = BlockPartition::split(&a, split).unwrap();
+            assert_eq!(blocks.assemble().unwrap(), a);
+            assert_eq!(blocks.split_index(), split);
+            assert_eq!(blocks.trailing_size(), 5 - split);
+        }
+    }
+
+    #[test]
+    fn blocks_have_expected_contents() {
+        let a = numbered(4);
+        let blocks = BlockPartition::split(&a, 2).unwrap();
+        assert_eq!(blocks.a11.row(0), &[0.0, 1.0]);
+        assert_eq!(blocks.a12.row(0), &[2.0, 3.0]);
+        assert_eq!(blocks.a21.row(0), &[8.0, 9.0]);
+        assert_eq!(blocks.a22.row(1), &[14.0, 15.0]);
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_split() {
+        assert!(BlockPartition::split(&Matrix::zeros(2, 3), 1).is_err());
+        assert!(matches!(
+            BlockPartition::split(&Matrix::identity(3), 4),
+            Err(Error::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_splits() {
+        let a = numbered(3);
+        let all_leading = BlockPartition::split(&a, 3).unwrap();
+        assert_eq!(all_leading.a11, a);
+        assert_eq!(all_leading.a22.shape(), (0, 0));
+        let all_trailing = BlockPartition::split(&a, 0).unwrap();
+        assert_eq!(all_trailing.a22, a);
+        assert_eq!(all_trailing.a11.shape(), (0, 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Conjugate-gradient solver for symmetric positive-definite systems.
+//!
+//! Used as the matrix-free backend for the hard criterion: `D₂₂ − W₂₂` is
+//! SPD whenever every unlabeled vertex is connected (possibly through other
+//! unlabeled vertices) to a labeled vertex.
+
+use crate::error::{Error, Result};
+use crate::ops::LinearOperator;
+use crate::vector::{dot_slices, Vector};
+
+/// Options controlling a conjugate-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Maximum number of iterations (0 means `2 * dim`).
+    pub max_iterations: usize,
+    /// Convergence threshold on the *relative* residual `‖r‖/‖b‖`.
+    pub tolerance: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iterations: 0,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Outcome of a successful conjugate-gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOutcome {
+    /// The approximate solution.
+    pub solution: Vector,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final absolute residual norm `‖b − A x‖₂`.
+    pub residual_norm: f64,
+}
+
+/// Solves `A x = b` by the conjugate-gradient method.
+///
+/// `A` must be symmetric positive definite; this is *not* checked (CG simply
+/// fails to converge otherwise).
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] when `b.len() != op.dim()`.
+/// * [`Error::InvalidArgument`] when the tolerance is not positive.
+/// * [`Error::NotConverged`] when the iteration budget is exhausted.
+///
+/// ```
+/// use gssl_linalg::{conjugate_gradient, CgOptions, Matrix, Vector};
+/// # fn main() -> Result<(), gssl_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let b = Vector::from(vec![1.0, 2.0]);
+/// let out = conjugate_gradient(&a, &b, &CgOptions::default())?;
+/// assert!(a.matvec(&out.solution)?.approx_eq(&b, 1e-8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn conjugate_gradient(
+    op: &(impl LinearOperator + ?Sized),
+    b: &Vector,
+    options: &CgOptions,
+) -> Result<CgOutcome> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(Error::DimensionMismatch {
+            operation: "conjugate_gradient",
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    if !(options.tolerance > 0.0) {
+        return Err(Error::InvalidArgument {
+            message: format!("tolerance must be positive, got {}", options.tolerance),
+        });
+    }
+    let max_iterations = if options.max_iterations == 0 {
+        (2 * n).max(50)
+    } else {
+        options.max_iterations
+    };
+
+    let b_norm = b.norm_l2();
+    if b_norm == 0.0 {
+        return Ok(CgOutcome {
+            solution: Vector::zeros(n),
+            iterations: 0,
+            residual_norm: 0.0,
+        });
+    }
+    let threshold = options.tolerance * b_norm;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.as_slice().to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs_old = dot_slices(&r, &r);
+
+    for k in 0..max_iterations {
+        if rs_old.sqrt() <= threshold {
+            return Ok(CgOutcome {
+                solution: Vector::from(x),
+                iterations: k,
+                residual_norm: rs_old.sqrt(),
+            });
+        }
+        op.apply(&p, &mut ap);
+        let p_ap = dot_slices(&p, &ap);
+        if p_ap <= 0.0 || !p_ap.is_finite() {
+            // Direction of non-positive curvature: A is not SPD (or we hit
+            // numerical breakdown). Report as non-convergence.
+            return Err(Error::NotConverged {
+                iterations: k,
+                residual: rs_old.sqrt(),
+            });
+        }
+        let alpha = rs_old / p_ap;
+        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+        }
+        let rs_new = dot_slices(&r, &r);
+        let beta = rs_new / rs_old;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+
+    if rs_old.sqrt() <= threshold {
+        Ok(CgOutcome {
+            solution: Vector::from(x),
+            iterations: max_iterations,
+            residual_norm: rs_old.sqrt(),
+        })
+    } else {
+        Err(Error::NotConverged {
+            iterations: max_iterations,
+            residual: rs_old.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::ops::ShiftedOperator;
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = Vector::from(vec![1.0, 2.0]);
+        let out = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let exact = crate::lu::solve(&a, &b).unwrap();
+        assert!(out.solution.approx_eq(&exact, 1e-8));
+        assert!(out.iterations <= 2 + 1); // CG converges in <= n steps exactly
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let a = Matrix::identity(3);
+        let out = conjugate_gradient(&a, &Vector::zeros(3), &CgOptions::default()).unwrap();
+        assert_eq!(out.solution, Vector::zeros(3));
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        let err = conjugate_gradient(&a, &Vector::zeros(3), &CgOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_tolerance() {
+        let a = Matrix::identity(2);
+        let opts = CgOptions {
+            tolerance: 0.0,
+            ..CgOptions::default()
+        };
+        assert!(matches!(
+            conjugate_gradient(&a, &Vector::ones(2), &opts),
+            Err(Error::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_non_convergence_on_tiny_budget() {
+        // A moderately conditioned SPD matrix cannot converge in one step.
+        let a = Matrix::from_rows(&[
+            &[10.0, 1.0, 0.0],
+            &[1.0, 5.0, 1.0],
+            &[0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let opts = CgOptions {
+            max_iterations: 1,
+            tolerance: 1e-14,
+        };
+        let err = conjugate_gradient(&a, &Vector::ones(3), &opts).unwrap_err();
+        assert!(matches!(err, Error::NotConverged { iterations: 1, .. }));
+    }
+
+    #[test]
+    fn detects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let b = Vector::from(vec![0.0, 1.0]);
+        assert!(conjugate_gradient(&a, &b, &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn works_through_operator_abstraction() {
+        // Solve (L + I) x = b with L a graph Laplacian given lazily.
+        let l = Matrix::from_rows(&[
+            &[1.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 1.0],
+        ])
+        .unwrap();
+        let shifted = ShiftedOperator::new(&l, 1.0);
+        let b = Vector::from(vec![1.0, 0.0, -1.0]);
+        let out = conjugate_gradient(&shifted, &b, &CgOptions::default()).unwrap();
+        let dense = &l + &Matrix::identity(3);
+        let exact = crate::lu::solve(&dense, &b).unwrap();
+        assert!(out.solution.approx_eq(&exact, 1e-8));
+    }
+
+    #[test]
+    fn larger_laplacian_like_system() {
+        // Path-graph Laplacian plus diagonal anchor, n = 50.
+        let n = 50;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.5
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let b = Vector::from_fn(n, |i| (i as f64 / n as f64).sin());
+        let out = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let exact = crate::lu::solve(&a, &b).unwrap();
+        assert!(out.solution.approx_eq(&exact, 1e-7));
+    }
+}

@@ -1,0 +1,272 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! The hard-criterion system matrix `D₂₂ − W₂₂` and the soft-criterion
+//! matrix `V + λL` are symmetric and (on suitable graphs) positive definite,
+//! so Cholesky is the natural direct backend: half the work of LU and an
+//! SPD-validity check for free.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// A Cholesky factorization `A = L Lᵀ` with `L` lower triangular.
+///
+/// ```
+/// use gssl_linalg::{Cholesky, Matrix, Vector};
+/// # fn main() -> Result<(), gssl_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&Vector::from(vec![6.0, 5.0]))?;
+/// let back = a.matvec(&x)?;
+/// assert!(back.approx_eq(&Vector::from(vec![6.0, 5.0]), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored dense (upper part zero).
+    lower: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (use [`Matrix::is_symmetric`] to check).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] when a diagonal pivot is `<= 0`
+    ///   (or not finite).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                diag -= v * v;
+            }
+            if !(diag > 0.0) || !diag.is_finite() {
+                return Err(Error::NotPositiveDefinite { pivot: j });
+            }
+            let diag_sqrt = diag.sqrt();
+            l.set(j, j, diag_sqrt);
+            for i in (j + 1)..n {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, sum / diag_sqrt);
+            }
+        }
+        Ok(Cholesky { lower: l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lower.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.lower
+    }
+
+    /// Solves `A x = b` via forward and back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.lower.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lower.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lower.get(j, i) * x[j];
+            }
+            x[i] = sum / self.lower.get(i, i);
+        }
+        Ok(Vector::from(x))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `B.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "cholesky solve_matrix",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant (product of squared diagonal entries of `L`).
+    pub fn det(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..self.dim() {
+            let d = self.lower.get(i, i);
+            det *= d * d;
+        }
+        det
+    }
+
+    /// Log-determinant, numerically stable for large well-conditioned
+    /// matrices where [`Cholesky::det`] would overflow.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| 2.0 * self.lower.get(i, i).ln())
+            .sum()
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the underlying solves.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Tests whether a symmetric matrix is positive definite by attempting a
+/// Cholesky factorization.
+pub fn is_positive_definite(a: &Matrix) -> bool {
+    Cholesky::factor(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_sample() -> Matrix {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]])
+            .unwrap();
+        &b.transpose().matmul(&b).unwrap() + &Matrix::identity(3)
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_sample();
+        let chol = Cholesky::factor(&a).unwrap();
+        let l = chol.lower();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn lower_factor_is_lower_triangular() {
+        let chol = Cholesky::factor(&spd_sample()).unwrap();
+        let l = chol.lower();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_has_small_residual() {
+        let a = spd_sample();
+        let b = Vector::from(vec![1.0, -2.0, 0.5]);
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_matrix_matches_identity_inverse() {
+        let a = spd_sample();
+        let chol = Cholesky::factor(&a).unwrap();
+        let inv = chol.inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-11));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(Error::NotPositiveDefinite { pivot: 1 })
+        ));
+        assert!(!is_positive_definite(&a));
+        assert!(is_positive_definite(&Matrix::identity(2)));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 2)),
+            Err(Error::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn det_and_log_det_agree() {
+        let a = spd_sample();
+        let chol = Cholesky::factor(&a).unwrap();
+        assert!((chol.det().ln() - chol.log_det()).abs() < 1e-10);
+        // Cross-check against LU determinant.
+        let lu_det = crate::lu::Lu::factor(&a).unwrap().det();
+        assert!((chol.det() - lu_det).abs() < 1e-8 * lu_det.abs());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_len() {
+        let chol = Cholesky::factor(&Matrix::identity(2)).unwrap();
+        assert!(chol.solve(&Vector::zeros(3)).is_err());
+        assert!(chol.solve_matrix(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn matches_lu_solution() {
+        let a = spd_sample();
+        let b = Vector::from(vec![3.0, 1.0, 4.0]);
+        let x_chol = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        assert!(x_chol.approx_eq(&x_lu, 1e-10));
+    }
+}

@@ -1,0 +1,322 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi rotation method.
+//!
+//! Graph Laplacians are symmetric, and their spectra carry the structure
+//! graph-based SSL exploits: the multiplicity of eigenvalue 0 counts
+//! connected components, the Fiedler (second-smallest) eigenvector cuts
+//! the graph along its sparsest bottleneck, and the spectral gap controls
+//! how fast label propagation mixes. Jacobi rotations are exactly the
+//! right tool at the problem sizes of this workspace: unconditionally
+//! stable, simple, and accurate to machine precision.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Options for the Jacobi eigensolver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenOptions {
+    /// Maximum number of full sweeps over all off-diagonal pairs
+    /// (0 means 100; convergence is typically < 15 sweeps).
+    pub max_sweeps: usize,
+    /// Convergence threshold on the off-diagonal Frobenius norm, relative
+    /// to the matrix norm.
+    pub tolerance: f64,
+}
+
+impl Default for EigenOptions {
+    fn default() -> Self {
+        EigenOptions {
+            max_sweeps: 0,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// A symmetric eigendecomposition `A = V Λ Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    eigenvalues: Vector,
+    /// Orthonormal eigenvectors as columns, aligned with
+    /// [`SymmetricEigen::eigenvalues`].
+    eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &Vector {
+        &self.eigenvalues
+    }
+
+    /// Orthonormal eigenvectors as matrix columns (column `k` pairs with
+    /// eigenvalue `k`).
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// The `k`-th eigenvector as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn eigenvector(&self, k: usize) -> Vector {
+        self.eigenvectors.col(k)
+    }
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix by cyclic
+/// Jacobi rotations.
+///
+/// Only the lower triangle is read; symmetry is the caller's
+/// responsibility ([`Matrix::is_symmetric`]).
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] when `a` is not square.
+/// * [`Error::NotConverged`] when the sweep budget runs out (rare; the
+///   method converges quadratically).
+///
+/// ```
+/// use gssl_linalg::{symmetric_eigen, EigenOptions, Matrix};
+/// # fn main() -> Result<(), gssl_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = symmetric_eigen(&a, &EigenOptions::default())?;
+/// let values = eig.eigenvalues();
+/// assert!((values[0] - 1.0).abs() < 1e-12);
+/// assert!((values[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix, options: &EigenOptions) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(Error::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            eigenvalues: Vector::new(),
+            eigenvectors: Matrix::zeros(0, 0),
+        });
+    }
+    let max_sweeps = if options.max_sweeps == 0 {
+        100
+    } else {
+        options.max_sweeps
+    };
+    // Work on a symmetrized copy so tiny asymmetries don't bias rotations.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = Matrix::identity(n);
+    let scale = m.norm_frobenius().max(f64::MIN_POSITIVE);
+    let threshold = options.tolerance * scale;
+
+    for _sweep in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off <= threshold {
+            return Ok(sorted_decomposition(&m, &v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= threshold / (n * n) as f64 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating (p, q).
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let off = off_diagonal_norm(&m);
+    if off <= threshold {
+        Ok(sorted_decomposition(&m, &v))
+    } else {
+        Err(Error::NotConverged {
+            iterations: max_sweeps,
+            residual: off,
+        })
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let x = m.get(i, j);
+            sum += 2.0 * x * x;
+        }
+    }
+    sum.sqrt()
+}
+
+fn sorted_decomposition(m: &Matrix, v: &Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m.get(a, a).partial_cmp(&m.get(b, b)).expect("finite"));
+    let eigenvalues: Vector = order.iter().map(|&k| m.get(k, k)).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(eig: &SymmetricEigen) -> Matrix {
+        let v = eig.eigenvectors();
+        let lambda = Matrix::from_diag(eig.eigenvalues().as_slice());
+        v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
+        assert_eq!(eig.eigenvalues().as_slice(), &[-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
+        assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-12);
+        // Eigenvector of 3 is (1, 1)/√2 up to sign.
+        let v = eig.eigenvector(1);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // A random-ish symmetric matrix.
+        let base = Matrix::from_fn(8, 8, |i, j| ((i * 13 + j * 7) as f64 * 0.37).sin());
+        let a = &base + &base.transpose();
+        let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
+        assert!(reconstruct(&eig).approx_eq(&a, 1e-9));
+        let vtv = eig
+            .eigenvectors()
+            .transpose()
+            .matmul(eig.eigenvectors())
+            .unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(8), 1e-10));
+        // Ascending order.
+        for pair in eig.eigenvalues().as_slice().windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_spectrum_counts_components() {
+        // Two disjoint edges: Laplacian eigenvalues {0, 0, 2, 2}.
+        let w = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let mut l = w.map(|x| -x);
+        for i in 0..4 {
+            l.set(i, i, 1.0);
+        }
+        let eig = symmetric_eigen(&l, &EigenOptions::default()).unwrap();
+        let values = eig.eigenvalues();
+        assert!(values[0].abs() < 1e-12);
+        assert!(values[1].abs() < 1e-12); // two zero eigenvalues = two components
+        assert!((values[2] - 2.0).abs() < 1e-12);
+        assert!((values[3] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_determinant_identities() {
+        let base = Matrix::from_fn(6, 6, |i, j| ((i + 2 * j) as f64 * 0.53).cos());
+        let a = &base + &base.transpose();
+        let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
+        let trace: f64 = eig.eigenvalues().sum();
+        assert!((trace - a.trace().unwrap()).abs() < 1e-9);
+        let det_eig: f64 = eig.eigenvalues().iter().product();
+        let det_lu = crate::lu::Lu::factor(&a).map(|lu| lu.det()).unwrap_or(0.0);
+        assert!((det_eig - det_lu).abs() < 1e-6 * det_lu.abs().max(1.0));
+    }
+
+    #[test]
+    fn rejects_non_square_and_handles_empty() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3), &EigenOptions::default()).is_err());
+        let empty = symmetric_eigen(&Matrix::zeros(0, 0), &EigenOptions::default()).unwrap();
+        assert!(empty.eigenvalues().is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let base = Matrix::from_fn(10, 10, |i, j| ((i * 3 + j) as f64).sin());
+        let a = &base + &base.transpose();
+        let opts = EigenOptions {
+            max_sweeps: 1,
+            tolerance: 1e-15,
+        };
+        // One sweep is usually not enough at this tolerance.
+        let result = symmetric_eigen(&a, &opts);
+        if let Err(e) = result {
+            assert!(matches!(e, Error::NotConverged { .. }));
+        }
+    }
+
+    #[test]
+    fn matches_power_iteration_dominant_value() {
+        let base = Matrix::from_fn(7, 7, |i, j| ((i * 5 + j * 3) as f64 * 0.29).sin());
+        let a = &base + &base.transpose();
+        let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
+        let dominant = eig
+            .eigenvalues()
+            .iter()
+            .fold(0.0f64, |acc, v| if v.abs() > acc.abs() { v } else { acc });
+        // Cross-check with a crude power iteration on A.
+        let mut x = vec![1.0; 7];
+        let mut lambda = 0.0;
+        for _ in 0..500 {
+            let y = a.matvec(&Vector::from(x.as_slice())).unwrap();
+            let norm = y.norm_l2();
+            lambda = x
+                .iter()
+                .zip(y.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+            x = y.as_slice().iter().map(|v| v / norm).collect();
+        }
+        assert!((lambda.abs() - dominant.abs()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error types shared by every decomposition and solver in this crate.
+
+use std::fmt;
+
+/// Errors returned by matrix constructors, decompositions and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the failing operation (e.g. `"matmul"`).
+        operation: &'static str,
+        /// Shape of the left / primary operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right / secondary operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular {
+        /// Index of the pivot at which factorization broke down.
+        pivot: usize,
+    },
+    /// A Cholesky factorization was requested for a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the leading minor that failed.
+        pivot: usize,
+    },
+    /// The matrix must be square for the requested operation.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// An iterative solver exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
+    /// A constructor was given data whose length is inconsistent with the
+    /// requested shape.
+    InvalidLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An argument was outside its valid domain (e.g. a negative tolerance).
+    InvalidArgument {
+        /// Description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (leading minor {pivot})")
+            }
+            Error::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            Error::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver failed to converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            Error::InvalidLength { expected, actual } => write!(
+                f,
+                "invalid data length: expected {expected} elements, got {actual}"
+            ),
+            Error::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = Error::DimensionMismatch {
+            operation: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn display_singular() {
+        assert_eq!(
+            Error::Singular { pivot: 3 }.to_string(),
+            "matrix is singular at pivot 3"
+        );
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let text = Error::NotPositiveDefinite { pivot: 1 }.to_string();
+        assert!(text.contains("positive definite"));
+    }
+
+    #[test]
+    fn display_not_converged_mentions_residual() {
+        let text = Error::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        }
+        .to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains("5.000e-1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(Error::Singular { pivot: 0 });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Singular { pivot: 1 }, Error::Singular { pivot: 1 });
+        assert_ne!(Error::Singular { pivot: 1 }, Error::Singular { pivot: 2 });
+    }
+}

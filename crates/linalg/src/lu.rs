@@ -1,0 +1,303 @@
+//! LU factorization with partial pivoting, and the solves built on it.
+//!
+//! Both closed-form criteria of the paper reduce to solving dense linear
+//! systems (Eq. 4 and Eq. 5); [`Lu`] is the general-purpose direct backend.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULARITY_RTOL: f64 = 1e-13;
+
+/// An LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// ```
+/// use gssl_linalg::{Lu, Matrix, Vector};
+/// # fn main() -> Result<(), gssl_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&Vector::from(vec![10.0, 12.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper, on/above diagonal).
+    factors: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by `det`.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::Singular`] when a pivot is (numerically) zero.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k to row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= SINGULARITY_RTOL * scale {
+                return Err(Error::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let v = lu.get(i, j) - factor * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+
+        Ok(Lu {
+            factors: lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.factors.get(i, j) * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with upper triangle.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.factors.get(i, j) * x[j];
+            }
+            x[i] = sum / self.factors.get(i, i);
+        }
+        Ok(Vector::from(x))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `B.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "lu solve_matrix",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.factors.get(i, i);
+        }
+        det
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// Prefer [`Lu::solve`] when only `A⁻¹ b` is needed; forming the inverse
+    /// costs a full `n` extra solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the underlying solves (none in practice once
+    /// factorization succeeded).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// One-shot convenience: factor `a` and solve `a x = b`.
+///
+/// # Errors
+///
+/// Propagates factorization and dimension errors from [`Lu`].
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Lu::factor(a)?.solve(b)
+}
+
+/// One-shot convenience: factor `a` and solve `a X = B`.
+///
+/// # Errors
+///
+/// Propagates factorization and dimension errors from [`Lu`].
+pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    Lu::factor(a)?.solve_matrix(b)
+}
+
+/// One-shot convenience: matrix inverse via LU.
+///
+/// # Errors
+///
+/// Propagates factorization errors from [`Lu`].
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &Vector, b: &Vector) -> f64 {
+        let ax = a.matvec(x).unwrap();
+        (&ax - b).norm_max()
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let b = Vector::from(vec![8.0, -11.0, -3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&Vector::from(vec![2.0, 3.0, -1.0]), 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(Error::NotSquare { .. })));
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(Error::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        assert!(Lu::factor(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &Vector::from(vec![3.0, 4.0])).unwrap();
+        assert!(x.approx_eq(&Vector::from(vec![4.0, 3.0]), 1e-14));
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+        // Permutation sign: swapping rows flips determinant sign.
+        let swapped = Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]).unwrap();
+        assert!((Lu::factor(&swapped).unwrap().det() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn solve_matrix_solves_each_column() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let x = solve_matrix(&a, &b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_len() {
+        let lu = Lu::factor(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn random_ish_system_has_small_residual() {
+        // Deterministic pseudo-random fill (no rand dependency needed here).
+        let n = 25;
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let base = next();
+            if i == j {
+                base + n as f64 // diagonally dominant, comfortably nonsingular
+            } else {
+                base
+            }
+        });
+        let b = Vector::from_fn(n, |_| next());
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+}

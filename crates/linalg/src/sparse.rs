@@ -1,0 +1,360 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Similarity graphs built by kNN or ε-thresholding are sparse; CSR keeps
+//! the iterative hard-criterion solvers at `O(nnz)` per sweep instead of
+//! `O((n+m)²)`.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// ```
+/// use gssl_linalg::CsrMatrix;
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 4.0)]).unwrap();
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.get(0, 1), 3.0);
+/// assert_eq!(m.get(0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    indices: Vec<usize>,
+    /// Nonzero values aligned with `indices`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when any coordinate is out of
+    /// bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(Error::InvalidArgument {
+                    message: format!(
+                        "triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"
+                    ),
+                });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            if let (Some(&last_c), Some(last_v)) = (indices.last(), values.last_mut()) {
+                // Merge duplicates that landed adjacent after sorting.
+                if indptr[r + 1] > 0 && last_c == c && {
+                    // The duplicate must be in the same row: check that no
+                    // later row has started since.
+                    indptr[r + 1] == indices.len()
+                } {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            if v == 0.0 {
+                continue;
+            }
+            indices.push(c);
+            values.push(v);
+            indptr[r + 1] = indices.len();
+        }
+        // Make indptr cumulative (carry forward rows with no entries).
+        for r in 1..=rows {
+            if indptr[r] < indptr[r - 1] {
+                indptr[r] = indptr[r - 1];
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix to CSR, dropping entries with
+    /// `|a_ij| <= threshold`.
+    pub fn from_dense(dense: &Matrix, threshold: f64) -> Self {
+        let mut indptr = Vec::with_capacity(dense.rows() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..dense.rows() {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > threshold {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Expands to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Element at `(i, j)` (zero when not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "sparse index out of bounds");
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        match self.indices[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored `(col, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.rows, "row index out of bounds");
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Computes `out = A x` for a slice `x` of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "operand length mismatch");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (j, v) in self.row_iter(i) {
+                sum += v * x[j];
+            }
+            *o = sum;
+        }
+    }
+
+    /// Computes `A x` into a freshly allocated `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Sum of each row (the degree vector when `self` is an affinity matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_iter(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Returns the transpose (also in CSR form).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                triplets.push((j, i, v));
+            }
+        }
+        // Coordinates came from a valid matrix, so this cannot fail.
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose produced invalid coordinates")
+    }
+
+    /// Returns `true` when the matrix equals its transpose up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        for i in 0..self.rows {
+            let mut a: Vec<(usize, f64)> = self.row_iter(i).collect();
+            let mut b: Vec<(usize, f64)> = t.row_iter(i).collect();
+            a.retain(|&(_, v)| v.abs() > tol);
+            b.retain(|&(_, v)| v.abs() > tol);
+            if a.len() != b.len() {
+                return false;
+            }
+            for ((ja, va), (jb, vb)) in a.iter().zip(&b) {
+                if ja != jb || (va - vb).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Multiplies every stored value by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 1, 5.0), (0, 2, 2.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = Matrix::from_rows(&[&[0.0, 1.5, 0.0], &[2.0, 0.0, 0.0]]).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn from_dense_applies_threshold() {
+        let dense = Matrix::from_rows(&[&[0.1, 0.9], &[-0.05, 0.5]]).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense, 0.2);
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.get(0, 1), 0.9);
+        assert_eq!(sparse.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let dense = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
+            .unwrap();
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        let x = [1.0, 2.0, 3.0];
+        let expected = dense
+            .matvec(&crate::Vector::from(x.as_slice()))
+            .unwrap();
+        assert_eq!(sparse.matvec(&x), expected.as_slice().to_vec());
+    }
+
+    #[test]
+    fn row_sums_match_degrees() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 4.0)]).unwrap();
+        assert_eq!(m.row_sums(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0), 1.0);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(sym.is_symmetric(1e-12));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!asym.is_symmetric(1e-12));
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn scale_multiplies_values() {
+        let mut m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 2.0), (0, 1, -1.0)]).unwrap();
+        m.scale(3.0);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_indptr() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(m.row_iter(0).count(), 0);
+        assert_eq!(m.row_iter(1).count(), 0);
+        assert_eq!(m.row_iter(3).count(), 1);
+        assert_eq!(m.matvec(&[1.0; 4]), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+}

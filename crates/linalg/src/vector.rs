@@ -1,0 +1,463 @@
+//! A small owned dense vector of `f64` with the operations the solvers need.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::iter::FromIterator;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// An owned, dense, heap-allocated vector of `f64`.
+///
+/// `Vector` is a thin newtype over `Vec<f64>` that adds the numerical
+/// operations used throughout the workspace (dot products, norms, `axpy`)
+/// while still dereferencing cheaply to a slice via [`Vector::as_slice`].
+///
+/// ```
+/// use gssl_linalg::Vector;
+/// let v = Vector::from(vec![3.0, 4.0]);
+/// assert_eq!(v.norm_l2(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Vector { data: Vec::new() }
+    }
+
+    /// Creates a vector of `len` zeros.
+    ///
+    /// ```
+    /// use gssl_linalg::Vector;
+    /// assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+    /// ```
+    pub fn zeros(len: usize) -> Self {
+        Vector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of `len` ones.
+    pub fn ones(len: usize) -> Self {
+        Vector {
+            data: vec![1.0; len],
+        }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a vector by evaluating `f` at each index.
+    ///
+    /// ```
+    /// use gssl_linalg::Vector;
+    /// let v = Vector::from_fn(3, |i| i as f64 * 2.0);
+    /// assert_eq!(v.as_slice(), &[0.0, 2.0, 4.0]);
+    /// ```
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the elements as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows the elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the element at `i`, or `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.data.get(i).copied()
+    }
+
+    /// Iterates over the elements by value.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the lengths differ.
+    ///
+    /// ```
+    /// use gssl_linalg::Vector;
+    /// # fn main() -> Result<(), gssl_linalg::Error> {
+    /// let a = Vector::from(vec![1.0, 2.0, 3.0]);
+    /// let b = Vector::from(vec![4.0, 5.0, 6.0]);
+    /// assert_eq!(a.dot(&b)?, 32.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch {
+                operation: "dot",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        Ok(dot_slices(&self.data, &other.data))
+    }
+
+    /// Euclidean (ℓ2) norm.
+    pub fn norm_l2(&self) -> f64 {
+        dot_slices(&self.data, &self.data).sqrt()
+    }
+
+    /// ℓ1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// ℓ∞ norm (maximum absolute value); 0 for the empty vector.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Sum of the elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of the elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of an empty vector");
+        self.sum() / self.len() as f64
+    }
+
+    /// Smallest element; `None` for the empty vector.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest element; `None` for the empty vector.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::max)
+    }
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(Error::DimensionMismatch {
+                operation: "axpy",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Returns a new vector with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Returns `true` when every pairwise difference is at most `tol` in
+    /// absolute value. Vectors of different lengths are never close.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Dot product of two equal-length slices (callers check lengths).
+pub(crate) fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait:ident, $method:ident, $op:tt, $name:expr) => {
+        impl $trait for &Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: &Vector) -> Vector {
+                assert_eq!(
+                    self.len(),
+                    rhs.len(),
+                    concat!("length mismatch in vector ", $name)
+                );
+                Vector {
+                    data: self
+                        .data
+                        .iter()
+                        .zip(&rhs.data)
+                        .map(|(a, b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+
+        impl $trait for Vector {
+            type Output = Vector;
+
+            fn $method(self, rhs: Vector) -> Vector {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, +, "addition");
+elementwise_binop!(Sub, sub, -, "subtraction");
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "length mismatch in vector +=");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "length mismatch in vector -=");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, alpha: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * alpha).collect(),
+        }
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+
+    fn mul(mut self, alpha: f64) -> Vector {
+        self.scale(alpha);
+        self
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+
+    fn neg(mut self) -> Vector {
+        self.scale(-1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_filled() {
+        assert_eq!(Vector::zeros(2).as_slice(), &[0.0, 0.0]);
+        assert_eq!(Vector::ones(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(Vector::filled(2, 7.5).as_slice(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn from_fn_indexes() {
+        let v = Vector::from_fn(4, |i| (i * i) as f64);
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        let a = Vector::from(vec![1.0, -2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 0.5, -1.0]);
+        assert_eq!(a.dot(&b).unwrap(), 4.0 - 1.0 - 3.0);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_lengths() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(matches!(
+            a.dot(&b),
+            Err(Error::DimensionMismatch { operation: "dot", .. })
+        ));
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from(vec![-3.0, 4.0]);
+        assert_eq!(v.norm_l2(), 5.0);
+        assert_eq!(v.norm_l1(), 7.0);
+        assert_eq!(v.norm_max(), 4.0);
+        assert_eq!(Vector::new().norm_max(), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![10.0, 20.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn axpy_rejects_mismatch() {
+        let mut a = Vector::zeros(1);
+        assert!(a.axpy(1.0, &Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let v = Vector::from(vec![1.0, 5.0, 3.0]);
+        assert_eq!(v.mean(), 3.0);
+        assert_eq!(v.min(), Some(1.0));
+        assert_eq!(v.max(), Some(5.0));
+        assert_eq!(Vector::new().min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of an empty vector")]
+    fn mean_of_empty_panics() {
+        Vector::new().mean();
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-a.clone()).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert!(c.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn map_and_collect() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.map(|x| x + 1.0).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn approx_eq_requires_same_len() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Vector::new().to_string(), "[]");
+        assert!(Vector::ones(1).to_string().contains("1.000000"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Descriptive statistics: means, variances, quantiles and summaries.
+
+use crate::error::{Error, Result};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyInput`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one value",
+        });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n − 1`).
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyInput`] when fewer than two values are given.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(Error::EmptyInput {
+            required: "at least two values",
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Same contract as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Standard error of the mean, `s / √n`.
+///
+/// # Errors
+///
+/// Same contract as [`variance`].
+pub fn standard_error(xs: &[f64]) -> Result<f64> {
+    Ok(std_dev(xs)? / (xs.len() as f64).sqrt())
+}
+
+/// `q`-quantile by linear interpolation of the order statistics
+/// (the "type 7" rule used by R and NumPy).
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] for an empty slice.
+/// * [`Error::InvalidParameter`] when `q` is outside `[0, 1]` or data
+///   contain NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one value",
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(Error::InvalidParameter {
+            message: format!("quantile level must be in [0, 1], got {q}"),
+        });
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(Error::InvalidParameter {
+            message: "data must not contain NaN".to_owned(),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (sorted.len() as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Median (the 0.5-quantile).
+///
+/// # Errors
+///
+/// Same contract as [`quantile`].
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `count == 1`).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] for an empty slice and
+    /// [`Error::InvalidParameter`] for NaN data.
+    pub fn of(xs: &[f64]) -> Result<Self> {
+        let m = mean(xs)?;
+        let sd = if xs.len() > 1 { std_dev(xs)? } else { 0.0 };
+        Ok(Summary {
+            count: xs.len(),
+            mean: m,
+            std_dev: sd,
+            min: quantile(xs, 0.0)?,
+            median: median(xs)?,
+            max: quantile(xs, 1.0)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        // Sum of squared deviations = 32; n-1 = 7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_error_scales_with_sqrt_n() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let se = standard_error(&xs).unwrap();
+        assert!((se - std_dev(&xs).unwrap() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(median(&xs).unwrap(), 2.5);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_of_odd_sample_is_middle_value() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn summary_combines_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-15);
+        let single = Summary::of(&[4.2]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+    }
+}

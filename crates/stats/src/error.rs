@@ -1,0 +1,105 @@
+//! Error type for the statistics substrate.
+
+use std::fmt;
+
+/// Errors returned by distributions, metrics and resampling utilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Inputs that must be paired have different lengths.
+    LengthMismatch {
+        /// Human-readable name of the failing operation.
+        operation: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input is empty but the operation needs data.
+    EmptyInput {
+        /// What the operation needed.
+        required: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A metric is undefined for the given data (e.g. AUC with a single
+    /// class).
+    Undefined {
+        /// Why the quantity is undefined.
+        reason: String,
+    },
+    /// An underlying linear-algebra operation failed (e.g. a covariance
+    /// matrix that is not positive definite).
+    Linalg(gssl_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "length mismatch in {operation}: {left} vs {right} elements"
+            ),
+            Error::EmptyInput { required } => {
+                write!(f, "input is too small: {required} required")
+            }
+            Error::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            Error::Undefined { reason } => write!(f, "quantity is undefined: {reason}"),
+            Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl_linalg::Error> for Error {
+    fn from(inner: gssl_linalg::Error) -> Self {
+        Error::Linalg(inner)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::LengthMismatch {
+            operation: "rmse",
+            left: 3,
+            right: 4,
+        };
+        assert!(e.to_string().contains("rmse"));
+        assert!(Error::EmptyInput { required: "scores" }
+            .to_string()
+            .contains("scores"));
+        assert!(Error::Undefined {
+            reason: "single class".to_owned()
+        }
+        .to_string()
+        .contains("single class"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let err: Error = gssl_linalg::Error::NotPositiveDefinite { pivot: 2 }.into();
+        assert!(err.to_string().contains("positive definite"));
+    }
+}

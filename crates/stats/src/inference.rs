@@ -1,0 +1,457 @@
+//! Paired significance tests for method comparisons.
+//!
+//! The paper claims the hard criterion "constantly outperforms" the soft
+//! criterion; these tests quantify that claim across Monte-Carlo
+//! repetitions: a paired t-test on per-repetition metric differences and
+//! an exact sign test that makes no distributional assumptions.
+
+use crate::error::{Error, Result};
+use crate::special::{standard_normal_cdf, student_t_two_sided_p};
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TTestResult {
+    /// The t statistic of the mean paired difference.
+    pub statistic: f64,
+    /// Degrees of freedom (`pairs − 1`).
+    pub degrees_of_freedom: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the paired differences `a_i − b_i`.
+    pub mean_difference: f64,
+}
+
+/// Paired two-sided t-test of `H₀: mean(a − b) = 0`.
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] when the samples differ in length.
+/// * [`Error::EmptyInput`] with fewer than two pairs.
+/// * [`Error::Undefined`] when every pair is identical (zero variance).
+///
+/// ```
+/// use gssl_stats::inference::paired_t_test;
+/// let hard = [0.10, 0.12, 0.09, 0.11, 0.10];
+/// let soft = [0.15, 0.16, 0.14, 0.17, 0.15];
+/// let result = paired_t_test(&hard, &soft).unwrap();
+/// assert!(result.p_value < 0.01); // clearly different
+/// assert!(result.mean_difference < 0.0); // hard is smaller (better RMSE)
+/// ```
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch {
+            operation: "paired t-test",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() < 2 {
+        return Err(Error::EmptyInput {
+            required: "at least two pairs",
+        });
+    }
+    let n = a.len() as f64;
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    if var == 0.0 {
+        return Err(Error::Undefined {
+            reason: "paired differences have zero variance".to_owned(),
+        });
+    }
+    let statistic = mean / (var / n).sqrt();
+    let dof = a.len() - 1;
+    Ok(TTestResult {
+        statistic,
+        degrees_of_freedom: dof,
+        p_value: student_t_two_sided_p(statistic, dof as f64),
+        mean_difference: mean,
+    })
+}
+
+/// Result of a sign test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SignTestResult {
+    /// Pairs where `a_i > b_i`.
+    pub wins: usize,
+    /// Pairs where `a_i < b_i`.
+    pub losses: usize,
+    /// Pairs with `a_i == b_i` (excluded from the test).
+    pub ties: usize,
+    /// Two-sided p-value of `H₀: P(a > b) = 1/2`.
+    pub p_value: f64,
+}
+
+/// Two-sided exact sign test (normal approximation beyond 50 informative
+/// pairs).
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] when the samples differ in length.
+/// * [`Error::EmptyInput`] when no informative (non-tied) pair remains.
+pub fn sign_test(a: &[f64], b: &[f64]) -> Result<SignTestResult> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch {
+            operation: "sign test",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let mut wins = 0usize;
+    let mut losses = 0usize;
+    let mut ties = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y) {
+            Some(std::cmp::Ordering::Greater) => wins += 1,
+            Some(std::cmp::Ordering::Less) => losses += 1,
+            _ => ties += 1,
+        }
+    }
+    let informative = wins + losses;
+    if informative == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one non-tied pair",
+        });
+    }
+    let k = wins.min(losses);
+    let p_value = if informative <= 50 {
+        // Exact: 2 * P(Binomial(n, 1/2) <= k), capped at 1.
+        (2.0 * binomial_cdf_half(k, informative)).min(1.0)
+    } else {
+        // Normal approximation with continuity correction.
+        let n = informative as f64;
+        let z = (k as f64 + 0.5 - n / 2.0) / (n / 4.0).sqrt();
+        (2.0 * standard_normal_cdf(z)).min(1.0)
+    };
+    Ok(SignTestResult {
+        wins,
+        losses,
+        ties,
+        p_value,
+    })
+}
+
+/// `P(Binomial(n, 1/2) <= k)` computed in log space.
+fn binomial_cdf_half(k: usize, n: usize) -> f64 {
+    let ln_half_n = n as f64 * 0.5f64.ln();
+    (0..=k)
+        .map(|i| (ln_choose(n, i) + ln_half_n).exp())
+        .sum()
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    use crate::special::ln_gamma;
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WilcoxonResult {
+    /// The smaller of the positive/negative rank sums (the W statistic).
+    pub statistic: f64,
+    /// Informative (non-tied) pairs used.
+    pub pairs_used: usize,
+    /// Two-sided p-value (normal approximation with tie correction).
+    pub p_value: f64,
+}
+
+/// Two-sided Wilcoxon signed-rank test of `H₀: the paired differences are
+/// symmetric about 0` — more powerful than the sign test because it uses
+/// the magnitudes of the differences, without the t-test's normality
+/// assumption.
+///
+/// Uses the normal approximation with midranks and tie correction;
+/// accurate from roughly 10 informative pairs upward.
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] when the samples differ in length.
+/// * [`Error::EmptyInput`] when fewer than 6 informative pairs remain
+///   (the approximation is meaningless below that).
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch {
+            operation: "wilcoxon signed-rank",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    if diffs.len() < 6 {
+        return Err(Error::EmptyInput {
+            required: "at least 6 non-tied pairs",
+        });
+    }
+    let n = diffs.len();
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite differences"));
+    // Midranks over |d|, accumulating tie groups for the variance
+    // correction.
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && diffs[j].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i) as f64;
+        tie_correction += t * t * t - t;
+        i = j;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let n_f = n as f64;
+    let w_minus = n_f * (n_f + 1.0) / 2.0 - w_plus;
+    let statistic = w_plus.min(w_minus);
+    let mean = n_f * (n_f + 1.0) / 4.0;
+    let variance = n_f * (n_f + 1.0) * (2.0 * n_f + 1.0) / 24.0 - tie_correction / 48.0;
+    // Continuity-corrected z for the smaller tail.
+    let z = (statistic + 0.5 - mean) / variance.sqrt();
+    let p_value = (2.0 * standard_normal_cdf(z)).min(1.0);
+    Ok(WilcoxonResult {
+        statistic,
+        pairs_used: n,
+        p_value,
+    })
+}
+
+/// A bootstrap confidence interval for a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BootstrapInterval {
+    /// Sample mean of the original data.
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile bootstrap confidence interval for the mean, with
+/// `resamples` bootstrap replicates.
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] for empty data.
+/// * [`Error::InvalidParameter`] when `level` is outside `(0, 1)` or
+///   `resamples == 0`.
+///
+/// ```
+/// use gssl_stats::inference::bootstrap_mean_ci;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let data = [1.0, 1.2, 0.8, 1.1, 0.9, 1.0, 1.05, 0.95];
+/// let ci = bootstrap_mean_ci(&data, 0.95, 2000, &mut rng).unwrap();
+/// assert!(ci.lower <= ci.mean && ci.mean <= ci.upper);
+/// assert!(ci.lower > 0.8 && ci.upper < 1.2);
+/// ```
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut impl rand::Rng,
+) -> Result<BootstrapInterval> {
+    if data.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one observation",
+        });
+    }
+    if !(0.0 < level && level < 1.0) || resamples == 0 {
+        return Err(Error::InvalidParameter {
+            message: format!(
+                "need level in (0, 1) and resamples > 0, got ({level}, {resamples})"
+            ),
+        });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let mut replicate_means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let sum: f64 = (0..n).map(|_| data[rng.gen_range(0..n)]).sum();
+        replicate_means.push(sum / n as f64);
+    }
+    replicate_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level) / 2.0;
+    let index = |q: f64| {
+        let pos = (q * (resamples as f64 - 1.0)).round() as usize;
+        replicate_means[pos.min(resamples - 1)]
+    };
+    Ok(BootstrapInterval {
+        mean,
+        lower: index(alpha),
+        upper: index(1.0 - alpha),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_test_detects_clear_difference() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02];
+        let b = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02];
+        let result = paired_t_test(&a, &b).unwrap();
+        assert!(result.p_value < 1e-6);
+        assert!((result.mean_difference + 1.0).abs() < 1e-12);
+        assert_eq!(result.degrees_of_freedom, 5);
+        assert!(result.statistic < 0.0);
+    }
+
+    #[test]
+    fn t_test_accepts_identical_distributions() {
+        // Paired differences symmetric around zero => large p.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.1, 5.9];
+        let result = paired_t_test(&a, &b).unwrap();
+        assert!(result.p_value > 0.5, "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn t_test_validates_inputs() {
+        assert!(paired_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(paired_t_test(&[1.0], &[2.0]).is_err());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_err()); // zero variance
+    }
+
+    #[test]
+    fn sign_test_exact_small_sample() {
+        // 6 wins, 0 losses: p = 2 * (1/2)^6 = 0.03125.
+        let a = [2.0; 6];
+        let b = [1.0; 6];
+        let result = sign_test(&a, &b).unwrap();
+        assert_eq!(result.wins, 6);
+        assert_eq!(result.losses, 0);
+        assert!((result.p_value - 0.03125).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sign_test_handles_ties() {
+        let a = [1.0, 2.0, 3.0, 5.0];
+        let b = [1.0, 1.0, 4.0, 4.0];
+        let result = sign_test(&a, &b).unwrap();
+        assert_eq!(result.ties, 1);
+        assert_eq!(result.wins, 2);
+        assert_eq!(result.losses, 1);
+        assert!(result.p_value > 0.5);
+    }
+
+    #[test]
+    fn sign_test_balanced_sample_is_insignificant() {
+        let a = [1.0, 3.0, 1.0, 3.0, 1.0, 3.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0, 2.0];
+        let result = sign_test(&a, &b).unwrap();
+        assert_eq!(result.wins, 3);
+        assert_eq!(result.losses, 3);
+        assert!(result.p_value > 0.9);
+    }
+
+    #[test]
+    fn sign_test_large_sample_uses_normal_tail() {
+        // 80 wins out of 100: strongly significant.
+        let mut a = vec![2.0; 80];
+        a.extend(vec![0.0; 20]);
+        let b = vec![1.0; 100];
+        let result = sign_test(&a, &b).unwrap();
+        assert!(result.p_value < 1e-6, "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn sign_test_validates_inputs() {
+        assert!(sign_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(sign_test(&[1.0, 2.0], &[1.0, 2.0]).is_err()); // all ties
+    }
+
+    #[test]
+    fn wilcoxon_detects_consistent_shift() {
+        // b exceeds a by ~1 in every pair: strongly significant.
+        let a: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0 + 0.01 * x).collect();
+        let result = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(result.pairs_used, 20);
+        assert!(result.p_value < 1e-3, "p = {}", result.p_value);
+        // The W statistic is the zero rank sum (all differences negative).
+        assert_eq!(result.statistic, 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_accepts_symmetric_differences() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [1.5, 1.5, 3.5, 3.5, 5.5, 4.5, 7.5, 7.5];
+        let result = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(result.p_value > 0.3, "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn wilcoxon_validates_inputs() {
+        assert!(wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]).is_err());
+        // All ties => no informative pairs.
+        assert!(wilcoxon_signed_rank(&[1.0; 10], &[1.0; 10]).is_err());
+        // Too few informative pairs.
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn wilcoxon_agrees_with_sign_test_direction() {
+        // 15 wins of similar magnitude: both tests reject.
+        let a = vec![2.0; 15];
+        let b: Vec<f64> = (0..15).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let w = wilcoxon_signed_rank(&a, &b).unwrap();
+        let s = sign_test(&a, &b).unwrap();
+        assert!(w.p_value < 0.01);
+        assert!(s.p_value < 0.01);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_mean() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let data: Vec<f64> = (0..50).map(|i| 2.0 + (i as f64 * 0.7).sin()).collect();
+        let ci = bootstrap_mean_ci(&data, 0.9, 1000, &mut rng).unwrap();
+        assert!(ci.lower <= ci.mean && ci.mean <= ci.upper);
+        assert!(ci.upper - ci.lower < 1.0, "interval suspiciously wide");
+        // A wider level gives a wider interval.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let ci99 = bootstrap_mean_ci(&data, 0.99, 1000, &mut rng2).unwrap();
+        assert!(ci99.upper - ci99.lower >= ci.upper - ci.lower);
+    }
+
+    #[test]
+    fn bootstrap_validates_inputs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.0, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, &mut rng).is_err());
+        // A constant sample has a zero-width interval.
+        let ci = bootstrap_mean_ci(&[3.0; 10], 0.95, 100, &mut rng).unwrap();
+        assert_eq!(ci.lower, 3.0);
+        assert_eq!(ci.upper, 3.0);
+    }
+
+    #[test]
+    fn binomial_cdf_half_sanity() {
+        // P(Bin(4, 1/2) <= 2) = (1 + 4 + 6) / 16.
+        assert!((binomial_cdf_half(2, 4) - 11.0 / 16.0).abs() < 1e-12);
+        assert!((binomial_cdf_half(4, 4) - 1.0).abs() < 1e-12);
+    }
+}

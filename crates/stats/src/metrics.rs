@@ -1,0 +1,448 @@
+//! Regression and classification metrics.
+//!
+//! The paper evaluates with the root mean squared error between the true
+//! regression function `q(X)` and the estimated scores (synthetic study,
+//! Figures 1–4) and with the AUC (COIL study, Figure 5; see
+//! [`crate::roc`]). MCC is included because the paper names it as future
+//! work.
+
+use crate::error::{Error, Result};
+
+fn check_paired(operation: &'static str, a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch {
+            operation,
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one pair",
+        });
+    }
+    Ok(())
+}
+
+/// Mean squared error between `truth` and `estimate`.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] / [`Error::EmptyInput`] on bad inputs.
+pub fn mse(truth: &[f64], estimate: &[f64]) -> Result<f64> {
+    check_paired("mse", truth, estimate)?;
+    let sum: f64 = truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e) * (t - e))
+        .sum();
+    Ok(sum / truth.len() as f64)
+}
+
+/// Root mean squared error — the paper's synthetic-study metric:
+/// `sqrt((1/m) Σ_a (q(X_{n+a}) − q̂_{n+a})²)`.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] / [`Error::EmptyInput`] on bad inputs.
+///
+/// ```
+/// use gssl_stats::metrics::rmse;
+/// let r = rmse(&[1.0, 2.0], &[1.0, 4.0]).unwrap();
+/// assert!((r - 2.0f64.sqrt()).abs() < 1e-15);
+/// ```
+pub fn rmse(truth: &[f64], estimate: &[f64]) -> Result<f64> {
+    Ok(mse(truth, estimate)?.sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] / [`Error::EmptyInput`] on bad inputs.
+pub fn mae(truth: &[f64], estimate: &[f64]) -> Result<f64> {
+    check_paired("mae", truth, estimate)?;
+    let sum: f64 = truth.iter().zip(estimate).map(|(t, e)| (t - e).abs()).sum();
+    Ok(sum / truth.len() as f64)
+}
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfusionMatrix {
+    /// Positives classified positive.
+    pub true_positives: usize,
+    /// Negatives classified positive.
+    pub false_positives: usize,
+    /// Negatives classified negative.
+    pub true_negatives: usize,
+    /// Positives classified negative.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix by thresholding `scores` at `threshold`
+    /// (score `>= threshold` predicts the positive class) against boolean
+    /// `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] / [`Error::EmptyInput`] on bad
+    /// inputs.
+    pub fn from_scores(scores: &[f64], labels: &[bool], threshold: f64) -> Result<Self> {
+        if scores.len() != labels.len() {
+            return Err(Error::LengthMismatch {
+                operation: "confusion matrix",
+                left: scores.len(),
+                right: labels.len(),
+            });
+        }
+        if scores.is_empty() {
+            return Err(Error::EmptyInput {
+                required: "at least one scored example",
+            });
+        }
+        let mut cm = ConfusionMatrix::default();
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y) {
+                (true, true) => cm.true_positives += 1,
+                (true, false) => cm.false_positives += 1,
+                (false, false) => cm.true_negatives += 1,
+                (false, true) => cm.false_negatives += 1,
+            }
+        }
+        Ok(cm)
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision `TP / (TP + FP)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] when no example was predicted positive.
+    pub fn precision(&self) -> Result<f64> {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return Err(Error::Undefined {
+                reason: "no positive predictions".to_owned(),
+            });
+        }
+        Ok(self.true_positives as f64 / denom as f64)
+    }
+
+    /// Recall (sensitivity, true-positive rate) `TP / (TP + FN)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] when there are no positive examples.
+    pub fn recall(&self) -> Result<f64> {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return Err(Error::Undefined {
+                reason: "no positive examples".to_owned(),
+            });
+        }
+        Ok(self.true_positives as f64 / denom as f64)
+    }
+
+    /// Specificity (true-negative rate) `TN / (TN + FP)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] when there are no negative examples.
+    pub fn specificity(&self) -> Result<f64> {
+        let denom = self.true_negatives + self.false_positives;
+        if denom == 0 {
+            return Err(Error::Undefined {
+                reason: "no negative examples".to_owned(),
+            });
+        }
+        Ok(self.true_negatives as f64 / denom as f64)
+    }
+
+    /// F1 score, the harmonic mean of precision and recall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfusionMatrix::precision`] / [`ConfusionMatrix::recall`]
+    /// errors, and reports [`Error::Undefined`] when both are zero.
+    pub fn f1(&self) -> Result<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            return Err(Error::Undefined {
+                reason: "precision and recall are both zero".to_owned(),
+            });
+        }
+        Ok(2.0 * p * r / (p + r))
+    }
+
+    /// Matthews correlation coefficient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Undefined`] when any marginal is empty (MCC's
+    /// denominator vanishes).
+    pub fn mcc(&self) -> Result<f64> {
+        let tp = self.true_positives as f64;
+        let fp = self.false_positives as f64;
+        let tn = self.true_negatives as f64;
+        let fn_ = self.false_negatives as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            return Err(Error::Undefined {
+                reason: "a confusion-matrix marginal is empty".to_owned(),
+            });
+        }
+        Ok((tp * tn - fp * fn_) / denom)
+    }
+}
+
+/// Accuracy of thresholded scores against boolean labels (score `>= 0.5`
+/// predicts positive — the natural threshold when scores estimate
+/// `P(Y = 1 | X)`).
+///
+/// # Errors
+///
+/// Propagates [`ConfusionMatrix::from_scores`] errors.
+pub fn accuracy(scores: &[f64], labels: &[bool]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_scores(scores, labels, 0.5)?.accuracy())
+}
+
+/// Brier score: mean squared error of probability estimates against
+/// binary outcomes. Proper scoring rule — it rewards calibrated
+/// probabilities, which is exactly what the consistency result promises
+/// the hard criterion delivers asymptotically.
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] / [`Error::EmptyInput`] on bad inputs.
+/// * [`Error::InvalidParameter`] when a probability leaves `[0, 1]`.
+pub fn brier_score(probabilities: &[f64], outcomes: &[bool]) -> Result<f64> {
+    if probabilities.len() != outcomes.len() {
+        return Err(Error::LengthMismatch {
+            operation: "brier score",
+            left: probabilities.len(),
+            right: outcomes.len(),
+        });
+    }
+    if probabilities.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one prediction",
+        });
+    }
+    if probabilities.iter().any(|p| !(0.0..=1.0).contains(p)) {
+        return Err(Error::InvalidParameter {
+            message: "probabilities must lie in [0, 1]".to_owned(),
+        });
+    }
+    let sum: f64 = probabilities
+        .iter()
+        .zip(outcomes)
+        .map(|(p, &y)| {
+            let target = if y { 1.0 } else { 0.0 };
+            (p - target) * (p - target)
+        })
+        .sum();
+    Ok(sum / probabilities.len() as f64)
+}
+
+/// Logarithmic loss (cross-entropy) of probability estimates, with
+/// probabilities clipped to `[eps, 1 − eps]` (`eps = 1e-12`) so hard 0/1
+/// predictions stay finite.
+///
+/// # Errors
+///
+/// Same contract as [`brier_score`].
+pub fn log_loss(probabilities: &[f64], outcomes: &[bool]) -> Result<f64> {
+    if probabilities.len() != outcomes.len() {
+        return Err(Error::LengthMismatch {
+            operation: "log loss",
+            left: probabilities.len(),
+            right: outcomes.len(),
+        });
+    }
+    if probabilities.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one prediction",
+        });
+    }
+    if probabilities.iter().any(|p| !(0.0..=1.0).contains(p)) {
+        return Err(Error::InvalidParameter {
+            message: "probabilities must lie in [0, 1]".to_owned(),
+        });
+    }
+    const EPS: f64 = 1e-12;
+    let sum: f64 = probabilities
+        .iter()
+        .zip(outcomes)
+        .map(|(p, &y)| {
+            let p = p.clamp(EPS, 1.0 - EPS);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    Ok(sum / probabilities.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_rmse_mae_closed_forms() {
+        let truth = [1.0, 2.0, 3.0];
+        let est = [2.0, 2.0, 1.0];
+        assert!((mse(&truth, &est).unwrap() - 5.0 / 3.0).abs() < 1e-15);
+        assert!((rmse(&truth, &est).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert!((mae(&truth, &est).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let xs = [0.3, 0.7, 0.1];
+        assert_eq!(rmse(&xs, &xs).unwrap(), 0.0);
+        assert_eq!(mae(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors_validate_inputs() {
+        assert!(matches!(
+            rmse(&[1.0], &[1.0, 2.0]),
+            Err(Error::LengthMismatch { .. })
+        ));
+        assert!(matches!(rmse(&[], &[]), Err(Error::EmptyInput { .. })));
+    }
+
+    fn sample_cm() -> ConfusionMatrix {
+        // scores: predict + for >= 0.5
+        let scores = [0.9, 0.8, 0.3, 0.6, 0.1, 0.4];
+        let labels = [true, true, true, false, false, false];
+        ConfusionMatrix::from_scores(&scores, &labels, 0.5).unwrap()
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = sample_cm();
+        assert_eq!(cm.true_positives, 2);
+        assert_eq!(cm.false_negatives, 1);
+        assert_eq!(cm.false_positives, 1);
+        assert_eq!(cm.true_negatives, 2);
+        assert_eq!(cm.total(), 6);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let cm = sample_cm();
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-15);
+        assert!((cm.precision().unwrap() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((cm.recall().unwrap() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((cm.specificity().unwrap() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((cm.f1().unwrap() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mcc_known_values() {
+        // Perfect classifier: MCC = 1.
+        let perfect = ConfusionMatrix {
+            true_positives: 5,
+            true_negatives: 5,
+            false_positives: 0,
+            false_negatives: 0,
+        };
+        assert!((perfect.mcc().unwrap() - 1.0).abs() < 1e-15);
+        // Perfectly wrong: MCC = -1.
+        let inverted = ConfusionMatrix {
+            true_positives: 0,
+            true_negatives: 0,
+            false_positives: 5,
+            false_negatives: 5,
+        };
+        assert!((inverted.mcc().unwrap() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn undefined_metrics_are_reported() {
+        let all_negative_predictions = ConfusionMatrix {
+            true_positives: 0,
+            false_positives: 0,
+            true_negatives: 3,
+            false_negatives: 2,
+        };
+        assert!(all_negative_predictions.precision().is_err());
+        let no_positives = ConfusionMatrix {
+            true_positives: 0,
+            false_positives: 1,
+            true_negatives: 3,
+            false_negatives: 0,
+        };
+        assert!(no_positives.recall().is_err());
+        assert!(no_positives.mcc().is_err());
+    }
+
+    #[test]
+    fn accuracy_helper_uses_half_threshold() {
+        let scores = [0.6, 0.4];
+        let labels = [true, false];
+        assert_eq!(accuracy(&scores, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn confusion_validates_inputs() {
+        assert!(ConfusionMatrix::from_scores(&[0.1], &[], 0.5).is_err());
+        assert!(ConfusionMatrix::from_scores(&[], &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn brier_score_closed_forms() {
+        // Perfect confident predictions: 0. Maximally wrong: 1.
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]).unwrap(), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]).unwrap(), 1.0);
+        // Constant 0.5 scores 0.25 regardless of outcomes.
+        assert!((brier_score(&[0.5; 4], &[true, false, true, false]).unwrap() - 0.25).abs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn log_loss_closed_forms() {
+        // Constant 0.5 gives ln 2.
+        let ll = log_loss(&[0.5; 3], &[true, false, true]).unwrap();
+        assert!((ll - std::f64::consts::LN_2).abs() < 1e-12);
+        // Confident correct predictions give a tiny loss; confident wrong
+        // ones a huge (but finite) loss.
+        assert!(log_loss(&[1.0], &[true]).unwrap() < 1e-10);
+        let wrong = log_loss(&[1.0], &[false]).unwrap();
+        assert!(wrong > 20.0 && wrong.is_finite());
+    }
+
+    #[test]
+    fn probability_metrics_validate_inputs() {
+        assert!(brier_score(&[0.5], &[]).is_err());
+        assert!(brier_score(&[], &[]).is_err());
+        assert!(brier_score(&[1.5], &[true]).is_err());
+        assert!(log_loss(&[0.5, 0.5], &[true]).is_err());
+        assert!(log_loss(&[-0.1], &[true]).is_err());
+    }
+
+    #[test]
+    fn brier_decomposes_as_mse_against_indicator() {
+        let probs = [0.2, 0.7, 0.9];
+        let outcomes = [false, true, false];
+        let targets: Vec<f64> = outcomes.iter().map(|&y| f64::from(y as u8)).collect();
+        let via_mse = mse(&targets, &probs).unwrap();
+        let via_brier = brier_score(&probs, &outcomes).unwrap();
+        assert!((via_mse - via_brier).abs() < 1e-15);
+    }
+}

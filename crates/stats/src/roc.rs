@@ -1,0 +1,233 @@
+//! ROC curves and the area under them (AUC).
+//!
+//! The paper's Figure 5 reports the average AUC of the hard and soft
+//! criteria on the binary COIL task. AUC is computed here by the
+//! Mann–Whitney rank statistic with midrank tie handling, which equals the
+//! area under the trapezoidal ROC curve.
+
+use crate::error::{Error, Result};
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RocPoint {
+    /// False-positive rate (1 − specificity), the x-coordinate.
+    pub false_positive_rate: f64,
+    /// True-positive rate (sensitivity), the y-coordinate.
+    pub true_positive_rate: f64,
+    /// Score threshold producing this point (predict positive when
+    /// `score >= threshold`).
+    pub threshold: f64,
+}
+
+fn validate(scores: &[f64], labels: &[bool]) -> Result<(usize, usize)> {
+    if scores.len() != labels.len() {
+        return Err(Error::LengthMismatch {
+            operation: "roc",
+            left: scores.len(),
+            right: labels.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(Error::EmptyInput {
+            required: "at least one scored example",
+        });
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(Error::InvalidParameter {
+            message: "scores must not contain NaN".to_owned(),
+        });
+    }
+    let positives = labels.iter().filter(|&&y| y).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(Error::Undefined {
+            reason: "ROC needs at least one positive and one negative example".to_owned(),
+        });
+    }
+    Ok((positives, negatives))
+}
+
+/// Computes the ROC curve, sweeping the decision threshold from `+∞` down.
+///
+/// The returned points start at `(0, 0)` and end at `(1, 1)`; ties in the
+/// scores collapse into single curve points.
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] / [`Error::EmptyInput`] on malformed inputs.
+/// * [`Error::Undefined`] when only one class is present.
+/// * [`Error::InvalidParameter`] when scores contain NaN.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Result<Vec<RocPoint>> {
+    let (positives, negatives) = validate(scores, labels)?;
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+
+    let mut curve = vec![RocPoint {
+        false_positive_rate: 0.0,
+        true_positive_rate: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut idx = 0usize;
+    while idx < order.len() {
+        let threshold = scores[order[idx]];
+        // Consume the whole tie group at this threshold.
+        while idx < order.len() && scores[order[idx]] == threshold {
+            if labels[order[idx]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            idx += 1;
+        }
+        curve.push(RocPoint {
+            false_positive_rate: fp as f64 / negatives as f64,
+            true_positive_rate: tp as f64 / positives as f64,
+            threshold,
+        });
+    }
+    Ok(curve)
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with midrank
+/// tie correction.
+///
+/// Equivalent to the probability that a uniformly chosen positive example
+/// outscores a uniformly chosen negative one (ties counted half).
+///
+/// # Errors
+///
+/// Same contract as [`roc_curve`].
+///
+/// ```
+/// use gssl_stats::roc::auc;
+/// let perfect = auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+/// assert_eq!(perfect, 1.0);
+/// ```
+pub fn auc(scores: &[f64], labels: &[bool]) -> Result<f64> {
+    let (positives, negatives) = validate(scores, labels)?;
+
+    // Midranks: sort ascending, average ranks within tie groups.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j averaged.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for &k in &order[i..j] {
+            ranks[k] = midrank;
+        }
+        i = j;
+    }
+
+    let rank_sum_positive: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y)
+        .map(|(r, _)| r)
+        .sum();
+    let n_pos = positives as f64;
+    let n_neg = negatives as f64;
+    let u = rank_sum_positive - n_pos * (n_pos + 1.0) / 2.0;
+    Ok(u / (n_pos * n_neg))
+}
+
+/// Area under a piecewise-linear curve of [`RocPoint`]s by the trapezoid
+/// rule (mainly for cross-checking [`auc`]).
+pub fn trapezoid_area(curve: &[RocPoint]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| {
+            let dx = w[1].false_positive_rate - w[0].false_positive_rate;
+            let avg_y = 0.5 * (w[0].true_positive_rate + w[1].true_positive_rate);
+            dx * avg_y
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let auc_val = auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+        assert_eq!(auc_val, 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let auc_val = auc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]).unwrap();
+        assert_eq!(auc_val, 0.0);
+    }
+
+    #[test]
+    fn constant_scores_have_auc_half() {
+        let auc_val = auc(&[0.5; 6], &[true, false, true, false, true, false]).unwrap();
+        assert!((auc_val - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hand_computed_auc_with_tie() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}.
+        // Pairs: (0.8 vs 0.5) win, (0.8 vs 0.2) win, (0.5 vs 0.5) half,
+        // (0.5 vs 0.2) win => (3 + 0.5) / 4 = 0.875.
+        let auc_val = auc(&[0.8, 0.5, 0.5, 0.2], &[true, true, false, false]).unwrap();
+        assert!((auc_val - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_area_of_curve() {
+        let scores = [0.1, 0.35, 0.4, 0.8, 0.65, 0.9, 0.5, 0.5];
+        let labels = [false, false, true, true, false, true, true, false];
+        let a = auc(&scores, &labels).unwrap();
+        let curve = roc_curve(&scores, &labels).unwrap();
+        assert!((a - trapezoid_area(&curve)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let scores = [0.2, 0.6, 0.4, 0.8];
+        let labels = [false, true, false, true];
+        let curve = roc_curve(&scores, &labels).unwrap();
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!(first.false_positive_rate, 0.0);
+        assert_eq!(first.true_positive_rate, 0.0);
+        assert_eq!(last.false_positive_rate, 1.0);
+        assert_eq!(last.true_positive_rate, 1.0);
+        // Monotone in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].false_positive_rate >= w[0].false_positive_rate);
+            assert!(w[1].true_positive_rate >= w[0].true_positive_rate);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(auc(&[0.5], &[true]).is_err()); // single class
+        assert!(auc(&[0.5, 0.5], &[true, true]).is_err());
+        assert!(auc(&[0.5], &[true, false]).is_err());
+        assert!(auc(&[], &[]).is_err());
+        assert!(auc(&[f64::NAN, 0.1], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform() {
+        let scores = [0.1, 0.9, 0.4, 0.7, 0.2];
+        let labels = [false, true, false, true, true];
+        let a1 = auc(&scores, &labels).unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|s| (s * 3.0).exp()).collect();
+        let a2 = auc(&transformed, &labels).unwrap();
+        assert!((a1 - a2).abs() < 1e-15);
+    }
+}

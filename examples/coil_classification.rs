@@ -1,0 +1,59 @@
+//! The paper's Figure 5 pipeline in miniature: classify synthetic COIL
+//! images with the hard and soft criteria at several labeled ratios and
+//! compare AUCs, using the median-heuristic RBF kernel of the paper.
+//!
+//! ```text
+//! cargo run --release --example coil_classification
+//! ```
+
+use gssl::{HardCriterion, Problem, SoftCriterion};
+use gssl_datasets::coil::SyntheticCoil;
+use gssl_graph::{affinity::affinity_matrix, bandwidth::median_heuristic, Kernel};
+use gssl_stats::roc::auc;
+use gssl_stats::split::labeled_unlabeled_split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let coil = SyntheticCoil::builder()
+        .images_per_class(30)
+        .build(&mut rng)?;
+    let dataset = coil.dataset();
+    println!(
+        "synthetic COIL: {} images, {} pixels each, 6 classes grouped 3-vs-3\n",
+        dataset.len(),
+        dataset.dim()
+    );
+
+    let sigma = median_heuristic(dataset.inputs())?;
+    println!("median-heuristic bandwidth sigma = {sigma:.3}\n");
+    println!(
+        "{:>16}  {:>12}  {:>12}  {:>12}",
+        "labeled share", "hard AUC", "soft λ=0.1", "soft λ=5"
+    );
+
+    for &labeled_fraction in &[0.8, 0.2, 0.1] {
+        let n_labeled = (dataset.len() as f64 * labeled_fraction) as usize;
+        let split = labeled_unlabeled_split(dataset.len(), n_labeled, &mut rng)?;
+        let ssl = dataset.arrange(&split.train)?;
+        let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, sigma)?;
+        let problem = Problem::new(w, ssl.labels.clone())?;
+        let truth = ssl.hidden_targets_binary();
+
+        let hard = HardCriterion::new().fit(&problem)?;
+        let soft_01 = SoftCriterion::new(0.1)?.fit(&problem)?;
+        let soft_5 = SoftCriterion::new(5.0)?.fit(&problem)?;
+        println!(
+            "{:>15}%  {:>12.4}  {:>12.4}  {:>12.4}",
+            labeled_fraction * 100.0,
+            auc(hard.unlabeled(), &truth)?,
+            auc(soft_01.unlabeled(), &truth)?,
+            auc(soft_5.unlabeled(), &truth)?,
+        );
+    }
+
+    println!("\nExpected pattern (Figure 5): AUC falls as λ grows and as the");
+    println!("labeled share shrinks; the hard criterion is best in every row.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: label two points, let the graph label the rest.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gssl::{Criterion, GsslModel};
+use gssl_graph::{Bandwidth, Kernel};
+use gssl_linalg::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight points in two clusters; only the first point of each cluster
+    // is labeled (labeled rows must come first).
+    let points = Matrix::from_rows(&[
+        &[0.0, 0.0],   // labeled: class 0
+        &[5.0, 5.0],   // labeled: class 1
+        &[0.2, 0.1],   // unlabeled, cluster A
+        &[0.1, 0.3],   // unlabeled, cluster A
+        &[-0.2, 0.2],  // unlabeled, cluster A
+        &[5.1, 4.8],   // unlabeled, cluster B
+        &[4.9, 5.2],   // unlabeled, cluster B
+        &[5.3, 5.1],   // unlabeled, cluster B
+    ])?;
+    let labels = [0.0, 1.0];
+
+    let scores = GsslModel::builder()
+        .kernel(Kernel::Gaussian)
+        .bandwidth(Bandwidth::Fixed(1.5))
+        .criterion(Criterion::Hard)
+        .fit(&points, &labels)?;
+
+    println!("hard-criterion scores (0 = cluster A, 1 = cluster B):");
+    for (i, &score) in scores.unlabeled().iter().enumerate() {
+        let class = if score >= 0.5 { "B" } else { "A" };
+        println!("  point {}: score {score:.4} -> cluster {class}", i + 2);
+    }
+
+    let predictions = scores.unlabeled_predictions(0.5);
+    assert_eq!(predictions, vec![false, false, false, true, true, true]);
+    println!("\nall six unlabeled points recovered their cluster ✓");
+    Ok(())
+}

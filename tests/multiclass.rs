@@ -1,0 +1,125 @@
+//! Integration tests of the multiclass (one-vs-rest) wrapper and
+//! class-mass normalization on generated datasets.
+
+use gssl::cmn::{class_mass_normalize, labeled_prior};
+use gssl::{HardCriterion, OneVsRest, Problem};
+use gssl_datasets::coil::SyntheticCoil;
+use gssl_datasets::synthetic::gaussian_blobs;
+use gssl_graph::{affinity::affinity_matrix, bandwidth::median_heuristic, Kernel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn one_vs_rest_solves_gaussian_blobs() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let centers = vec![vec![0.0, 0.0], vec![6.0, 0.0], vec![3.0, 6.0]];
+    let ds = gaussian_blobs(20, &centers, 0.6, &mut rng).expect("generation");
+    // Label the first 4 samples of each blob (indices 0..4, 20..24, 40..44).
+    let labeled: Vec<usize> = (0..3).flat_map(|c| (0..4).map(move |i| c * 20 + i)).collect();
+    let ssl = ds.arrange(&labeled).expect("arrangement");
+    let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, 1.5).expect("affinity");
+    let class_labels: Vec<usize> = ssl.labels.iter().map(|&y| y as usize).collect();
+
+    let ovr = OneVsRest::new(HardCriterion::new(), 3).expect("3 classes");
+    let scores = ovr.fit(&w, &class_labels).expect("fit");
+    let predictions = scores.unlabeled_predictions();
+    let truth: Vec<usize> = ssl.hidden_targets.iter().map(|&y| y as usize).collect();
+    let correct = predictions
+        .iter()
+        .zip(&truth)
+        .filter(|(p, t)| p == t)
+        .count();
+    let accuracy = correct as f64 / truth.len() as f64;
+    assert!(
+        accuracy > 0.95,
+        "well-separated blobs should be nearly solved, accuracy {accuracy}"
+    );
+}
+
+#[test]
+fn one_vs_rest_on_six_class_coil() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let coil = SyntheticCoil::builder()
+        .images_per_class(12)
+        .build(&mut rng)
+        .expect("rendering succeeds");
+    let dataset = coil.dataset();
+    let sigma = median_heuristic(dataset.inputs()).expect("bandwidth");
+    // Label the first 6 images of each class by walking class_labels.
+    let mut labeled = Vec::new();
+    let mut counts = [0usize; 6];
+    for (i, &c) in coil.class_labels().iter().enumerate() {
+        if counts[c] < 6 {
+            counts[c] += 1;
+            labeled.push(i);
+        }
+    }
+    // Build an arranged six-way problem by hand: reorder weights/labels.
+    let ssl = dataset.arrange(&labeled).expect("arrangement");
+    let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, sigma).expect("affinity");
+    let class_labels: Vec<usize> = labeled.iter().map(|&i| coil.class_labels()[i]).collect();
+    let ovr = OneVsRest::new(HardCriterion::new(), 6).expect("6 classes");
+    let scores = ovr.fit(&w, &class_labels).expect("fit");
+    // Truth for unlabeled rows via the arrangement order.
+    let truth: Vec<usize> = ssl.original_order[labeled.len()..]
+        .iter()
+        .map(|&i| coil.class_labels()[i])
+        .collect();
+    let predictions = scores.unlabeled_predictions();
+    let correct = predictions
+        .iter()
+        .zip(&truth)
+        .filter(|(p, t)| p == t)
+        .count();
+    let accuracy = correct as f64 / truth.len() as f64;
+    assert!(
+        accuracy > 1.5 / 6.0,
+        "six-way accuracy should clearly beat chance (1/6), got {accuracy}"
+    );
+}
+
+#[test]
+fn cmn_improves_decisions_under_label_imbalance() {
+    // A skewed labeled set biases harmonic scores; CMN with the true
+    // prior recovers decisions on a symmetric two-cluster geometry.
+    let mut rng = StdRng::seed_from_u64(33);
+    let centers = vec![vec![0.0, 0.0], vec![4.0, 0.0]];
+    let ds = gaussian_blobs(25, &centers, 0.7, &mut rng).expect("generation");
+    // Label 8 from class 0 but only 2 from class 1.
+    let labeled: Vec<usize> = (0..8).chain(25..27).collect();
+    let ssl = ds.arrange(&labeled).expect("arrangement");
+    let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, 1.2).expect("affinity");
+    let problem = Problem::new(w, ssl.labels.clone()).expect("valid problem");
+    let scores = HardCriterion::new().fit(&problem).expect("fit");
+    let truth = ssl.hidden_targets_binary();
+
+    let raw_accuracy = scores
+        .unlabeled_predictions(0.5)
+        .iter()
+        .zip(&truth)
+        .filter(|(p, t)| p == t)
+        .count() as f64
+        / truth.len() as f64;
+
+    // The data are actually balanced (25/25); normalize toward 0.5.
+    let normalized = class_mass_normalize(scores.unlabeled(), 0.5).expect("normalize");
+    let cmn_accuracy = normalized
+        .iter()
+        .map(|&s| s >= 0.5)
+        .zip(&truth)
+        .filter(|(p, t)| p == *t)
+        .count() as f64
+        / truth.len() as f64;
+
+    assert!(
+        cmn_accuracy >= raw_accuracy,
+        "CMN should not hurt: raw {raw_accuracy}, cmn {cmn_accuracy}"
+    );
+    assert!(cmn_accuracy > 0.9, "balanced clusters should be solved");
+}
+
+#[test]
+fn labeled_prior_matches_construction() {
+    let labels = [1.0, 0.0, 1.0, 1.0];
+    assert!((labeled_prior(&labels).unwrap() - 0.75).abs() < 1e-12);
+}

@@ -1,0 +1,67 @@
+//! Spectral-methods integration: the unsupervised view of the cluster
+//! assumption that motivates graph-based SSL.
+
+use gssl_datasets::synthetic::{gaussian_blobs, two_moons};
+use gssl_graph::{
+    affinity::affinity_matrix,
+    spectral::{fiedler_vector, spectral_clusters, spectral_embedding},
+    Kernel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fiedler_vector_separates_two_moons() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds = two_moons(80, 0.04, &mut rng).expect("generation");
+    let w = affinity_matrix(ds.inputs(), Kernel::Gaussian, 0.25).expect("affinity");
+    let v = fiedler_vector(&w).expect("fiedler");
+    // Thresholding at 0 should align with the moon labels (up to a global
+    // sign flip).
+    let predicted: Vec<bool> = v.iter().map(|x| x >= 0.0).collect();
+    let truth: Vec<bool> = ds.targets().iter().map(|&y| y > 0.5).collect();
+    let agree = predicted
+        .iter()
+        .zip(&truth)
+        .filter(|(p, t)| p == t)
+        .count();
+    let accuracy = agree.max(truth.len() - agree) as f64 / truth.len() as f64;
+    assert!(
+        accuracy > 0.9,
+        "Fiedler cut should recover the moons, accuracy {accuracy}"
+    );
+}
+
+#[test]
+fn spectral_clustering_recovers_three_blobs() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let centers = vec![vec![0.0, 0.0], vec![8.0, 0.0], vec![4.0, 7.0]];
+    let ds = gaussian_blobs(25, &centers, 0.5, &mut rng).expect("generation");
+    let w = affinity_matrix(ds.inputs(), Kernel::Gaussian, 1.5).expect("affinity");
+    let labels = spectral_clusters(&w, 3).expect("clustering");
+
+    // Every blob should map to a single, distinct cluster id.
+    for blob in 0..3 {
+        let ids: std::collections::HashSet<usize> =
+            (0..25).map(|i| labels[blob * 25 + i]).collect();
+        assert_eq!(ids.len(), 1, "blob {blob} split across clusters {ids:?}");
+    }
+    let firsts: std::collections::HashSet<usize> =
+        (0..3).map(|b| labels[b * 25]).collect();
+    assert_eq!(firsts.len(), 3, "blobs merged: {firsts:?}");
+}
+
+#[test]
+fn embedding_dimensions_are_orthogonal() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let ds = two_moons(40, 0.05, &mut rng).expect("generation");
+    let w = affinity_matrix(ds.inputs(), Kernel::Gaussian, 0.3).expect("affinity");
+    let e = spectral_embedding(&w, 3).expect("embedding");
+    assert_eq!(e.shape(), (40, 3));
+    for a in 0..3 {
+        for b in (a + 1)..3 {
+            let dot: f64 = (0..40).map(|i| e.get(i, a) * e.get(i, b)).sum();
+            assert!(dot.abs() < 1e-8, "columns {a} and {b} not orthogonal: {dot}");
+        }
+    }
+}
