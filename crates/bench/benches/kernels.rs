@@ -70,8 +70,7 @@ fn bench_sparse_builders(c: &mut Criterion) {
     let points = sample_points(300);
     group.bench_function("knn_k10_union", |b| {
         b.iter(|| {
-            knn_graph(&points, 10, Kernel::Gaussian, 0.5, Symmetrization::Union)
-                .expect("knn graph")
+            knn_graph(&points, 10, Kernel::Gaussian, 0.5, Symmetrization::Union).expect("knn graph")
         });
     });
     group.bench_function("epsilon_0p5", |b| {

@@ -2,9 +2,7 @@
 //! products at the sizes the criteria actually use.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gssl_linalg::{
-    conjugate_gradient, CgOptions, Cholesky, CsrMatrix, Lu, Matrix, Vector,
-};
+use gssl_linalg::{conjugate_gradient, CgOptions, Cholesky, CsrMatrix, Lu, Matrix, Vector};
 
 /// A well-conditioned SPD matrix shaped like a hard-criterion system.
 fn spd_system(n: usize) -> Matrix {
@@ -66,13 +64,9 @@ fn bench_products(c: &mut Criterion) {
             b.iter(|| a.matvec(&x).expect("conformal"));
         });
         let sparse = CsrMatrix::from_dense(&a.map(|v| if v > 0.4 { v } else { 0.0 }), 0.0);
-        group.bench_with_input(
-            BenchmarkId::new("csr_matvec", n),
-            &sparse,
-            |b, sparse| {
-                b.iter(|| sparse.matvec(x.as_slice()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("csr_matvec", n), &sparse, |b, sparse| {
+            b.iter(|| sparse.matvec(x.as_slice()));
+        });
     }
     group.finish();
 }

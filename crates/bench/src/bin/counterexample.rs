@@ -69,7 +69,10 @@ fn main() {
     let problem = Problem::new(w, ssl.labels.clone()).expect("valid problem");
     let hard = HardCriterion::new().fit(&problem).expect("hard fit");
     let mean = MeanPredictor::new().fit(&problem).expect("mean fit");
-    println!("{:>10}  {:>16}  {:>16}", "lambda", "gap to hard", "gap to mean");
+    println!(
+        "{:>10}  {:>16}  {:>16}",
+        "lambda", "gap to hard", "gap to mean"
+    );
     for &lambda in &[10.0, 1.0, 0.1, 0.01, 0.001, 0.0001] {
         let soft = SoftCriterion::new(lambda)
             .expect("valid lambda")

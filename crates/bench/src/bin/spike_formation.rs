@@ -75,12 +75,8 @@ fn main() {
         // Dense Gaussian graph; as h shrinks with n fixed, the labels'
         // share of every unlabeled vertex's degree vanishes — the regime
         // of reference [17] where the solution goes noninformative.
-        let dense = gssl_graph::affinity::affinity_matrix(
-            &points,
-            gssl_graph::Kernel::Gaussian,
-            h,
-        )
-        .expect("affinity");
+        let dense = gssl_graph::affinity::affinity_matrix(&points, gssl_graph::Kernel::Gaussian, h)
+            .expect("affinity");
         let graph = gssl_linalg::CsrMatrix::from_dense(&dense, 1e-12);
         let problem = SparseProblem::new(graph, labels).expect("valid problem");
         let regime = 4.0 * h * h / m as f64; // n h^d / m with n = 4, d = 2

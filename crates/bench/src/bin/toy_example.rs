@@ -51,7 +51,9 @@ fn main() {
     );
     println!("  max |measured - closed form| = {worst:.2e}\n");
 
-    let scores = HardCriterion::new().fit(&problem).expect("anchored problem");
+    let scores = HardCriterion::new()
+        .fit(&problem)
+        .expect("anchored problem");
     println!("hard-criterion predictions on unlabeled points:");
     for (a, &s) in scores.unlabeled().iter().enumerate() {
         println!("  f[n+{a}] = {s:.6} (expected label mean {label_mean:.6})");

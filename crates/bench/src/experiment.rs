@@ -13,7 +13,6 @@ use gssl_stats::roc::auc;
 use gssl_stats::split::KFold;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 /// The λ grid of the synthetic figures (Figures 1–4).
 pub const SYNTHETIC_LAMBDAS: [f64; 4] = [0.0, 0.01, 0.1, 5.0];
@@ -28,7 +27,7 @@ pub const FIG1_N_VALUES: [usize; 10] = [10, 30, 50, 100, 200, 300, 500, 800, 100
 pub const FIG2_M_VALUES: [usize; 6] = [30, 60, 100, 300, 500, 1000];
 
 /// One measured point of a figure: a (λ, x) cell with its averaged metric.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// Tuning parameter (0 = hard criterion).
     pub lambda: f64,
@@ -249,12 +248,8 @@ impl CoilConfig {
     /// # Errors
     ///
     /// Propagates the first repetition error encountered.
-    pub fn run(
-        &self,
-        ratio: LabeledRatio,
-    ) -> Result<Vec<SeriesPoint>, Box<dyn std::error::Error>> {
-        let per_rep =
-            average_over_repetitions(self.repetitions, |r| self.run_once(ratio, r))?;
+    pub fn run(&self, ratio: LabeledRatio) -> Result<Vec<SeriesPoint>, Box<dyn std::error::Error>> {
+        let per_rep = average_over_repetitions(self.repetitions, |r| self.run_once(ratio, r))?;
         Ok(aggregate(&self.lambdas, &per_rep, ratio.fraction()))
     }
 }

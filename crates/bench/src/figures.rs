@@ -123,12 +123,19 @@ impl SyntheticFigure {
     /// # Errors
     ///
     /// Propagates experiment errors.
-    pub fn run_and_report(self, args: &CliArgs) -> Result<Vec<SeriesPoint>, Box<dyn std::error::Error>> {
+    pub fn run_and_report(
+        self,
+        args: &CliArgs,
+    ) -> Result<Vec<SeriesPoint>, Box<dyn std::error::Error>> {
         let points = self.run(args)?;
         println!(
             "== Figure {} (Model {}, {}) ==",
             self.number(),
-            if self.model() == PaperModel::Linear { 1 } else { 2 },
+            if self.model() == PaperModel::Linear {
+                1
+            } else {
+                2
+            },
             if self.sweeps_labeled() {
                 "m = 30, sweeping n"
             } else {
@@ -138,7 +145,10 @@ impl SyntheticFigure {
         print!("{}", format_series_table(&points, self.x_name(), "RMSE"));
         let violations = ordering_violations(&points, false);
         if violations.is_empty() {
-            println!("ordering check: hard criterion best at every {} ✓", self.x_name());
+            println!(
+                "ordering check: hard criterion best at every {} ✓",
+                self.x_name()
+            );
         } else {
             println!(
                 "ordering check: hard criterion beaten at {} = {:?} (Monte-Carlo noise; raise --reps)",
@@ -184,10 +194,7 @@ pub fn run_figure5(args: &CliArgs) -> Result<Vec<SeriesPoint>, Box<dyn std::erro
 /// Prints the Figure 5 report (AUC table per ratio plus ordering check).
 pub fn report_figure5(points: &[SeriesPoint]) {
     println!("== Figure 5 (synthetic COIL, AUC vs lambda) ==");
-    print!(
-        "{}",
-        format_series_table(points, "labeled fraction", "AUC")
-    );
+    print!("{}", format_series_table(points, "labeled fraction", "AUC"));
     let violations = ordering_violations(points, true);
     if violations.is_empty() {
         println!("ordering check: hard criterion best at every ratio ✓");

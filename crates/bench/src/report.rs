@@ -37,10 +37,7 @@ pub fn format_series_table(points: &[SeriesPoint], x_name: &str, metric: &str) -
     for &x in &xs {
         out.push_str(&format!("{x:>10}"));
         for &l in &lambdas {
-            match points
-                .iter()
-                .find(|p| p.lambda == l && p.x == x)
-            {
+            match points.iter().find(|p| p.lambda == l && p.x == x) {
                 Some(p) => out.push_str(&format!("  {:<10.4}", p.mean)),
                 None => out.push_str("  -         "),
             }
@@ -117,10 +114,34 @@ mod tests {
 
     fn sample_points() -> Vec<SeriesPoint> {
         vec![
-            SeriesPoint { lambda: 0.0, x: 10.0, mean: 0.20, std_error: 0.01, repetitions: 5 },
-            SeriesPoint { lambda: 1.0, x: 10.0, mean: 0.25, std_error: 0.01, repetitions: 5 },
-            SeriesPoint { lambda: 0.0, x: 50.0, mean: 0.10, std_error: 0.01, repetitions: 5 },
-            SeriesPoint { lambda: 1.0, x: 50.0, mean: 0.15, std_error: 0.01, repetitions: 5 },
+            SeriesPoint {
+                lambda: 0.0,
+                x: 10.0,
+                mean: 0.20,
+                std_error: 0.01,
+                repetitions: 5,
+            },
+            SeriesPoint {
+                lambda: 1.0,
+                x: 10.0,
+                mean: 0.25,
+                std_error: 0.01,
+                repetitions: 5,
+            },
+            SeriesPoint {
+                lambda: 0.0,
+                x: 50.0,
+                mean: 0.10,
+                std_error: 0.01,
+                repetitions: 5,
+            },
+            SeriesPoint {
+                lambda: 1.0,
+                x: 50.0,
+                mean: 0.15,
+                std_error: 0.01,
+                repetitions: 5,
+            },
         ]
     }
 

@@ -1,11 +1,11 @@
 //! Parallel Monte-Carlo repetition runner.
 //!
 //! Repetitions are embarrassingly parallel; this runner fans them out over
-//! the available cores with crossbeam scoped threads and collects results
-//! under a parking_lot mutex. On a single-core host it degrades to the
+//! the available cores with `std::thread::scope` and collects results under
+//! a `std::sync::Mutex`. On a single-core host it degrades to the
 //! sequential loop.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `repetitions` independent evaluations of `f` (each receiving its
 /// repetition index) across the available cores, preserving order.
@@ -37,11 +37,11 @@ where
         Mutex::new((0..repetitions).map(|_| None).collect());
     let next: Mutex<usize> = Mutex::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let r = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("index mutex poisoned");
                     if *guard >= repetitions {
                         break;
                     }
@@ -52,13 +52,14 @@ where
                 // Errors cross the thread boundary as strings; boxed errors
                 // are not Send in general.
                 let outcome = f(r).map_err(|e| e.to_string());
-                results.lock()[r] = Some(outcome);
+                results.lock().expect("result mutex poisoned")[r] = Some(outcome);
             });
         }
-    })
-    .expect("repetition worker panicked");
+    });
 
-    let collected = results.into_inner();
+    let collected = results
+        .into_inner()
+        .expect("result mutex poisoned after join");
     let mut out = Vec::with_capacity(repetitions);
     for slot in collected {
         match slot.expect("every repetition index was claimed") {
@@ -96,18 +97,22 @@ impl CliArgs {
             match flag.as_str() {
                 "--reps" => {
                     let value = iter.next().ok_or("--reps requires a value")?;
-                    out.repetitions =
-                        Some(value.parse().map_err(|_| format!("bad --reps value: {value}"))?);
+                    out.repetitions = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --reps value: {value}"))?,
+                    );
                 }
                 "--seed" => {
                     let value = iter.next().ok_or("--seed requires a value")?;
-                    out.seed =
-                        Some(value.parse().map_err(|_| format!("bad --seed value: {value}"))?);
+                    out.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --seed value: {value}"))?,
+                    );
                 }
                 "--full" => out.full = true,
-                "--help" | "-h" => {
-                    return Err("usage: [--reps N] [--seed S] [--full]".to_owned())
-                }
+                "--help" | "-h" => return Err("usage: [--reps N] [--seed S] [--full]".to_owned()),
                 other => return Err(format!("unknown flag {other}; try --help")),
             }
         }

@@ -15,6 +15,7 @@
 //! the hard criterion pairs it with CMN.
 
 use crate::error::{Error, Result};
+use gssl_linalg::float::{is_exactly_one, is_exactly_zero};
 
 /// Class-mass-normalized positive scores for binary problems.
 ///
@@ -76,7 +77,7 @@ pub fn labeled_prior(labels: &[f64]) -> Result<f64> {
         });
     }
     let prior = labels.iter().filter(|&&y| y > 0.5).count() as f64 / labels.len() as f64;
-    if prior == 0.0 || prior == 1.0 {
+    if is_exactly_zero(prior) || is_exactly_one(prior) {
         return Err(Error::InvalidProblem {
             message: "labeled set contains a single class; prior degenerate".to_owned(),
         });

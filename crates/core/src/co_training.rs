@@ -18,6 +18,7 @@ use gssl_linalg::Matrix;
 ///
 /// The views are given as column ranges of the input matrix; each view
 /// builds its own kernel graph and fits the wrapped model independently.
+#[derive(Debug)]
 pub struct CoTraining<M> {
     model: M,
     view_split: usize,
@@ -97,11 +98,7 @@ impl<M: TransductiveModel> CoTraining<M> {
         }
         if labels.is_empty() || labels.len() > points.rows() {
             return Err(Error::InvalidProblem {
-                message: format!(
-                    "{} labels for {} points",
-                    labels.len(),
-                    points.rows()
-                ),
+                message: format!("{} labels for {} points", labels.len(), points.rows()),
             });
         }
         let total = points.rows();
@@ -125,13 +122,9 @@ impl<M: TransductiveModel> CoTraining<M> {
         loop {
             let mut any_promoted = false;
             for v in 0..2 {
-                let unlabeled: Vec<usize> =
-                    (0..total).filter(|&i| !known[v][i]).collect();
-                let order: Vec<usize> = labeled[v]
-                    .iter()
-                    .chain(unlabeled.iter())
-                    .copied()
-                    .collect();
+                let unlabeled: Vec<usize> = (0..total).filter(|&i| !known[v][i]).collect();
+                let order: Vec<usize> =
+                    labeled[v].iter().chain(unlabeled.iter()).copied().collect();
                 let arranged = permute_rows(views[v], &order);
                 let problem = Problem::from_points(
                     &arranged,
@@ -208,10 +201,7 @@ mod tests {
             [3.9, 4.3],
         ];
         let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-        (
-            Matrix::from_rows(&slices).unwrap(),
-            vec![0.0, 1.0],
-        )
+        (Matrix::from_rows(&slices).unwrap(), vec![0.0, 1.0])
     }
 
     #[test]
@@ -229,8 +219,7 @@ mod tests {
     #[test]
     fn recovers_clusters_from_either_view() {
         let (points, labels) = two_view_points();
-        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.75)
-            .unwrap();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.75).unwrap();
         let (scores, _rounds) = co.fit_points(&points, &labels).unwrap();
         let predictions = scores.unlabeled_predictions(0.5);
         assert_eq!(predictions, vec![false, false, false, true, true, true]);
@@ -251,8 +240,7 @@ mod tests {
         ];
         let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let points = Matrix::from_rows(&slices).unwrap();
-        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.2, 0.8)
-            .unwrap();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.2, 0.8).unwrap();
         let (scores, rounds) = co.fit_points(&points, &[0.0, 1.0]).unwrap();
         assert!(rounds >= 1, "an exchange should happen");
         let predictions = scores.unlabeled_predictions(0.5);
@@ -262,12 +250,10 @@ mod tests {
     #[test]
     fn validates_points_shape() {
         let (points, labels) = two_view_points();
-        let co = CoTraining::new(NadarayaWatson::new(), 2, Kernel::Gaussian, 1.0, 0.8)
-            .unwrap();
+        let co = CoTraining::new(NadarayaWatson::new(), 2, Kernel::Gaussian, 1.0, 0.8).unwrap();
         // view_split = 2 leaves nothing for view 2 (points have 2 cols).
         assert!(co.fit_points(&points, &labels).is_err());
-        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.8)
-            .unwrap();
+        let co = CoTraining::new(NadarayaWatson::new(), 1, Kernel::Gaussian, 1.0, 0.8).unwrap();
         assert!(co.fit_points(&points, &[]).is_err());
         assert!(co.fit_points(&points, &vec![0.0; 99]).is_err());
     }

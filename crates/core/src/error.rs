@@ -29,6 +29,16 @@ pub enum Error {
         /// Index (within the unlabeled block) of the affected query.
         unlabeled_index: usize,
     },
+    /// A NaN or infinity was detected at a sanitized boundary (only
+    /// raised with the `strict-checks` cargo feature enabled). The
+    /// `context` names the boundary — e.g. `"Problem::new weights"` — and
+    /// `index` is the flat position of the first offending element.
+    NonFiniteValue {
+        /// Name of the guarded boundary.
+        context: &'static str,
+        /// Flat index of the first non-finite element.
+        index: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(gssl_linalg::Error),
     /// An underlying graph operation failed.
@@ -48,6 +58,10 @@ impl fmt::Display for Error {
                 f,
                 "unlabeled vertex {unlabeled_index} has zero kernel mass on the labeled set"
             ),
+            Error::NonFiniteValue { context, index } => write!(
+                f,
+                "non-finite value (NaN or infinity) at {context}, element {index}"
+            ),
             Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
             Error::Graph(inner) => write!(f, "graph error: {inner}"),
         }
@@ -66,7 +80,15 @@ impl std::error::Error for Error {
 
 impl From<gssl_linalg::Error> for Error {
     fn from(inner: gssl_linalg::Error) -> Self {
-        Error::Linalg(inner)
+        // Keep the sanitizer's verdict first-class instead of burying it
+        // under the linalg wrapper: callers match on one variant whether
+        // the non-finite value was caught here or a layer below.
+        match inner {
+            gssl_linalg::Error::NonFiniteValue { context, index } => {
+                Error::NonFiniteValue { context, index }
+            }
+            other => Error::Linalg(other),
+        }
     }
 }
 

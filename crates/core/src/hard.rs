@@ -9,13 +9,13 @@
 //! Theorem II.1 proves this estimator consistent when `h_n → 0`,
 //! `n h_n^d → ∞` and `m = o(n h_n^d)`.
 
-use crate::error::Result;
 #[cfg(test)]
 use crate::error::Error;
+use crate::error::Result;
 use crate::problem::{Problem, Scores};
 use crate::propagation::{LabelPropagation, SweepKind};
 use crate::traits::TransductiveModel;
-use gssl_linalg::{conjugate_gradient, CgOptions, Cholesky, Lu};
+use gssl_linalg::{conjugate_gradient, strict, CgOptions, Cholesky, Lu};
 
 /// Numerical backend used to solve the `m × m` hard-criterion system.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -112,6 +112,7 @@ impl HardCriterion {
                 return Ok(scores);
             }
         };
+        strict::check_finite("hard criterion output", unlabeled.as_slice())?;
         Ok(Scores::from_parts(problem.labels(), unlabeled.as_slice()))
     }
 }
@@ -248,12 +249,7 @@ mod tests {
 
     #[test]
     fn rejects_unanchored_problems() {
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.5, 0.0],
-            &[0.5, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let p = Problem::new(w, vec![1.0]).unwrap();
         for backend in all_backends() {
             assert!(matches!(

@@ -49,8 +49,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Class-mass normalization of transductive scores (Zhu et al. 2003).
 pub mod cmn;
 mod co_training;
 mod error;
@@ -66,6 +67,7 @@ mod propagation;
 mod self_training;
 mod soft;
 mod sparse_problem;
+/// Diagnostics for the paper's consistency theory (Neumann tails, spectral gaps).
 pub mod theory;
 mod traits;
 

@@ -105,10 +105,7 @@ impl LocalGlobalConsistency {
             rhs[i] = (1.0 - self.alpha) * y;
         }
         let f = Lu::factor(&system)?.solve(&rhs)?;
-        Ok(Scores::from_parts(
-            &f.as_slice()[..n],
-            &f.as_slice()[n..],
-        ))
+        Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
 
     /// Runs the textbook fixed-point iteration `F ← αSF + (1 − α)Y`
@@ -157,10 +154,7 @@ impl LocalGlobalConsistency {
             }
             std::mem::swap(&mut f, &mut next);
             if change <= tolerance {
-                return Ok((
-                    Scores::from_parts(&f[..n], &f[n..]),
-                    sweep,
-                ));
+                return Ok((Scores::from_parts(&f[..n], &f[n..]), sweep));
             }
         }
         Err(Error::Linalg(gssl_linalg::Error::NotConverged {

@@ -15,7 +15,6 @@ use gssl_linalg::Matrix;
 
 /// Which criterion the model runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Criterion {
     /// The hard criterion (Eq. 1) — consistent per Theorem II.1.

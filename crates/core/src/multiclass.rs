@@ -38,9 +38,8 @@ impl MulticlassScores {
                 let row = self.scores.row(i);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
-                    .map(|(k, _)| k)
-                    .expect("at least one class")
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(k, _)| k)
             })
             .collect()
     }
@@ -53,6 +52,7 @@ impl MulticlassScores {
 
 /// One-vs-rest reduction: fits the wrapped binary criterion once per class
 /// with indicator labels.
+#[derive(Debug)]
 pub struct OneVsRest<M> {
     model: M,
     class_count: usize,

@@ -12,7 +12,7 @@ use crate::error::{Error, Result};
 use crate::problem::{Problem, Scores};
 use crate::traits::TransductiveModel;
 use gssl_graph::{affinity::pairwise_squared_distances, Kernel};
-use gssl_linalg::Matrix;
+use gssl_linalg::{strict, Matrix};
 
 /// The Nadaraya–Watson estimator applied transductively: each unlabeled
 /// vertex is scored by the similarity-weighted mean of the *labeled*
@@ -49,6 +49,7 @@ impl NadarayaWatson {
             let weighted: f64 = row.iter().zip(y).map(|(w, yi)| w * yi).sum();
             unlabeled.push(weighted / mass);
         }
+        strict::check_finite("nadaraya-watson output", &unlabeled)?;
         Ok(Scores::from_parts(y, &unlabeled))
     }
 
@@ -97,7 +98,8 @@ impl NadarayaWatson {
             let mut mass = 0.0;
             let mut weighted = 0.0;
             for i in 0..train_inputs.rows() {
-                let d2 = gssl_graph::bandwidth::squared_distance(queries.row(q), train_inputs.row(i));
+                let d2 =
+                    gssl_graph::bandwidth::squared_distance(queries.row(q), train_inputs.row(i));
                 let w = kernel.weight(d2, bandwidth)?;
                 mass += w;
                 weighted += w * train_targets[i];
@@ -107,6 +109,7 @@ impl NadarayaWatson {
             }
             out.push(weighted / mass);
         }
+        strict::check_finite("nadaraya-watson predictions", &out)?;
         Ok(out)
     }
 }
@@ -167,12 +170,8 @@ mod tests {
     #[test]
     fn weighted_average_of_labeled_responses() {
         // Unlabeled vertex 2 with similarities 3 and 1 to labels 1 and 0.
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.75],
-            &[0.0, 1.0, 0.25],
-            &[0.75, 0.25, 1.0],
-        ])
-        .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, 0.0, 0.75], &[0.0, 1.0, 0.25], &[0.75, 0.25, 1.0]]).unwrap();
         let p = Problem::new(w, vec![1.0, 0.0]).unwrap();
         let scores = NadarayaWatson::new().fit(&p).unwrap();
         assert!((scores.unlabeled()[0] - 0.75).abs() < 1e-15);
@@ -182,12 +181,8 @@ mod tests {
     fn ignores_unlabeled_unlabeled_similarity() {
         // Two unlabeled vertices strongly tied to each other must not
         // influence each other's NW score.
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.5, 0.5],
-            &[0.5, 1.0, 0.99],
-            &[0.5, 0.99, 1.0],
-        ])
-        .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, 0.5, 0.5], &[0.5, 1.0, 0.99], &[0.5, 0.99, 1.0]]).unwrap();
         let p = Problem::new(w, vec![1.0]).unwrap();
         let scores = NadarayaWatson::new().fit(&p).unwrap();
         // Both unlabeled vertices see only the single labeled y = 1.
@@ -196,12 +191,7 @@ mod tests {
 
     #[test]
     fn zero_mass_is_detected() {
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.5],
-            &[0.0, 1.0, 0.5],
-            &[0.5, 0.5, 1.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.5], &[0.5, 0.5, 1.0]]).unwrap();
         // Vertex 1 is unlabeled with zero similarity to the only labeled
         // vertex 0.
         let p = Problem::new(w, vec![1.0]).unwrap();
@@ -242,7 +232,13 @@ mod tests {
             .predict(&Matrix::zeros(0, 3), &[], &queries, Kernel::Gaussian, 1.0)
             .is_err());
         assert!(nw
-            .predict(&train, &[1.0, 0.0], &Matrix::zeros(1, 2), Kernel::Gaussian, 1.0)
+            .predict(
+                &train,
+                &[1.0, 0.0],
+                &Matrix::zeros(1, 2),
+                Kernel::Gaussian,
+                1.0
+            )
             .is_err());
         assert!(nw
             .predict(&train, &[1.0, 0.0], &queries, Kernel::Gaussian, 0.0)
@@ -253,13 +249,7 @@ mod tests {
     fn compact_kernel_far_query_has_zero_mass() {
         let train = Matrix::from_rows(&[&[0.0]]).unwrap();
         let queries = Matrix::from_rows(&[&[100.0]]).unwrap();
-        let result = NadarayaWatson::new().predict(
-            &train,
-            &[1.0],
-            &queries,
-            Kernel::Boxcar,
-            1.0,
-        );
+        let result = NadarayaWatson::new().predict(&train, &[1.0], &queries, Kernel::Boxcar, 1.0);
         assert_eq!(result, Err(Error::ZeroKernelMass { unlabeled_index: 0 }));
     }
 

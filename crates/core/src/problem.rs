@@ -3,7 +3,7 @@
 
 use crate::error::{Error, Result};
 use gssl_graph::{affinity::affinity_matrix, components::unlabeled_anchored, Kernel};
-use gssl_linalg::{BlockPartition, Matrix, Vector};
+use gssl_linalg::{strict, BlockPartition, Matrix, Vector};
 
 /// A graph-based semi-supervised learning problem: a symmetric similarity
 /// matrix over `n + m` points, of which the first `n` carry observed
@@ -49,7 +49,13 @@ impl Problem {
     /// * any weight is negative or non-finite,
     /// * `labels` is empty or longer than the vertex count,
     /// * any label is non-finite.
+    ///
+    /// With the `strict-checks` cargo feature enabled, non-finite weights
+    /// or labels are instead reported as [`Error::NonFiniteValue`], which
+    /// pinpoints the first offending element.
     pub fn new(weights: Matrix, labels: Vec<f64>) -> Result<Self> {
+        strict::check_finite("Problem::new labels", &labels)?;
+        strict::check_finite_matrix("Problem::new weights", &weights)?;
         if !weights.is_square() {
             return Err(Error::InvalidProblem {
                 message: format!(
@@ -78,7 +84,11 @@ impl Problem {
                 message: "labels must be finite".to_owned(),
             });
         }
-        if weights.as_slice().iter().any(|w| !w.is_finite() || *w < 0.0) {
+        if weights
+            .as_slice()
+            .iter()
+            .any(|w| !w.is_finite() || *w < 0.0)
+        {
             return Err(Error::InvalidProblem {
                 message: "weights must be finite and nonnegative".to_owned(),
             });
@@ -167,6 +177,7 @@ impl Problem {
     /// Propagates partition errors (none for a constructed problem).
     pub fn unlabeled_system(&self) -> Result<Matrix> {
         let blocks = self.weight_blocks()?;
+        strict::check_symmetric("unlabeled system block W22", &blocks.a22, 1e-9)?;
         let degrees = self.degrees();
         let n = self.n_labeled();
         let m = self.n_unlabeled();
@@ -201,14 +212,17 @@ impl Problem {
         }
         // Identify a stranded vertex for the error message.
         let labels = gssl_graph::components::connected_components(&self.weights, threshold)?;
-        let anchored: std::collections::HashSet<usize> = labels[..self.n_labeled()]
-            .iter()
-            .copied()
-            .collect();
-        let stranded = labels[self.n_labeled()..]
+        let anchored: std::collections::HashSet<usize> =
+            labels[..self.n_labeled()].iter().copied().collect();
+        let stranded = match labels[self.n_labeled()..]
             .iter()
             .position(|l| !anchored.contains(l))
-            .expect("unanchored vertex exists");
+        {
+            Some(index) => index,
+            // The cheap check and the component analysis disagree (e.g.
+            // borderline thresholds); treat the precise answer as anchored.
+            None => return Ok(()),
+        };
         Err(Error::UnanchoredUnlabeled {
             unlabeled_index: stranded,
         })
@@ -321,8 +335,7 @@ mod tests {
         let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
         assert!(p.require_anchored(0.0).is_ok());
         // Disconnect vertex 2 entirely.
-        let w = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]])
-            .unwrap();
+        let w = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
         let stranded = Problem::new(w, vec![1.0]).unwrap();
         assert_eq!(
             stranded.require_anchored(0.0),

@@ -18,7 +18,6 @@ use gssl_linalg::stationary::{gauss_seidel, jacobi, IterationOptions};
 
 /// Which sweep order the propagation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SweepKind {
     /// Classic simultaneous update (Jacobi) — the textbook formulation.
     #[default]

@@ -19,6 +19,7 @@ use gssl_linalg::Matrix;
 /// or `max_rounds` is hit. The final [`Scores`] are reported in the
 /// *original* problem layout, with promoted points carrying their
 /// pseudo-labels.
+#[derive(Debug)]
 pub struct SelfTraining<M> {
     model: M,
     confidence: f64,
@@ -116,8 +117,12 @@ impl<M: TransductiveModel> SelfTraining<M> {
         }
 
         let unlabeled_scores: Vec<f64> = (n0..total)
-            .map(|orig| final_scores[orig].expect("every unlabeled vertex was scored"))
-            .collect();
+            .map(|orig| {
+                final_scores[orig].ok_or_else(|| Error::InvalidProblem {
+                    message: "self-training left an unlabeled vertex unscored".to_owned(),
+                })
+            })
+            .collect::<Result<_>>()?;
         Ok((
             Scores::from_parts(problem.labels(), &unlabeled_scores),
             rounds,
@@ -203,12 +208,7 @@ mod tests {
         let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.6).unwrap();
         let (scores, rounds) = wrapped.fit_with_rounds(&problem).unwrap();
         assert!(rounds >= 1, "promotion should happen");
-        for (k, (&st, &pl)) in scores
-            .unlabeled()
-            .iter()
-            .zip(plain.unlabeled())
-            .enumerate()
-        {
+        for (k, (&st, &pl)) in scores.unlabeled().iter().zip(plain.unlabeled()).enumerate() {
             assert_eq!(
                 st >= 0.5,
                 pl >= 0.5,
@@ -217,9 +217,8 @@ mod tests {
         }
         // Aggregate confidence grows (individual points may wobble when
         // opposite-side pseudo-labels enter, but the mean must not drop).
-        let mean_confidence = |s: &[f64]| {
-            s.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / s.len() as f64
-        };
+        let mean_confidence =
+            |s: &[f64]| s.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / s.len() as f64;
         assert!(
             mean_confidence(scores.unlabeled()) > mean_confidence(plain.unlabeled()),
             "self-training should raise average confidence"
@@ -243,12 +242,7 @@ mod tests {
     #[test]
     fn no_confident_points_stops_immediately() {
         // Ambiguous geometry: a point equidistant from both labels.
-        let w = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.5],
-            &[0.0, 1.0, 0.5],
-            &[0.5, 0.5, 1.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[1.0, 0.0, 0.5], &[0.0, 1.0, 0.5], &[0.5, 0.5, 1.0]]).unwrap();
         let problem = Problem::new(w, vec![1.0, 0.0]).unwrap();
         let wrapped = SelfTraining::new(NadarayaWatson::new(), 0.95).unwrap();
         let (scores, rounds) = wrapped.fit_with_rounds(&problem).unwrap();

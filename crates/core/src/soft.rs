@@ -22,9 +22,10 @@ use crate::error::{Error, Result};
 use crate::problem::{Problem, Scores};
 use crate::traits::TransductiveModel;
 use gssl_graph::{laplacian, LaplacianKind};
-use gssl_linalg::{Lu, Vector};
+use gssl_linalg::float::is_exactly_zero;
 #[cfg(test)]
 use gssl_linalg::Matrix;
+use gssl_linalg::{strict, Lu, Vector};
 
 /// The soft criterion solver with tuning parameter `λ ≥ 0`.
 ///
@@ -98,7 +99,11 @@ impl SoftCriterion {
         // A = I_n + λ D₁₁ − λ W₁₁.
         let mut a = blocks.a11.map(|x| -self.lambda * x);
         for i in 0..n {
-            a.set(i, i, 1.0 + self.lambda * degrees[i] - self.lambda * blocks.a11.get(i, i));
+            a.set(
+                i,
+                i,
+                1.0 + self.lambda * degrees[i] - self.lambda * blocks.a11.get(i, i),
+            );
         }
         let a_lu = Lu::factor(&a)?;
 
@@ -119,6 +124,8 @@ impl SoftCriterion {
         rhs_l.axpy(self.lambda, &w12_fu)?;
         let f_l = a_lu.solve(&rhs_l)?;
 
+        strict::check_finite("soft criterion labeled output", f_l.as_slice())?;
+        strict::check_finite("soft criterion unlabeled output", f_u.as_slice())?;
         Ok(Scores::from_parts(f_l.as_slice(), f_u.as_slice()))
     }
 
@@ -135,7 +142,7 @@ impl SoftCriterion {
     /// * [`Error::InvalidParameter`] when `λ = 0`.
     /// * [`Error::Linalg`] when the system is singular.
     pub fn fit_full_system(&self, problem: &Problem) -> Result<Scores> {
-        if self.lambda == 0.0 {
+        if is_exactly_zero(self.lambda) {
             return Err(Error::InvalidParameter {
                 message: "the full-system path requires lambda > 0; use fit() for lambda = 0"
                     .to_owned(),
@@ -153,15 +160,13 @@ impl SoftCriterion {
             rhs[i] = yi;
         }
         let f = Lu::factor(&system)?.solve(&rhs)?;
-        Ok(Scores::from_parts(
-            &f.as_slice()[..n],
-            &f.as_slice()[n..],
-        ))
+        strict::check_finite("soft criterion full-system output", f.as_slice())?;
+        Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
 
     /// Scores when every vertex is labeled: `(I + λL) f = Y`.
     fn labeled_only_scores(&self, problem: &Problem, y: &Vector) -> Result<Vector> {
-        if self.lambda == 0.0 {
+        if is_exactly_zero(self.lambda) {
             return Ok(y.clone());
         }
         let l = laplacian(problem.weights(), LaplacianKind::Unnormalized)?;
@@ -195,10 +200,7 @@ impl SoftCriterion {
             .zip(scores)
             .map(|(y, f)| (y - f) * (y - f))
             .sum();
-        let energy = gssl_graph::dirichlet_energy(
-            problem.weights(),
-            &Vector::from(scores),
-        )?;
+        let energy = gssl_graph::dirichlet_energy(problem.weights(), &Vector::from(scores))?;
         Ok(loss + 0.5 * self.lambda * energy)
     }
 }

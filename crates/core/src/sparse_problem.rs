@@ -210,10 +210,7 @@ impl SparseProblem {
         }
         let outcome = conjugate_gradient(&operator, &rhs, options)?;
         let f = outcome.solution;
-        Ok(Scores::from_parts(
-            &f.as_slice()[..n],
-            &f.as_slice()[n..],
-        ))
+        Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
 
     /// Solves the hard criterion by Jacobi label propagation over the
@@ -407,12 +404,7 @@ mod tests {
         assert!(p.solve_soft(0.0, &CgOptions::default()).is_err());
         assert!(p.solve_soft(-1.0, &CgOptions::default()).is_err());
         assert!(p.solve_soft(f64::NAN, &CgOptions::default()).is_err());
-        let disconnected = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0)],
-        )
-        .unwrap();
+        let disconnected = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         let stranded = SparseProblem::new(disconnected, vec![1.0]).unwrap();
         assert!(matches!(
             stranded.solve_soft(0.5, &CgOptions::default()),
@@ -430,20 +422,16 @@ mod tests {
         assert!(SparseProblem::new(rect, vec![1.0]).is_err());
         let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
         assert!(SparseProblem::new(asym, vec![1.0]).is_err());
-        let negative =
-            CsrMatrix::from_triplets(2, 2, &[(0, 1, -1.0), (1, 0, -1.0)]).unwrap();
+        let negative = CsrMatrix::from_triplets(2, 2, &[(0, 1, -1.0), (1, 0, -1.0)]).unwrap();
         assert!(SparseProblem::new(negative, vec![1.0]).is_err());
     }
 
     #[test]
     fn detects_stranded_components() {
         // Two disconnected edges; only the first component is labeled.
-        let w = CsrMatrix::from_triplets(
-            4,
-            4,
-            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
-        )
-        .unwrap();
+        let w =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+                .unwrap();
         let p = SparseProblem::new(w, vec![1.0]).unwrap();
         assert_eq!(
             p.require_anchored(),

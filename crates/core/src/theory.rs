@@ -24,7 +24,6 @@ use gssl_linalg::Matrix;
 /// Measured values of the quantities appearing in the proof of
 /// Theorem II.1.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TheoryDiagnostics {
     /// `‖D₂₂⁻¹W₂₂‖_max` — the "tiny elements" of the proof.
     pub substochastic_max: f64,
@@ -69,8 +68,7 @@ impl TheoryDiagnostics {
         let radius = if m == 0 {
             0.0
         } else {
-            spectral_radius(&substochastic, &PowerIterationOptions::default())
-                .unwrap_or(f64::NAN)
+            spectral_radius(&substochastic, &PowerIterationOptions::default()).unwrap_or(f64::NAN)
         };
 
         // Coupling gap g_{n+a} (paper, Section IV): with |Y| ≤ max|Y|,
@@ -242,7 +240,10 @@ mod tests {
         let errors = neumann_truncation_errors(&p, 30).unwrap();
         assert_eq!(errors.len(), 30);
         for pair in errors.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-12, "truncation error grew: {pair:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "truncation error grew: {pair:?}"
+            );
         }
         assert!(
             errors.last().unwrap() < &1e-6,

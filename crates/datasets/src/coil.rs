@@ -219,11 +219,7 @@ mod tests {
     fn classes_are_balanced_and_binary_grouping_is_3v3() {
         let coil = small_coil();
         let mut counts = [0usize; CLASS_COUNT];
-        for (&c, &y) in coil
-            .class_labels()
-            .iter()
-            .zip(coil.dataset().targets())
-        {
+        for (&c, &y) in coil.class_labels().iter().zip(coil.dataset().targets()) {
             counts[c] += 1;
             let expected = if c < 3 { 1.0 } else { 0.0 };
             assert_eq!(y, expected, "class {c} grouped wrongly");

@@ -154,10 +154,7 @@ impl Dataset {
     pub fn arrange_prefix(&self, n_labeled: usize) -> Result<SemiSupervisedData> {
         if n_labeled == 0 || n_labeled > self.len() {
             return Err(Error::InvalidParameter {
-                message: format!(
-                    "n_labeled must be in 1..={}, got {n_labeled}",
-                    self.len()
-                ),
+                message: format!("n_labeled must be in 1..={}, got {n_labeled}", self.len()),
             });
         }
         let indices: Vec<usize> = (0..n_labeled).collect();
@@ -204,12 +201,7 @@ mod tests {
 
     fn toy() -> Dataset {
         let inputs = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
-        Dataset::with_truth(
-            inputs,
-            vec![0.0, 1.0, 0.0, 1.0],
-            vec![0.1, 0.9, 0.2, 0.8],
-        )
-        .unwrap()
+        Dataset::with_truth(inputs, vec![0.0, 1.0, 0.0, 1.0], vec![0.1, 0.9, 0.2, 0.8]).unwrap()
     }
 
     #[test]

@@ -32,12 +32,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Synthetic COIL-style rotating-object image library.
 pub mod coil;
 mod dataset;
 mod error;
+/// Classic toy datasets: two moons, circles, blobs.
 pub mod shapes;
+/// The paper's Model 1 / Model 2 generators.
 pub mod synthetic;
 
 pub use dataset::{Dataset, SemiSupervisedData};

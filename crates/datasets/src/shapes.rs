@@ -20,7 +20,6 @@ pub const PIXEL_COUNT: usize = IMAGE_SIZE * IMAGE_SIZE;
 
 /// The six shape families, one per COIL class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ShapeFamily {
     /// Superellipse `|u/a|^p + |v/b|^p ≤ 1` with family-specific exponent.
     Superellipse,
@@ -52,7 +51,6 @@ impl ShapeFamily {
 
 /// A fully parameterized object: family plus continuous shape parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ShapeSpec {
     /// Shape family (determines the class).
     pub family: ShapeFamily,

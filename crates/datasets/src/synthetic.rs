@@ -18,7 +18,6 @@ pub const PAPER_DIM: usize = 5;
 
 /// Which of the paper's two logit models to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PaperModel {
     /// Model 1 (Eq. 11): linear logit
     /// `−1.35 + 2x₁ − x₂ + x₃ − x₄ + 2x₅`.
@@ -334,8 +333,7 @@ mod tests {
     #[test]
     fn paper_dataset_label_frequency_tracks_truth() {
         let ds = paper_dataset(PaperModel::Linear, 5_000, &mut rng()).unwrap();
-        let mean_label: f64 =
-            ds.targets().iter().sum::<f64>() / ds.len() as f64;
+        let mean_label: f64 = ds.targets().iter().sum::<f64>() / ds.len() as f64;
         let mean_truth: f64 =
             ds.true_probabilities().unwrap().iter().sum::<f64>() / ds.len() as f64;
         assert!((mean_label - mean_truth).abs() < 0.03);
@@ -383,9 +381,7 @@ mod tests {
         for i in 0..ds.len() {
             let class = ds.targets()[i] as usize;
             let c = &centers[class];
-            let d2: f64 = (0..2)
-                .map(|j| (ds.inputs().get(i, j) - c[j]).powi(2))
-                .sum();
+            let d2: f64 = (0..2).map(|j| (ds.inputs().get(i, j) - c[j]).powi(2)).sum();
             assert!(d2.sqrt() < 5.0, "sample {i} strayed from its center");
         }
         assert!(gaussian_blobs(0, &centers, 0.5, &mut rng()).is_err());
@@ -406,7 +402,11 @@ mod tests {
             let t_max = 4.5 * std::f64::consts::PI;
             assert!(radius >= t_min - 1e-9 && radius <= t_max + 1e-9);
             // Class is determined by the radius midpoint.
-            let expected = if radius < (t_min + t_max) / 2.0 { 0.0 } else { 1.0 };
+            let expected = if radius < (t_min + t_max) / 2.0 {
+                0.0
+            } else {
+                1.0
+            };
             assert_eq!(ds.targets()[i], expected, "sample {i} at radius {radius}");
         }
         assert!(swiss_roll(1, 0.0, &mut rng()).is_err());

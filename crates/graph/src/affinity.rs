@@ -194,8 +194,8 @@ mod tests {
     #[test]
     fn rule_wrapper_reports_resolved_bandwidth() {
         let pts = triangle();
-        let (w, h) = affinity_with_rule(&pts, Kernel::Gaussian, Bandwidth::Fixed(0.5), None)
-            .unwrap();
+        let (w, h) =
+            affinity_with_rule(&pts, Kernel::Gaussian, Bandwidth::Fixed(0.5), None).unwrap();
         assert_eq!(h, 0.5);
         assert_eq!(w.rows(), 3);
         let (_, h_rate) =

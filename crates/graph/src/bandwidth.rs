@@ -59,7 +59,7 @@ pub fn median_heuristic(points: &Matrix) -> Result<f64> {
             dists.push(squared_distance(points.row(i), points.row(j)));
         }
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    dists.sort_by(|a, b| a.total_cmp(b));
     let mid = dists.len() / 2;
     let median = if dists.len() % 2 == 0 {
         0.5 * (dists[mid - 1] + dists[mid])
@@ -105,7 +105,6 @@ pub fn silverman(points: &Matrix) -> Result<f64> {
 /// A declarative bandwidth rule, resolved against data when the graph is
 /// built.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Bandwidth {
     /// Use the given bandwidth as-is.
@@ -218,8 +217,7 @@ mod tests {
 
     #[test]
     fn silverman_positive_on_spread_data() {
-        let pts = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0], &[2.0, 1.0], &[3.0, 4.0]])
-            .unwrap();
+        let pts = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0], &[2.0, 1.0], &[3.0, 4.0]]).unwrap();
         let h = silverman(&pts).unwrap();
         assert!(h > 0.0);
     }

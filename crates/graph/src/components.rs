@@ -165,8 +165,7 @@ pub fn unlabeled_anchored(w: &Matrix, n_labeled: usize, threshold: f64) -> Resul
         });
     }
     let labels = connected_components(w, threshold)?;
-    let anchored: std::collections::HashSet<usize> =
-        labels[..n_labeled].iter().copied().collect();
+    let anchored: std::collections::HashSet<usize> = labels[..n_labeled].iter().copied().collect();
     Ok(labels[n_labeled..].iter().all(|l| anchored.contains(l)))
 }
 

@@ -12,7 +12,6 @@ use gssl_linalg::Matrix;
 
 /// Summary statistics of a (dense) affinity graph.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphReport {
     /// Number of vertices.
     pub vertex_count: usize,
@@ -159,10 +158,7 @@ mod tests {
         let w = affinity_matrix(&spread_points(), Kernel::Gaussian, 500.0).unwrap();
         let report = GraphReport::compute(&w, 1e-6).unwrap();
         assert!(report.saturation > 0.99);
-        assert!(report
-            .warnings()
-            .iter()
-            .any(|w| w.contains("saturation")));
+        assert!(report.warnings().iter().any(|w| w.contains("saturation")));
     }
 
     #[test]
@@ -173,10 +169,7 @@ mod tests {
         let report = GraphReport::compute(&w, 0.0).unwrap();
         assert_eq!(report.component_count, 2);
         assert!(!report.is_connected());
-        assert!(report
-            .warnings()
-            .iter()
-            .any(|w| w.contains("components")));
+        assert!(report.warnings().iter().any(|w| w.contains("components")));
     }
 
     #[test]
@@ -191,12 +184,7 @@ mod tests {
     #[test]
     fn edge_count_matches_hand_count() {
         // Path graph 0-1-2 (unit weights, no self-loops).
-        let w = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]).unwrap();
         let report = GraphReport::compute(&w, 0.0).unwrap();
         assert_eq!(report.edge_count, 2);
         assert_eq!(report.mean_degree, 4.0 / 3.0);

@@ -22,7 +22,6 @@ use crate::error::{Error, Result};
 /// density-estimation normalizing constants — only ratios of weights enter
 /// the criteria).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Kernel {
     /// Gaussian radial basis function `exp(−t²)`. Not compactly supported;

@@ -12,7 +12,6 @@ use gssl_linalg::{CsrMatrix, Matrix};
 
 /// How to symmetrize a directed kNN relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Symmetrization {
     /// Keep an edge when *either* endpoint lists the other among its k
     /// nearest neighbours (the usual choice; keeps the graph connected
@@ -63,7 +62,7 @@ pub fn knn_graph(
             .filter(|&j| j != i)
             .map(|j| (j, squared_distance(points.row(i), points.row(j))))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         neighbors.push(dists[..k].iter().map(|&(j, _)| j).collect());
     }
 
@@ -149,8 +148,14 @@ mod tests {
 
     #[test]
     fn knn_graph_is_symmetric() {
-        let g = knn_graph(&line_points(), 2, Kernel::Gaussian, 1.0, Symmetrization::Union)
-            .unwrap();
+        let g = knn_graph(
+            &line_points(),
+            2,
+            Kernel::Gaussian,
+            1.0,
+            Symmetrization::Union,
+        )
+        .unwrap();
         assert!(g.is_symmetric(1e-15));
         assert_eq!(g.rows(), 5);
     }
@@ -161,10 +166,22 @@ mod tests {
         // Union(1-NN) keeps 1-2 and 3-4 edges; mutual keeps only pairs that
         // choose each other: (0,1)? 0's NN is 1; 1's NN is 0 or 2 (dist 1
         // both, sort stable -> 0 first). Check counts differ or mutual ⊆ union.
-        let union = knn_graph(&line_points(), 2, Kernel::Gaussian, 5.0, Symmetrization::Union)
-            .unwrap();
-        let mutual = knn_graph(&line_points(), 2, Kernel::Gaussian, 5.0, Symmetrization::Mutual)
-            .unwrap();
+        let union = knn_graph(
+            &line_points(),
+            2,
+            Kernel::Gaussian,
+            5.0,
+            Symmetrization::Union,
+        )
+        .unwrap();
+        let mutual = knn_graph(
+            &line_points(),
+            2,
+            Kernel::Gaussian,
+            5.0,
+            Symmetrization::Mutual,
+        )
+        .unwrap();
         assert!(mutual.nnz() <= union.nnz());
         // Every mutual edge is a union edge with equal weight.
         for i in 0..5 {
@@ -176,8 +193,14 @@ mod tests {
 
     #[test]
     fn knn_has_no_self_loops() {
-        let g = knn_graph(&line_points(), 3, Kernel::Gaussian, 1.0, Symmetrization::Union)
-            .unwrap();
+        let g = knn_graph(
+            &line_points(),
+            3,
+            Kernel::Gaussian,
+            1.0,
+            Symmetrization::Union,
+        )
+        .unwrap();
         for i in 0..5 {
             assert_eq!(g.get(i, i), 0.0);
         }
@@ -185,8 +208,14 @@ mod tests {
 
     #[test]
     fn knn_weights_match_kernel() {
-        let g = knn_graph(&line_points(), 1, Kernel::Gaussian, 2.0, Symmetrization::Union)
-            .unwrap();
+        let g = knn_graph(
+            &line_points(),
+            1,
+            Kernel::Gaussian,
+            2.0,
+            Symmetrization::Union,
+        )
+        .unwrap();
         // Edge 0-1 has distance 1 => weight exp(-1/4).
         assert!((g.get(0, 1) - (-0.25f64).exp()).abs() < 1e-15);
     }
@@ -197,8 +226,14 @@ mod tests {
         assert!(knn_graph(&pts, 0, Kernel::Gaussian, 1.0, Symmetrization::Union).is_err());
         assert!(knn_graph(&pts, 5, Kernel::Gaussian, 1.0, Symmetrization::Union).is_err());
         assert!(knn_graph(&pts, 2, Kernel::Gaussian, 0.0, Symmetrization::Union).is_err());
-        assert!(knn_graph(&Matrix::zeros(0, 1), 1, Kernel::Gaussian, 1.0, Symmetrization::Union)
-            .is_err());
+        assert!(knn_graph(
+            &Matrix::zeros(0, 1),
+            1,
+            Kernel::Gaussian,
+            1.0,
+            Symmetrization::Union
+        )
+        .is_err());
     }
 
     #[test]
@@ -233,8 +268,14 @@ mod tests {
     fn compact_kernel_can_zero_out_knn_edges() {
         // Boxcar with bandwidth 0.5: even nearest neighbours at distance 1
         // get weight 0, so the edge is dropped entirely.
-        let g = knn_graph(&line_points(), 1, Kernel::Boxcar, 0.5, Symmetrization::Union)
-            .unwrap();
+        let g = knn_graph(
+            &line_points(),
+            1,
+            Kernel::Boxcar,
+            0.5,
+            Symmetrization::Union,
+        )
+        .unwrap();
         assert_eq!(g.nnz(), 0);
     }
 }

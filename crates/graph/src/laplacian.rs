@@ -5,7 +5,6 @@ use gssl_linalg::{Matrix, Vector};
 
 /// Which Laplacian normalization to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum LaplacianKind {
     /// `L = D − W` — the paper's choice (see its Eq. 3).
@@ -105,11 +104,7 @@ pub fn dirichlet_energy(w: &Matrix, f: &Vector) -> Result<f64> {
     require_square(w)?;
     if f.len() != w.rows() {
         return Err(Error::InvalidArgument {
-            message: format!(
-                "score vector has length {}, expected {}",
-                f.len(),
-                w.rows()
-            ),
+            message: format!("score vector has length {}, expected {}", f.len(), w.rows()),
         });
     }
     let mut energy = 0.0;
@@ -191,8 +186,7 @@ mod tests {
     #[test]
     fn symmetric_laplacian_of_regular_graph() {
         // Complete graph K3 without self-loops: every degree is 2.
-        let w = Matrix::from_rows(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]])
-            .unwrap();
+        let w = Matrix::from_rows(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]]).unwrap();
         let l = laplacian(&w, LaplacianKind::Symmetric).unwrap();
         assert!(l.is_symmetric(1e-15));
         assert!((l.get(0, 0) - 1.0).abs() < 1e-15);

@@ -33,16 +33,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Dense kernel affinity matrices over point clouds.
 pub mod affinity;
+/// Bandwidth selection rules, including the paper's rate.
 pub mod bandwidth;
+/// Connected-component analysis and anchoring checks.
 pub mod components;
 mod diagnostics;
 mod error;
 mod kernel;
 mod knn;
 mod laplacian;
+/// Spectral embeddings and spectral clustering utilities.
 pub mod spectral;
 
 pub use diagnostics::GraphReport;

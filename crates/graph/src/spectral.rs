@@ -6,6 +6,7 @@
 //! lets the `gssl::theory` module measure that quantity directly.
 
 use crate::error::{Error, Result};
+use gssl_linalg::float::is_exactly_zero;
 use gssl_linalg::{LinearOperator, Vector};
 
 /// Options for power iteration.
@@ -82,7 +83,7 @@ pub fn power_iteration(
         // Rayleigh quotient gives a signed estimate.
         let lambda: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         let norm = l2(&y);
-        if norm == 0.0 {
+        if is_exactly_zero(norm) {
             // x is in the null space and the operator may be 0; eigenvalue 0.
             return Ok(PowerIterationOutcome {
                 eigenvalue: 0.0,
@@ -199,12 +200,8 @@ pub fn spectral_clusters(w: &gssl_linalg::Matrix, k: usize) -> Result<Vec<usize>
 fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
     let n = points.rows();
     let d = points.cols();
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     // Farthest-point init: start from the vector with the largest norm
     // (deterministic), then greedily add the point farthest from the
@@ -214,7 +211,7 @@ fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
         .max_by(|&a, &b| {
             let na: f64 = points.row(a).iter().map(|v| v * v).sum();
             let nb: f64 = points.row(b).iter().map(|v| v * v).sum();
-            na.partial_cmp(&nb).expect("finite embedding")
+            na.total_cmp(&nb)
         })
         .unwrap_or(0);
     centers.push(points.row(first).to_vec());
@@ -229,7 +226,7 @@ fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
                     .iter()
                     .map(|c| dist2(points.row(b), c))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).expect("finite embedding")
+                da.total_cmp(&db)
             })
             .unwrap_or(0);
         centers.push(points.row(next).to_vec());
@@ -244,9 +241,7 @@ fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    dist2(points.row(i), a)
-                        .partial_cmp(&dist2(points.row(i), b))
-                        .expect("finite embedding")
+                    dist2(points.row(i), a).total_cmp(&dist2(points.row(i), b))
                 })
                 .map(|(c, _)| c)
                 .unwrap_or(0);
@@ -265,8 +260,8 @@ fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
                 continue; // keep the old center for empty clusters
             }
             for (j, value) in center.iter_mut().enumerate().take(d) {
-                *value = members.iter().map(|&i| points.get(i, j)).sum::<f64>()
-                    / members.len() as f64;
+                *value =
+                    members.iter().map(|&i| points.get(i, j)).sum::<f64>() / members.len() as f64;
             }
         }
     }
@@ -374,7 +369,11 @@ mod tests {
         assert_eq!(side(0), side(2));
         assert_eq!(side(3), side(4));
         assert_eq!(side(3), side(5));
-        assert_ne!(side(0), side(3), "Fiedler vector failed to split the barbell");
+        assert_ne!(
+            side(0),
+            side(3),
+            "Fiedler vector failed to split the barbell"
+        );
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! Property-based tests for graph construction invariants.
+//! Property-style tests for graph construction invariants.
+//!
+//! Originally written against `proptest`; the workspace is now fully
+//! offline and dependency-free, so each property is exercised over a
+//! deterministic sweep of seeded random cases instead of a shrinking
+//! strategy. Seeds are fixed, so failures are exactly reproducible.
 
 use gssl_graph::{
     affinity::{affinity_matrix, pairwise_squared_distances},
@@ -7,137 +12,182 @@ use gssl_graph::{
     Symmetrization,
 };
 use gssl_linalg::{Matrix, Vector};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 const N_POINTS: usize = 8;
 const DIM: usize = 3;
+const CASES: u64 = 24;
 
-fn point_cloud() -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-2.0f64..2.0, N_POINTS * DIM)
-        .prop_map(|data| Matrix::from_vec(N_POINTS, DIM, data).expect("length fixed"))
+fn point_cloud(rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(N_POINTS, DIM, |_, _| rng.gen::<f64>() * 4.0 - 2.0)
 }
 
-fn any_kernel() -> impl Strategy<Value = Kernel> {
-    prop::sample::select(Kernel::all().to_vec())
+fn any_kernel(rng: &mut StdRng) -> Kernel {
+    *Kernel::all().choose(rng).expect("kernel list is non-empty")
 }
 
-fn scores() -> impl Strategy<Value = Vector> {
-    prop::collection::vec(-1.0f64..1.0, N_POINTS).prop_map(Vector::from)
+fn scores(rng: &mut StdRng) -> Vector {
+    Vector::from_fn(N_POINTS, |_| rng.gen::<f64>() * 2.0 - 1.0)
 }
 
-proptest! {
-    #[test]
-    fn affinity_is_symmetric_in_unit_range(pts in point_cloud(), kernel in any_kernel(),
-                                           h in 0.1f64..3.0) {
+/// Runs `body` once per seeded case.
+fn for_cases(mut body: impl FnMut(&mut StdRng)) {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6A17 + seed);
+        body(&mut rng);
+    }
+}
+
+#[test]
+fn affinity_is_symmetric_in_unit_range() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let kernel = any_kernel(rng);
+        let h = rng.gen_range(0.1..3.0);
         let w = affinity_matrix(&pts, kernel, h).unwrap();
-        prop_assert!(w.is_symmetric(0.0));
+        assert!(w.is_symmetric(0.0));
         for i in 0..N_POINTS {
-            prop_assert_eq!(w.get(i, i), 1.0);
+            assert_eq!(w.get(i, i), 1.0);
             for j in 0..N_POINTS {
                 let v = w.get(i, j);
-                prop_assert!((0.0..=1.0).contains(&v));
+                assert!((0.0..=1.0).contains(&v));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn affinity_decreases_with_distance_rank(pts in point_cloud(), h in 0.2f64..2.0) {
+#[test]
+fn affinity_decreases_with_distance_rank() {
+    for_cases(|rng| {
         // For the Gaussian kernel, larger distance => no larger weight.
+        let pts = point_cloud(rng);
+        let h = rng.gen_range(0.2..2.0);
         let d2 = pairwise_squared_distances(&pts).unwrap();
         let w = affinity_matrix(&pts, Kernel::Gaussian, h).unwrap();
         for i in 0..N_POINTS {
             for j in 0..N_POINTS {
                 for k in 0..N_POINTS {
                     if d2.get(i, j) <= d2.get(i, k) {
-                        prop_assert!(w.get(i, j) >= w.get(i, k) - 1e-15);
+                        assert!(w.get(i, j) >= w.get(i, k) - 1e-15);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn laplacian_rows_sum_to_zero_and_psd(pts in point_cloud(), kernel in any_kernel(),
-                                          h in 0.1f64..3.0, f in scores()) {
+#[test]
+fn laplacian_rows_sum_to_zero_and_psd() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let kernel = any_kernel(rng);
+        let h = rng.gen_range(0.1..3.0);
+        let f = scores(rng);
         let w = affinity_matrix(&pts, kernel, h).unwrap();
         let l = laplacian(&w, LaplacianKind::Unnormalized).unwrap();
-        prop_assert!(l.is_symmetric(1e-12));
+        assert!(l.is_symmetric(1e-12));
         for s in l.row_sums().iter() {
-            prop_assert!(s.abs() < 1e-10);
+            assert!(s.abs() < 1e-10);
         }
         let quad = f.dot(&l.matvec(&f).unwrap()).unwrap();
-        prop_assert!(quad >= -1e-10);
+        assert!(quad >= -1e-10);
         // The paper's penalty is exactly twice the quadratic form.
         let energy = dirichlet_energy(&w, &f).unwrap();
-        prop_assert!((energy - 2.0 * quad).abs() <= 1e-9 * energy.abs().max(1.0));
-    }
+        assert!((energy - 2.0 * quad).abs() <= 1e-9 * energy.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn degrees_are_at_least_self_weight(pts in point_cloud(), kernel in any_kernel(),
-                                        h in 0.1f64..3.0) {
+#[test]
+fn degrees_are_at_least_self_weight() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let kernel = any_kernel(rng);
+        let h = rng.gen_range(0.1..3.0);
         let w = affinity_matrix(&pts, kernel, h).unwrap();
         for d in degrees(&w).unwrap().iter() {
-            prop_assert!(d >= 1.0 - 1e-15); // w_ii = 1 contributes
+            assert!(d >= 1.0 - 1e-15); // w_ii = 1 contributes
         }
-    }
+    });
+}
 
-    #[test]
-    fn knn_graph_is_symmetric_without_self_loops(pts in point_cloud(), k in 1usize..N_POINTS,
-                                                 h in 0.2f64..2.0) {
+#[test]
+fn knn_graph_is_symmetric_without_self_loops() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let k = rng.gen_range(1..N_POINTS);
+        let h = rng.gen_range(0.2..2.0);
         let g = knn_graph(&pts, k, Kernel::Gaussian, h, Symmetrization::Union).unwrap();
-        prop_assert!(g.is_symmetric(1e-12));
+        assert!(g.is_symmetric(1e-12));
         for i in 0..N_POINTS {
-            prop_assert_eq!(g.get(i, i), 0.0);
+            assert_eq!(g.get(i, i), 0.0);
         }
         // Union graph has at least k edges incident per vertex... at least
         // the out-edges survive (Gaussian weight is always positive).
         for i in 0..N_POINTS {
-            prop_assert!(g.row_iter(i).count() >= k);
+            assert!(g.row_iter(i).count() >= k);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mutual_knn_is_subgraph_of_union(pts in point_cloud(), k in 1usize..N_POINTS,
-                                       h in 0.2f64..2.0) {
+#[test]
+fn mutual_knn_is_subgraph_of_union() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let k = rng.gen_range(1..N_POINTS);
+        let h = rng.gen_range(0.2..2.0);
         let union = knn_graph(&pts, k, Kernel::Gaussian, h, Symmetrization::Union).unwrap();
         let mutual = knn_graph(&pts, k, Kernel::Gaussian, h, Symmetrization::Mutual).unwrap();
-        prop_assert!(mutual.nnz() <= union.nnz());
+        assert!(mutual.nnz() <= union.nnz());
         for i in 0..N_POINTS {
             for (j, v) in mutual.row_iter(i) {
-                prop_assert!((union.get(i, j) - v).abs() < 1e-15);
+                assert!((union.get(i, j) - v).abs() < 1e-15);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn epsilon_graph_edges_respect_radius(pts in point_cloud(), eps in 0.5f64..4.0) {
+#[test]
+fn epsilon_graph_edges_respect_radius() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let eps = rng.gen_range(0.5..4.0);
         let g = epsilon_graph(&pts, eps, Kernel::Gaussian, 1.0).unwrap();
         let d2 = pairwise_squared_distances(&pts).unwrap();
         for i in 0..N_POINTS {
             for (j, _) in g.row_iter(i) {
-                prop_assert!(d2.get(i, j) <= eps * eps + 1e-12);
+                assert!(d2.get(i, j) <= eps * eps + 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn full_gaussian_graph_is_connected(pts in point_cloud(), h in 1.0f64..3.0) {
+#[test]
+fn full_gaussian_graph_is_connected() {
+    for_cases(|rng| {
         // Gaussian weights are strictly positive => one component. (At
         // much smaller bandwidths exp(-d²/h²) underflows to exactly 0 in
         // f64, so the bandwidth range here keeps weights representable.)
+        let pts = point_cloud(rng);
+        let h = rng.gen_range(1.0..3.0);
         let w = affinity_matrix(&pts, Kernel::Gaussian, h).unwrap();
-        prop_assert!(is_connected(&w, 0.0).unwrap());
+        assert!(is_connected(&w, 0.0).unwrap());
         let labels = connected_components(&w, 0.0).unwrap();
-        prop_assert!(labels.iter().all(|&l| l == 0));
-    }
+        assert!(labels.iter().all(|&l| l == 0));
+    });
+}
 
-    #[test]
-    fn component_labels_are_contiguous(pts in point_cloud(), eps in 0.2f64..3.0) {
+#[test]
+fn component_labels_are_contiguous() {
+    for_cases(|rng| {
+        let pts = point_cloud(rng);
+        let eps = rng.gen_range(0.2..3.0);
         let g = epsilon_graph(&pts, eps, Kernel::Boxcar, eps).unwrap();
         let labels = connected_components(&g.to_dense(), 0.0).unwrap();
         let max = labels.iter().copied().max().unwrap();
         for expect in 0..=max {
-            prop_assert!(labels.contains(&expect), "label {expect} skipped");
+            assert!(labels.contains(&expect), "label {expect} skipped");
         }
-    }
+    });
 }

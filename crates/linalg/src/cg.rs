@@ -5,7 +5,9 @@
 //! unlabeled vertices) to a labeled vertex.
 
 use crate::error::{Error, Result};
+use crate::float::is_exactly_zero;
 use crate::ops::LinearOperator;
+use crate::strict;
 use crate::vector::{dot_slices, Vector};
 
 /// Options controlling a conjugate-gradient run.
@@ -47,6 +49,8 @@ pub struct CgOutcome {
 /// * [`Error::DimensionMismatch`] when `b.len() != op.dim()`.
 /// * [`Error::InvalidArgument`] when the tolerance is not positive.
 /// * [`Error::NotConverged`] when the iteration budget is exhausted.
+/// * [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
+///   side or the computed solution is non-finite.
 ///
 /// ```
 /// use gssl_linalg::{conjugate_gradient, CgOptions, Matrix, Vector};
@@ -76,6 +80,7 @@ pub fn conjugate_gradient(
             message: format!("tolerance must be positive, got {}", options.tolerance),
         });
     }
+    strict::check_finite("conjugate_gradient rhs", b.as_slice())?;
     let max_iterations = if options.max_iterations == 0 {
         (2 * n).max(50)
     } else {
@@ -83,7 +88,7 @@ pub fn conjugate_gradient(
     };
 
     let b_norm = b.norm_l2();
-    if b_norm == 0.0 {
+    if is_exactly_zero(b_norm) {
         return Ok(CgOutcome {
             solution: Vector::zeros(n),
             iterations: 0,
@@ -100,6 +105,7 @@ pub fn conjugate_gradient(
 
     for k in 0..max_iterations {
         if rs_old.sqrt() <= threshold {
+            strict::check_finite("conjugate_gradient output", &x)?;
             return Ok(CgOutcome {
                 solution: Vector::from(x),
                 iterations: k,
@@ -130,6 +136,7 @@ pub fn conjugate_gradient(
     }
 
     if rs_old.sqrt() <= threshold {
+        strict::check_finite("conjugate_gradient output", &x)?;
         Ok(CgOutcome {
             solution: Vector::from(x),
             iterations: max_iterations,
@@ -190,12 +197,8 @@ mod tests {
     #[test]
     fn reports_non_convergence_on_tiny_budget() {
         // A moderately conditioned SPD matrix cannot converge in one step.
-        let a = Matrix::from_rows(&[
-            &[10.0, 1.0, 0.0],
-            &[1.0, 5.0, 1.0],
-            &[0.0, 1.0, 1.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[10.0, 1.0, 0.0], &[1.0, 5.0, 1.0], &[0.0, 1.0, 1.0]]).unwrap();
         let opts = CgOptions {
             max_iterations: 1,
             tolerance: 1e-14,
@@ -214,12 +217,8 @@ mod tests {
     #[test]
     fn works_through_operator_abstraction() {
         // Solve (L + I) x = b with L a graph Laplacian given lazily.
-        let l = Matrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ])
-        .unwrap();
+        let l =
+            Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]).unwrap();
         let shifted = ShiftedOperator::new(&l, 1.0);
         let b = Vector::from(vec![1.0, 0.0, -1.0]);
         let out = conjugate_gradient(&shifted, &b, &CgOptions::default()).unwrap();

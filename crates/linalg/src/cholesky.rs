@@ -7,7 +7,13 @@
 
 use crate::error::{Error, Result};
 use crate::matrix::Matrix;
+use crate::strict;
 use crate::vector::Vector;
+
+/// Absolute symmetry tolerance applied by the `strict-checks` sanitizer to
+/// Cholesky inputs (the criteria's system matrices are symmetric exactly,
+/// up to assembly rounding).
+const STRICT_SYMMETRY_TOL: f64 = 1e-9;
 
 /// A Cholesky factorization `A = L Lᵀ` with `L` lower triangular.
 ///
@@ -39,10 +45,14 @@ impl Cholesky {
     /// * [`Error::NotSquare`] when `a` is not square.
     /// * [`Error::NotPositiveDefinite`] when a diagonal pivot is `<= 0`
     ///   (or not finite).
+    /// * [`Error::NonFiniteValue`] / [`Error::InvalidArgument`] under
+    ///   `strict-checks` when `a` is non-finite or asymmetric.
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
         }
+        strict::check_finite_matrix("cholesky.factor input", a)?;
+        strict::check_symmetric("cholesky.factor input", a, STRICT_SYMMETRY_TOL)?;
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -81,7 +91,9 @@ impl Cholesky {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`.
+    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`, or
+    /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
+    /// side or the computed solution is non-finite.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -91,6 +103,7 @@ impl Cholesky {
                 right: (b.len(), 1),
             });
         }
+        strict::check_finite("cholesky.solve rhs", b.as_slice())?;
         // Forward: L y = b.
         let mut x = vec![0.0; n];
         for i in 0..n {
@@ -108,6 +121,7 @@ impl Cholesky {
             }
             x[i] = sum / self.lower.get(i, i);
         }
+        strict::check_finite("cholesky.solve output", &x)?;
         Ok(Vector::from(x))
     }
 
@@ -175,8 +189,8 @@ mod tests {
 
     fn spd_sample() -> Matrix {
         // A = Bᵀ B + I is SPD for any B.
-        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]])
-            .unwrap();
+        let b =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
         &b.transpose().matmul(&b).unwrap() + &Matrix::identity(3)
     }
 
@@ -214,7 +228,10 @@ mod tests {
         let a = spd_sample();
         let chol = Cholesky::factor(&a).unwrap();
         let inv = chol.inverse().unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-11));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-11));
     }
 
     #[test]

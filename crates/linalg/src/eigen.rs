@@ -182,7 +182,7 @@ fn off_diagonal_norm(m: &Matrix) -> f64 {
 fn sorted_decomposition(m: &Matrix, v: &Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| m.get(a, a).partial_cmp(&m.get(b, b)).expect("finite"));
+    order.sort_by(|&a, &b| m.get(a, a).total_cmp(&m.get(b, b)));
     let eigenvalues: Vector = order.iter().map(|&k| m.get(k, k)).collect();
     let eigenvectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
     SymmetricEigen {
@@ -300,21 +300,17 @@ mod tests {
         let base = Matrix::from_fn(7, 7, |i, j| ((i * 5 + j * 3) as f64 * 0.29).sin());
         let a = &base + &base.transpose();
         let eig = symmetric_eigen(&a, &EigenOptions::default()).unwrap();
-        let dominant = eig
-            .eigenvalues()
-            .iter()
-            .fold(0.0f64, |acc, v| if v.abs() > acc.abs() { v } else { acc });
+        let dominant =
+            eig.eigenvalues()
+                .iter()
+                .fold(0.0f64, |acc, v| if v.abs() > acc.abs() { v } else { acc });
         // Cross-check with a crude power iteration on A.
         let mut x = vec![1.0; 7];
         let mut lambda = 0.0;
         for _ in 0..500 {
             let y = a.matvec(&Vector::from(x.as_slice())).unwrap();
             let norm = y.norm_l2();
-            lambda = x
-                .iter()
-                .zip(y.as_slice())
-                .map(|(a, b)| a * b)
-                .sum::<f64>();
+            lambda = x.iter().zip(y.as_slice()).map(|(a, b)| a * b).sum::<f64>();
             x = y.as_slice().iter().map(|v| v / norm).collect();
         }
         assert!((lambda.abs() - dominant.abs()).abs() < 1e-6);

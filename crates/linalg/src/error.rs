@@ -53,6 +53,17 @@ pub enum Error {
         /// Description of the violated requirement.
         message: String,
     },
+    /// A NaN or infinite value crossed a solver boundary.
+    ///
+    /// Produced by the runtime numeric sanitizer (the `strict-checks`
+    /// feature); see [`crate::strict`]. Reports the boundary at which the
+    /// value was first observed rather than letting it propagate.
+    NonFiniteValue {
+        /// The guarded boundary (e.g. `"cholesky.factor input"`).
+        context: &'static str,
+        /// Flat (row-major for matrices) index of the first offender.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -91,6 +102,10 @@ impl fmt::Display for Error {
             Error::InvalidArgument { message } => {
                 write!(f, "invalid argument: {message}")
             }
+            Error::NonFiniteValue { context, index } => write!(
+                f,
+                "non-finite value (NaN or infinity) at {context}, element {index}"
+            ),
         }
     }
 }
@@ -140,6 +155,18 @@ mod tests {
         .to_string();
         assert!(text.contains("10"));
         assert!(text.contains("5.000e-1"));
+    }
+
+    #[test]
+    fn display_non_finite_value() {
+        let text = Error::NonFiniteValue {
+            context: "lu.factor input",
+            index: 4,
+        }
+        .to_string();
+        assert!(text.contains("lu.factor input"));
+        assert!(text.contains("4"));
+        assert!(text.contains("non-finite"));
     }
 
     #[test]

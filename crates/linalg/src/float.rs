@@ -1,0 +1,62 @@
+//! Named floating-point comparison idioms.
+//!
+//! Bare `==` / `!=` on `f64` is banned across the workspace (enforced by
+//! `gssl-xtask check`): almost every such comparison is a bug waiting for
+//! rounding error. The few legitimate uses are *exact sentinel tests* —
+//! "was this entry never written?", "is this weight structurally absent?" —
+//! and those must go through the named helpers below so the intent is
+//! explicit at the call site.
+
+/// Exact test against positive or negative zero.
+///
+/// Use only for structural sentinels (an entry that was never assigned, a
+/// weight that is absent by construction), never for "is this small".
+///
+/// ```
+/// use gssl_linalg::float::is_exactly_zero;
+/// assert!(is_exactly_zero(0.0));
+/// assert!(is_exactly_zero(-0.0));
+/// assert!(!is_exactly_zero(1e-300));
+/// ```
+#[inline]
+#[must_use]
+pub fn is_exactly_zero(x: f64) -> bool {
+    // The one sanctioned bare float comparison in the workspace.
+    x == 0.0 // lint: allow(float_eq)
+}
+
+/// Exact test against `1.0`.
+///
+/// Use only where `1.0` is a structural sentinel (e.g. an untouched
+/// normalization factor), never for approximate comparison.
+///
+/// ```
+/// use gssl_linalg::float::is_exactly_one;
+/// assert!(is_exactly_one(1.0));
+/// assert!(!is_exactly_one(1.0 + f64::EPSILON));
+/// ```
+#[inline]
+#[must_use]
+pub fn is_exactly_one(x: f64) -> bool {
+    is_exactly_zero(x - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_detects_both_signs() {
+        assert!(is_exactly_zero(0.0));
+        assert!(is_exactly_zero(-0.0));
+        assert!(!is_exactly_zero(f64::MIN_POSITIVE));
+        assert!(!is_exactly_zero(f64::NAN));
+    }
+
+    #[test]
+    fn one_is_exact() {
+        assert!(is_exactly_one(1.0));
+        assert!(!is_exactly_one(0.9999999999999999));
+        assert!(!is_exactly_one(f64::NAN));
+    }
+}

@@ -60,7 +60,7 @@ fn check_system(a: &Matrix, b: &Vector, operation: &'static str) -> Result<usize
         });
     }
     for i in 0..a.rows() {
-        if a.get(i, i) == 0.0 {
+        if crate::float::is_exactly_zero(a.get(i, i)) {
             return Err(Error::Singular { pivot: i });
         }
     }
@@ -200,12 +200,8 @@ mod tests {
     use super::*;
 
     fn dominant_system() -> (Matrix, Vector, Vector) {
-        let a = Matrix::from_rows(&[
-            &[10.0, -1.0, 2.0],
-            &[-1.0, 11.0, -1.0],
-            &[2.0, -1.0, 10.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[10.0, -1.0, 2.0], &[-1.0, 11.0, -1.0], &[2.0, -1.0, 10.0]])
+            .unwrap();
         let b = Vector::from(vec![6.0, 25.0, -11.0]);
         let exact = crate::lu::solve(&a, &b).unwrap();
         (a, b, exact)

@@ -35,18 +35,22 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod blocks;
 mod cg;
 mod cholesky;
 mod eigen;
 mod error;
+/// Named helpers for the rare exact floating-point comparisons.
+pub mod float;
 mod iterative;
 mod lu;
 mod matrix;
 mod ops;
 mod sparse;
+/// Runtime numeric sanitizer behind the `strict-checks` feature.
+pub mod strict;
 mod vector;
 
 pub use blocks::BlockPartition;

@@ -4,7 +4,9 @@
 //! systems (Eq. 4 and Eq. 5); [`Lu`] is the general-purpose direct backend.
 
 use crate::error::{Error, Result};
+use crate::float::is_exactly_zero;
 use crate::matrix::Matrix;
+use crate::strict;
 use crate::vector::Vector;
 
 /// Relative pivot threshold below which a matrix is declared singular.
@@ -40,10 +42,13 @@ impl Lu {
     ///
     /// * [`Error::NotSquare`] when `a` is not square.
     /// * [`Error::Singular`] when a pivot is (numerically) zero.
+    /// * [`Error::NonFiniteValue`] when `a` contains NaN/infinity and the
+    ///   `strict-checks` feature is enabled.
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
         }
+        strict::check_finite_matrix("lu.factor input", a)?;
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -73,7 +78,7 @@ impl Lu {
             for i in (k + 1)..n {
                 let factor = lu.get(i, k) / pivot;
                 lu.set(i, k, factor);
-                if factor != 0.0 {
+                if !is_exactly_zero(factor) {
                     for j in (k + 1)..n {
                         let v = lu.get(i, j) - factor * lu.get(k, j);
                         lu.set(i, j, v);
@@ -98,7 +103,9 @@ impl Lu {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`.
+    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`, or
+    /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
+    /// side or the computed solution is non-finite.
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -108,6 +115,7 @@ impl Lu {
                 right: (b.len(), 1),
             });
         }
+        strict::check_finite("lu.solve rhs", b.as_slice())?;
         // Apply permutation: y = P b.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         // Forward substitution with unit lower triangle.
@@ -126,6 +134,7 @@ impl Lu {
             }
             x[i] = sum / self.factors.get(i, i);
         }
+        strict::check_finite("lu.solve output", &x)?;
         Ok(Vector::from(x))
     }
 
@@ -214,8 +223,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let b = Vector::from(vec![8.0, -11.0, -3.0]);
         let x = solve(&a, &b).unwrap();
         assert!(x.approx_eq(&Vector::from(vec![2.0, 3.0, -1.0]), 1e-12));
@@ -285,7 +294,9 @@ mod tests {
         let n = 25;
         let mut state = 1u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a = Matrix::from_fn(n, n, |i, j| {

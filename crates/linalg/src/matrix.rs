@@ -18,7 +18,6 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 /// assert_eq!(a.transpose().get(0, 1), 3.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -249,7 +248,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a_ik = self.get(i, k);
-                if a_ik == 0.0 {
+                if crate::float::is_exactly_zero(a_ik) {
                     continue;
                 }
                 let rhs_row = rhs.row(k);
@@ -310,7 +309,9 @@ impl Matrix {
     /// Returns [`Error::NotSquare`] for non-square matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(Error::NotSquare { shape: self.shape() });
+            return Err(Error::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok(self.diag().sum())
     }
@@ -579,7 +580,13 @@ mod tests {
     #[test]
     fn from_rows_validates_ragged_input() {
         let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
-        assert!(matches!(err, Error::InvalidLength { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            Error::InvalidLength {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -610,7 +617,10 @@ mod tests {
         assert_eq!(a.matmul(&Matrix::identity(2)).unwrap(), a);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -618,7 +628,10 @@ mod tests {
         let a = sample();
         assert!(matches!(
             a.matmul(&a),
-            Err(Error::DimensionMismatch { operation: "matmul", .. })
+            Err(Error::DimensionMismatch {
+                operation: "matmul",
+                ..
+            })
         ));
     }
 

@@ -17,7 +17,6 @@ use crate::matrix::Matrix;
 /// assert_eq!(m.get(0, 0), 0.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -49,13 +48,15 @@ impl CsrMatrix {
     ///
     /// Returns [`Error::InvalidArgument`] when any coordinate is out of
     /// bounds.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows || c >= cols {
                 return Err(Error::InvalidArgument {
-                    message: format!(
-                        "triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"
-                    ),
+                    message: format!("triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"),
                 });
             }
         }
@@ -77,7 +78,7 @@ impl CsrMatrix {
                     continue;
                 }
             }
-            if v == 0.0 {
+            if crate::float::is_exactly_zero(v) {
                 continue;
             }
             indices.push(c);
@@ -225,7 +226,7 @@ impl CsrMatrix {
         }
         // Coordinates came from a valid matrix, so this cannot fail.
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
-            .expect("transpose produced invalid coordinates")
+            .expect("transpose produced invalid coordinates") // lint: allow(no_panic)
     }
 
     /// Returns `true` when the matrix equals its transpose up to `tol`.
@@ -305,13 +306,11 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense() {
-        let dense = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
-            .unwrap();
+        let dense =
+            Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]).unwrap();
         let sparse = CsrMatrix::from_dense(&dense, 0.0);
         let x = [1.0, 2.0, 3.0];
-        let expected = dense
-            .matvec(&crate::Vector::from(x.as_slice()))
-            .unwrap();
+        let expected = dense.matvec(&crate::Vector::from(x.as_slice())).unwrap();
         assert_eq!(sparse.matvec(&x), expected.as_slice().to_vec());
     }
 

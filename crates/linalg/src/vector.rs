@@ -17,7 +17,6 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(v.norm_l2(), 5.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vector {
     data: Vec<f64>,
 }
@@ -385,7 +384,10 @@ mod tests {
         let b = Vector::zeros(3);
         assert!(matches!(
             a.dot(&b),
-            Err(Error::DimensionMismatch { operation: "dot", .. })
+            Err(Error::DimensionMismatch {
+                operation: "dot",
+                ..
+            })
         ));
     }
 

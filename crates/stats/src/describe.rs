@@ -74,7 +74,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() as f64 - 1.0);
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -93,7 +93,6 @@ pub fn median(xs: &[f64]) -> Result<f64> {
 
 /// A five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

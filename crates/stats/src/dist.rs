@@ -37,7 +37,9 @@ impl Normal {
     pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
         if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
             return Err(Error::InvalidParameter {
-                message: format!("normal requires finite mean and std_dev >= 0, got ({mean}, {std_dev})"),
+                message: format!(
+                    "normal requires finite mean and std_dev >= 0, got ({mean}, {std_dev})"
+                ),
             });
         }
         Ok(Normal { mean, std_dev })
@@ -167,7 +169,9 @@ impl TruncatedMvn {
     pub fn new(mean: Vector, covariance: &Matrix, lower: f64, upper: f64) -> Result<Self> {
         if !(lower < upper) {
             return Err(Error::InvalidParameter {
-                message: format!("truncation bounds must satisfy lower < upper, got [{lower}, {upper}]"),
+                message: format!(
+                    "truncation bounds must satisfy lower < upper, got [{lower}, {upper}]"
+                ),
             });
         }
         Ok(TruncatedMvn {
@@ -335,8 +339,8 @@ mod tests {
     #[test]
     fn truncated_mvn_respects_bounds_or_zero() {
         let d = 5;
-        let mvn = TruncatedMvn::new(Vector::filled(d, 0.5), &paper_covariance(d), 0.0, 1.0)
-            .unwrap();
+        let mvn =
+            TruncatedMvn::new(Vector::filled(d, 0.5), &paper_covariance(d), 0.0, 1.0).unwrap();
         assert_eq!(mvn.dim(), d);
         let mut r = rng();
         let samples = mvn.sample_matrix(&mut r, 500);

@@ -7,10 +7,10 @@
 
 use crate::error::{Error, Result};
 use crate::special::{standard_normal_cdf, student_t_two_sided_p};
+use gssl_linalg::float::is_exactly_zero;
 
 /// Result of a paired t-test.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TTestResult {
     /// The t statistic of the mean paired difference.
     pub statistic: f64,
@@ -55,7 +55,7 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let mean = diffs.iter().sum::<f64>() / n;
     let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    if var == 0.0 {
+    if is_exactly_zero(var) {
         return Err(Error::Undefined {
             reason: "paired differences have zero variance".to_owned(),
         });
@@ -72,7 +72,6 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
 
 /// Result of a sign test.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignTestResult {
     /// Pairs where `a_i > b_i`.
     pub wins: usize,
@@ -136,9 +135,7 @@ pub fn sign_test(a: &[f64], b: &[f64]) -> Result<SignTestResult> {
 /// `P(Binomial(n, 1/2) <= k)` computed in log space.
 fn binomial_cdf_half(k: usize, n: usize) -> f64 {
     let ln_half_n = n as f64 * 0.5f64.ln();
-    (0..=k)
-        .map(|i| (ln_choose(n, i) + ln_half_n).exp())
-        .sum()
+    (0..=k).map(|i| (ln_choose(n, i) + ln_half_n).exp()).sum()
 }
 
 fn ln_choose(n: usize, k: usize) -> f64 {
@@ -148,7 +145,6 @@ fn ln_choose(n: usize, k: usize) -> f64 {
 
 /// Result of a Wilcoxon signed-rank test.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WilcoxonResult {
     /// The smaller of the positive/negative rank sums (the W statistic).
     pub statistic: f64,
@@ -183,7 +179,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
         .iter()
         .zip(b)
         .map(|(x, y)| x - y)
-        .filter(|d| *d != 0.0)
+        .filter(|d| !is_exactly_zero(*d))
         .collect();
     if diffs.len() < 6 {
         return Err(Error::EmptyInput {
@@ -191,7 +187,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
         });
     }
     let n = diffs.len();
-    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite differences"));
+    diffs.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
     // Midranks over |d|, accumulating tie groups for the variance
     // correction.
     let mut ranks = vec![0.0f64; n];
@@ -233,7 +229,6 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
 
 /// A bootstrap confidence interval for a sample mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BootstrapInterval {
     /// Sample mean of the original data.
     pub mean: f64,
@@ -276,9 +271,7 @@ pub fn bootstrap_mean_ci(
     }
     if !(0.0 < level && level < 1.0) || resamples == 0 {
         return Err(Error::InvalidParameter {
-            message: format!(
-                "need level in (0, 1) and resamples > 0, got ({level}, {resamples})"
-            ),
+            message: format!("need level in (0, 1) and resamples > 0, got ({level}, {resamples})"),
         });
     }
     let n = data.len();
@@ -288,7 +281,7 @@ pub fn bootstrap_mean_ci(
         let sum: f64 = (0..n).map(|_| data[rng.gen_range(0..n)]).sum();
         replicate_means.push(sum / n as f64);
     }
-    replicate_means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    replicate_means.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let index = |q: f64| {
         let pos = (q * (resamples as f64 - 1.0)).round() as usize;

@@ -30,15 +30,22 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Descriptive statistics: means, quantiles, dispersion.
 pub mod describe;
+/// Probability distributions and samplers.
 pub mod dist;
 mod error;
+/// Paired significance tests (t-test, sign test, bootstrap).
 pub mod inference;
+/// Classification and regression metrics.
 pub mod metrics;
+/// ROC curves and the area under them.
 pub mod roc;
+/// Special functions: log-gamma, incomplete beta, erf.
 pub mod special;
+/// Labeled/unlabeled and k-fold data splitting.
 pub mod split;
 
 pub use error::{Error, Result};

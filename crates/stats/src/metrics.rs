@@ -7,6 +7,7 @@
 //! work.
 
 use crate::error::{Error, Result};
+use gssl_linalg::float::is_exactly_zero;
 
 fn check_paired(operation: &'static str, a: &[f64], b: &[f64]) -> Result<()> {
     if a.len() != b.len() {
@@ -68,7 +69,6 @@ pub fn mae(truth: &[f64], estimate: &[f64]) -> Result<f64> {
 
 /// A binary confusion matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfusionMatrix {
     /// Positives classified positive.
     pub true_positives: usize,
@@ -178,7 +178,7 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> Result<f64> {
         let p = self.precision()?;
         let r = self.recall()?;
-        if p + r == 0.0 {
+        if is_exactly_zero(p + r) {
             return Err(Error::Undefined {
                 reason: "precision and recall are both zero".to_owned(),
             });
@@ -198,7 +198,7 @@ impl ConfusionMatrix {
         let tn = self.true_negatives as f64;
         let fn_ = self.false_negatives as f64;
         let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
-        if denom == 0.0 {
+        if is_exactly_zero(denom) {
             return Err(Error::Undefined {
                 reason: "a confusion-matrix marginal is empty".to_owned(),
             });
@@ -411,8 +411,9 @@ mod tests {
         assert_eq!(brier_score(&[1.0, 0.0], &[true, false]).unwrap(), 0.0);
         assert_eq!(brier_score(&[0.0, 1.0], &[true, false]).unwrap(), 1.0);
         // Constant 0.5 scores 0.25 regardless of outcomes.
-        assert!((brier_score(&[0.5; 4], &[true, false, true, false]).unwrap() - 0.25).abs()
-            < 1e-15);
+        assert!(
+            (brier_score(&[0.5; 4], &[true, false, true, false]).unwrap() - 0.25).abs() < 1e-15
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@ use crate::error::{Error, Result};
 
 /// One point of an ROC curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RocPoint {
     /// False-positive rate (1 − specificity), the x-coordinate.
     pub false_positive_rate: f64,
@@ -62,7 +61,7 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Result<Vec<RocPoint>> {
     let (positives, negatives) = validate(scores, labels)?;
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut curve = vec![RocPoint {
         false_positive_rate: 0.0,
@@ -112,7 +111,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> Result<f64> {
 
     // Midranks: sort ascending, average ranks within tie groups.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN scores"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -6,6 +6,8 @@
 //! approved dependency list. Accuracy is ~1e-10 over the ranges the
 //! inference module uses, which the tests check against known values.
 
+use gssl_linalg::float::{is_exactly_one, is_exactly_zero};
+
 /// Natural log of the gamma function, via the Lanczos approximation
 /// (g = 7, n = 9 coefficients).
 ///
@@ -49,10 +51,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
     assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
-    if x == 0.0 {
+    if is_exactly_zero(x) {
         return 0.0;
     }
-    if x == 1.0 {
+    if is_exactly_one(x) {
         return 1.0;
     }
     let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
@@ -121,7 +123,7 @@ fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
 /// rational approximation refined with one series term — absolute error
 /// below 1.5e-7, adequate for p-values.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if is_exactly_zero(x) {
         return 0.0;
     }
     let sign = if x < 0.0 { -1.0 } else { 1.0 };

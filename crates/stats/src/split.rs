@@ -122,11 +122,7 @@ impl KFold {
     /// * [`Error::LengthMismatch`] when `labels.len() != len`.
     /// * [`Error::InvalidParameter`] when some class has fewer members than
     ///   folds.
-    pub fn stratified_splits(
-        &self,
-        labels: &[bool],
-        rng: &mut impl Rng,
-    ) -> Result<Vec<Split>> {
+    pub fn stratified_splits(&self, labels: &[bool], rng: &mut impl Rng) -> Result<Vec<Split>> {
         let len = labels.len();
         if len < self.k {
             return Err(Error::InvalidParameter {

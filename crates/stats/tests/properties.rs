@@ -1,142 +1,187 @@
-//! Property-based tests for metrics, ROC/AUC and resampling.
+//! Property-style tests for metrics, ROC/AUC and resampling.
+//!
+//! Originally written against `proptest`; the workspace is now fully
+//! offline and dependency-free, so each property is exercised over a
+//! deterministic sweep of seeded random cases instead of a shrinking
+//! strategy. Seeds are fixed, so failures are exactly reproducible.
 
 use gssl_stats::describe::{mean, median, quantile, std_dev};
 use gssl_stats::metrics::{mae, mse, rmse, ConfusionMatrix};
 use gssl_stats::roc::{auc, roc_curve, trapezoid_area};
 use gssl_stats::split::{labeled_unlabeled_split, KFold};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-fn paired() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (1usize..30).prop_flat_map(|n| {
-        (
-            prop::collection::vec(-5.0f64..5.0, n),
-            prop::collection::vec(-5.0f64..5.0, n),
-        )
-    })
-}
+const CASES: u64 = 48;
 
-fn scored_labels() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
-    (2usize..40)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(0.0f64..1.0, n),
-                prop::collection::vec(any::<bool>(), n),
-            )
-        })
-        .prop_filter("need both classes", |(_, labels)| {
-            labels.iter().any(|&x| x) && labels.iter().any(|&x| !x)
-        })
-}
-
-proptest! {
-    #[test]
-    fn rmse_is_nonnegative_and_zero_iff_equal((truth, est) in paired()) {
-        let r = rmse(&truth, &est).unwrap();
-        prop_assert!(r >= 0.0);
-        let self_r = rmse(&truth, &truth).unwrap();
-        prop_assert_eq!(self_r, 0.0);
+/// Runs `body` once per seeded case.
+fn for_cases(mut body: impl FnMut(&mut StdRng)) {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57A7 + seed);
+        body(&mut rng);
     }
+}
 
-    #[test]
-    fn rmse_dominates_mae((truth, est) in paired()) {
+/// Two aligned vectors with entries in [-5, 5].
+fn paired(rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(1..30usize);
+    let draw =
+        |rng: &mut StdRng| -> Vec<f64> { (0..n).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect() };
+    (draw(rng), draw(rng))
+}
+
+/// Scores in [0, 1) with boolean labels containing both classes.
+fn scored_labels(rng: &mut StdRng) -> (Vec<f64>, Vec<bool>) {
+    let n = rng.gen_range(2..40usize);
+    let scores: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let mut labels: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+    // Guarantee both classes are present.
+    labels[0] = true;
+    labels[n - 1] = false;
+    (scores, labels)
+}
+
+#[test]
+fn rmse_is_nonnegative_and_zero_iff_equal() {
+    for_cases(|rng| {
+        let (truth, est) = paired(rng);
+        let r = rmse(&truth, &est).unwrap();
+        assert!(r >= 0.0);
+        let self_r = rmse(&truth, &truth).unwrap();
+        assert_eq!(self_r, 0.0);
+    });
+}
+
+#[test]
+fn rmse_dominates_mae() {
+    for_cases(|rng| {
         // Quadratic mean >= arithmetic mean of absolute errors.
+        let (truth, est) = paired(rng);
         let r = rmse(&truth, &est).unwrap();
         let a = mae(&truth, &est).unwrap();
-        prop_assert!(r >= a - 1e-12);
-    }
+        assert!(r >= a - 1e-12);
+    });
+}
 
-    #[test]
-    fn mse_is_symmetric((truth, est) in paired()) {
-        prop_assert_eq!(mse(&truth, &est).unwrap(), mse(&est, &truth).unwrap());
-    }
+#[test]
+fn mse_is_symmetric() {
+    for_cases(|rng| {
+        let (truth, est) = paired(rng);
+        assert_eq!(mse(&truth, &est).unwrap(), mse(&est, &truth).unwrap());
+    });
+}
 
-    #[test]
-    fn auc_in_unit_interval_and_complement((scores, labels) in scored_labels()) {
+#[test]
+fn auc_in_unit_interval_and_complement() {
+    for_cases(|rng| {
+        let (scores, labels) = scored_labels(rng);
         let a = auc(&scores, &labels).unwrap();
-        prop_assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&a));
         // Flipping labels complements the AUC.
         let flipped: Vec<bool> = labels.iter().map(|&y| !y).collect();
         let a_flipped = auc(&scores, &flipped).unwrap();
-        prop_assert!((a + a_flipped - 1.0).abs() < 1e-12);
+        assert!((a + a_flipped - 1.0).abs() < 1e-12);
         // Negating scores also complements.
         let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
         let a_neg = auc(&negated, &labels).unwrap();
-        prop_assert!((a + a_neg - 1.0).abs() < 1e-12);
-    }
+        assert!((a + a_neg - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn auc_equals_trapezoid_area((scores, labels) in scored_labels()) {
+#[test]
+fn auc_equals_trapezoid_area() {
+    for_cases(|rng| {
+        let (scores, labels) = scored_labels(rng);
         let a = auc(&scores, &labels).unwrap();
         let curve = roc_curve(&scores, &labels).unwrap();
-        prop_assert!((a - trapezoid_area(&curve)).abs() < 1e-10);
-    }
+        assert!((a - trapezoid_area(&curve)).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn roc_curve_is_monotone((scores, labels) in scored_labels()) {
+#[test]
+fn roc_curve_is_monotone() {
+    for_cases(|rng| {
+        let (scores, labels) = scored_labels(rng);
         let curve = roc_curve(&scores, &labels).unwrap();
         for w in curve.windows(2) {
-            prop_assert!(w[1].false_positive_rate >= w[0].false_positive_rate - 1e-15);
-            prop_assert!(w[1].true_positive_rate >= w[0].true_positive_rate - 1e-15);
+            assert!(w[1].false_positive_rate >= w[0].false_positive_rate - 1e-15);
+            assert!(w[1].true_positive_rate >= w[0].true_positive_rate - 1e-15);
         }
-    }
+    });
+}
 
-    #[test]
-    fn confusion_matrix_conserves_counts((scores, labels) in scored_labels(),
-                                         threshold in 0.0f64..1.0) {
+#[test]
+fn confusion_matrix_conserves_counts() {
+    for_cases(|rng| {
+        let (scores, labels) = scored_labels(rng);
+        let threshold = rng.gen::<f64>();
         let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold).unwrap();
-        prop_assert_eq!(cm.total(), scores.len());
+        assert_eq!(cm.total(), scores.len());
         let positives = labels.iter().filter(|&&y| y).count();
-        prop_assert_eq!(cm.true_positives + cm.false_negatives, positives);
-        prop_assert_eq!(cm.false_positives + cm.true_negatives, scores.len() - positives);
-        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
-    }
+        assert_eq!(cm.true_positives + cm.false_negatives, positives);
+        assert_eq!(
+            cm.false_positives + cm.true_negatives,
+            scores.len() - positives
+        );
+        assert!((0.0..=1.0).contains(&cm.accuracy()));
+    });
+}
 
-    #[test]
-    fn kfold_covers_indices_exactly_once(len in 4usize..60, k in 2usize..5, seed in 0u64..100) {
-        prop_assume!(len >= k);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let folds = KFold::new(k).unwrap().splits(len, &mut rng).unwrap();
+#[test]
+fn kfold_covers_indices_exactly_once() {
+    for_cases(|rng| {
+        let k = rng.gen_range(2..5usize);
+        let len = rng.gen_range(k.max(4)..60usize);
+        let folds = KFold::new(k).unwrap().splits(len, rng).unwrap();
         let mut seen = HashSet::new();
         for f in &folds {
-            prop_assert_eq!(f.train.len() + f.test.len(), len);
+            assert_eq!(f.train.len() + f.test.len(), len);
             for &i in &f.test {
-                prop_assert!(seen.insert(i));
+                assert!(seen.insert(i));
             }
         }
-        prop_assert_eq!(seen.len(), len);
-    }
+        assert_eq!(seen.len(), len);
+    });
+}
 
-    #[test]
-    fn labeled_split_partitions(len in 2usize..80, seed in 0u64..100) {
+#[test]
+fn labeled_split_partitions() {
+    for_cases(|rng| {
+        let len = rng.gen_range(2..80usize);
         let n_labeled = 1 + len / 3;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let s = labeled_unlabeled_split(len, n_labeled, &mut rng).unwrap();
-        prop_assert_eq!(s.train.len(), n_labeled);
+        let s = labeled_unlabeled_split(len, n_labeled, rng).unwrap();
+        assert_eq!(s.train.len(), n_labeled);
         let all: HashSet<usize> = s.train.iter().chain(&s.test).copied().collect();
-        prop_assert_eq!(all.len(), len);
-    }
+        assert_eq!(all.len(), len);
+    });
+}
 
-    #[test]
-    fn quantiles_are_monotone_and_bounded(xs in prop::collection::vec(-10.0f64..10.0, 1..50)) {
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    for_cases(|rng| {
+        let n = rng.gen_range(1..50usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 20.0 - 10.0).collect();
         let q25 = quantile(&xs, 0.25).unwrap();
         let q50 = quantile(&xs, 0.5).unwrap();
         let q75 = quantile(&xs, 0.75).unwrap();
-        prop_assert!(q25 <= q50 && q50 <= q75);
+        assert!(q25 <= q50 && q50 <= q75);
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo <= q25 && q75 <= hi);
-        prop_assert_eq!(median(&xs).unwrap(), q50);
-    }
+        assert!(lo <= q25 && q75 <= hi);
+        assert_eq!(median(&xs).unwrap(), q50);
+    });
+}
 
-    #[test]
-    fn mean_is_within_range(xs in prop::collection::vec(-10.0f64..10.0, 2..50)) {
+#[test]
+fn mean_is_within_range() {
+    for_cases(|rng| {
+        let n = rng.gen_range(2..50usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 20.0 - 10.0).collect();
         let m = mean(&xs).unwrap();
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo - 1e-12 <= m && m <= hi + 1e-12);
-        prop_assert!(std_dev(&xs).unwrap() >= 0.0);
-    }
+        assert!(lo - 1e-12 <= m && m <= hi + 1e-12);
+        assert!(std_dev(&xs).unwrap() >= 0.0);
+    });
 }

@@ -1,0 +1,40 @@
+// Fixture crate for the gssl-xtask self-test. Every rule the checker
+// knows is violated exactly where the integration test expects:
+// the root attributes are absent (2x root_attrs), and the items below
+// seed one violation each unless noted.
+
+pub fn undocumented() -> usize {
+    0
+}
+
+/// Calls a panicking accessor in library code.
+pub fn risky(v: Option<usize>) -> usize {
+    v.unwrap()
+}
+
+/// Compares a float against a literal bare.
+pub fn zeroish(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Not `#[non_exhaustive]`, and the variant is undocumented (2x
+/// error_enum).
+pub enum DemoError {
+    Broken,
+}
+
+/// Carries an inline marker that no allowlist entry registers.
+pub fn suppressed(x: f64) -> bool {
+    x != 1.0 // lint: allow(float_eq)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(super::zeroish(0.0));
+        assert_eq!(super::risky(Some(7)), 7);
+        let raw = 1.0_f64;
+        assert!(raw == 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Command-line entry point for the workspace checker.
+//!
+//! ```text
+//! cargo run -p gssl-xtask -- check [--root PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gssl-xtask check [--root PATH]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "check" {
+        eprintln!("unknown command `{command}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut root: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = Some(PathBuf::from(value)),
+                None => {
+                    eprintln!("--root requires a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace containing this crate (compile-time
+    // manifest dir), so the binary works from any current directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    match gssl_xtask::check_workspace(&root) {
+        Ok(report) => {
+            for violation in &report.violations {
+                println!("{violation}");
+            }
+            if report.is_clean() {
+                println!(
+                    "gssl-xtask check: {} files scanned, no violations",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "gssl-xtask check: {} violation(s) in {} files",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("gssl-xtask check: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

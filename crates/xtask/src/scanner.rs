@@ -1,0 +1,331 @@
+//! Line-level lexical analysis of Rust sources.
+//!
+//! The checker deliberately avoids a full parser: each file is reduced to a
+//! per-line view in which string/char-literal bodies and comments are
+//! blanked out, so the rule passes can match tokens with plain substring
+//! searches without tripping over `"panic!"` inside a string or a doc
+//! example. Block comments, multi-line string literals and `#[cfg(test)]`
+//! regions are tracked across lines.
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Original text, unmodified.
+    pub raw: String,
+    /// The line with string/char-literal bodies and all comments replaced
+    /// by spaces; token searches run against this.
+    pub code: String,
+    /// Text of the trailing `//` line comment (without the slashes), empty
+    /// when there is none. Used to parse `lint: allow(...)` markers.
+    pub comment: String,
+    /// Whether the line is (part of) a doc comment (`///` or `//!`).
+    pub is_doc: bool,
+}
+
+/// A fully analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Analyzed lines, in order.
+    pub lines: Vec<Line>,
+    /// `test_mask[i]` is `true` when line `i` belongs to a `#[cfg(test)]`
+    /// region (the attribute line itself included).
+    pub test_mask: Vec<bool>,
+}
+
+/// Lexical state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    /// Ordinary code.
+    Normal,
+    /// Inside a `"..."` literal (they may span lines via `\` continuation).
+    InString,
+    /// Inside a raw string literal with the given number of `#` markers.
+    InRawString(usize),
+    /// Inside a `/* ... */` comment at the given nesting depth.
+    InBlockComment(usize),
+}
+
+/// Blanks string/char bodies and comments from one line, carrying `state`
+/// across the call. Returns the code-only text, the trailing line-comment
+/// text, and whether the visible part was a doc comment.
+fn blank_line(raw: &str, state: &mut LexState) -> (String, String, bool) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut is_doc = false;
+    let mut i = 0;
+
+    while i < chars.len() {
+        match *state {
+            LexState::InBlockComment(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *state = if depth > 1 {
+                        LexState::InBlockComment(depth - 1)
+                    } else {
+                        LexState::Normal
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = LexState::InBlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::InString => {
+                if chars[i] == '\\' {
+                    code.push(' ');
+                    if i + 1 < chars.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    *state = LexState::Normal;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::InRawString(hashes) => {
+                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                    *state = LexState::Normal;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::Normal => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: doc (`///`, `//!`) or plain.
+                    let rest: String = chars[i + 2..].iter().collect();
+                    if rest.starts_with('/') || rest.starts_with('!') {
+                        is_doc = code.trim().is_empty();
+                    }
+                    comment = rest;
+                    break;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = LexState::InBlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == 'r'
+                    && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
+                    && raw_string_hashes(&chars, i + 1).is_some()
+                {
+                    let hashes = raw_string_hashes(&chars, i + 1).unwrap_or(0);
+                    *state = LexState::InRawString(hashes);
+                    code.push('"');
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 2 + hashes;
+                } else if c == '"' {
+                    *state = LexState::InString;
+                    code.push('"');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal is 'x' or '\..'.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        code.push('\'');
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep as-is.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    (code, comment, is_doc)
+}
+
+/// Whether `chars[from..]` starts with exactly `hashes` `#` characters
+/// (closing a raw string opened with that many).
+fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// If `chars[from..]` opens a raw string (`"` or `#...#"`), returns the
+/// number of `#` markers; `None` when it is not a raw-string opener.
+fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let mut hashes = 0;
+    let mut i = from;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(hashes)
+}
+
+/// Analyzes a whole file: blanks literals/comments and computes the
+/// `#[cfg(test)]` mask.
+#[must_use]
+pub fn analyze(source: &str) -> SourceFile {
+    let mut state = LexState::Normal;
+    let mut lines = Vec::new();
+    for raw in source.lines() {
+        let (code, comment, is_doc) = blank_line(raw, &mut state);
+        lines.push(Line {
+            raw: raw.to_owned(),
+            code,
+            comment,
+            is_doc,
+        });
+    }
+
+    // Second pass: mark `#[cfg(test)]` regions by brace depth.
+    let mut test_mask = vec![false; lines.len()];
+    let mut depth: usize = 0;
+    let mut skip_at: Option<usize> = None; // depth at which the test block opened
+    let mut armed = false; // saw the attribute, waiting for `{` or `;`
+    for (i, line) in lines.iter().enumerate() {
+        let mut in_test = skip_at.is_some() || armed;
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+            in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        skip_at = Some(depth);
+                        armed = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if skip_at == Some(depth) {
+                        skip_at = None;
+                        in_test = true;
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use ...;` style single-item gating.
+                    if armed {
+                        armed = false;
+                        in_test = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        test_mask[i] = in_test || skip_at.is_some();
+    }
+
+    SourceFile { lines, test_mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_string_bodies() {
+        let f = analyze(r#"let x = "panic!(no)"; call();"#);
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn extracts_line_comments() {
+        let f = analyze("let x = 1; // lint: allow(no_panic)");
+        assert!(f.lines[0].comment.contains("lint: allow(no_panic)"));
+        assert!(!f.lines[0].code.contains("lint"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_and_excluded_from_code() {
+        let f = analyze("/// uses .unwrap() in an example\nfn x() {}");
+        assert!(f.lines[0].is_doc);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].is_doc);
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let f = analyze("let s = \"first \\\n  second==1.0\";\nlet t = 2;");
+        assert!(!f.lines[1].code.contains("=="));
+        assert!(f.lines[2].code.contains("let t"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = analyze("/* start\n .unwrap() inside\n end */ let x = 1;");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_masked() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = analyze(src);
+        assert!(!f.test_mask[0]);
+        assert!(f.test_mask[1]);
+        assert!(f.test_mask[2]);
+        assert!(f.test_mask[3]);
+        assert!(f.test_mask[4]);
+        assert!(!f.test_mask[5]);
+    }
+
+    #[test]
+    fn cfg_test_single_item_is_masked() {
+        let f = analyze("#[cfg(test)]\nuse helper::thing;\nfn real() {}");
+        assert!(f.test_mask[0]);
+        assert!(f.test_mask[1]);
+        assert!(!f.test_mask[2]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = analyze("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let f = analyze("let c = '=' ; let d = '\\n';");
+        assert!(!f.lines[0].code.contains("'='"), "{}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains('n'), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = analyze("let s = r#\"has .unwrap() text\"#; f();");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("f()"));
+    }
+}

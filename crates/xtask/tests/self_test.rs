@@ -1,0 +1,73 @@
+//! End-to-end self-test of the workspace checker: the seeded fixture tree
+//! must be flagged with exactly the expected violations, and the real
+//! workspace must come back clean. Running this under `cargo test` keeps
+//! `gssl-xtask check` honest in both directions — a rule that stops
+//! firing breaks the fixture expectations, and a regression in the tree
+//! breaks the clean check.
+
+use gssl_xtask::rules::Rule;
+use gssl_xtask::{check_workspace, count_rule};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn fixture_tree_is_flagged() {
+    let report = check_workspace(&fixture_root()).expect("fixture tree is readable");
+    assert!(!report.is_clean());
+    let dump = || format!("{:#?}", report.violations);
+
+    // Missing `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+    assert_eq!(count_rule(&report, Rule::RootAttrs), 2, "{}", dump());
+    // `pub fn undocumented`.
+    assert_eq!(count_rule(&report, Rule::MissingDoc), 1, "{}", dump());
+    // `v.unwrap()` in library code.
+    assert_eq!(count_rule(&report, Rule::NoPanic), 1, "{}", dump());
+    // `x == 0.0` (the `x != 1.0` site carries an inline marker, so it is
+    // reported as allow_unlisted, not float_eq).
+    assert_eq!(count_rule(&report, Rule::FloatEq), 1, "{}", dump());
+    // Missing `#[non_exhaustive]` plus one undocumented variant.
+    assert_eq!(count_rule(&report, Rule::ErrorEnum), 2, "{}", dump());
+    // Inline marker with no allowlist registration.
+    assert_eq!(count_rule(&report, Rule::AllowUnlisted), 1, "{}", dump());
+    // One stale entry, one unknown rule key.
+    assert_eq!(count_rule(&report, Rule::AllowStale), 2, "{}", dump());
+
+    assert_eq!(report.violations.len(), 10, "{}", dump());
+}
+
+#[test]
+fn fixture_test_code_is_exempt() {
+    let report = check_workspace(&fixture_root()).expect("fixture tree is readable");
+    // The `#[cfg(test)]` module in the fixture repeats the unwrap and the
+    // float comparisons; none of those lines (>= 30) may be reported.
+    assert!(
+        report
+            .violations
+            .iter()
+            .all(|v| !v.file.ends_with("demo/src/lib.rs") || v.line < 30),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = check_workspace(&workspace_root()).expect("workspace is readable");
+    assert!(
+        report.is_clean(),
+        "gssl-xtask check found violations in the real tree:\n{:#?}",
+        report.violations
+    );
+    assert!(report.files_scanned > 50);
+}

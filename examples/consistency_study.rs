@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambdas = [0.0, 0.1, 5.0];
 
     println!("Model 1, m = {m}, {reps} repetitions; sigma = h_n = (log n / n)^(1/5)\n");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "n", "λ=0 (hard)", "λ=0.1", "λ=5");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "n", "λ=0 (hard)", "λ=0.1", "λ=5"
+    );
 
     for &n in &[20usize, 50, 100, 200, 400] {
         let mut sums = [0.0f64; 3];
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let avg = sums.map(|s| s / reps as f64);
-        println!("{n:>6}  {:>10.4}  {:>10.4}  {:>10.4}", avg[0], avg[1], avg[2]);
+        println!(
+            "{n:>6}  {:>10.4}  {:>10.4}  {:>10.4}",
+            avg[0], avg[1], avg[2]
+        );
     }
 
     println!("\nExpected pattern (Theorem II.1 + Figure 1): each column falls");

@@ -44,31 +44,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .first()
             .cloned()
             .unwrap_or_else(|| "ok".to_owned());
-        let accuracy = match Problem::new(w, ssl.labels.clone())
-            .and_then(|p| HardCriterion::new().fit(&p))
-        {
-            Ok(scores) => {
-                // Locate validation points inside the arranged order.
-                let mut correct = 0;
-                for &v in &validation {
-                    let row = ssl
-                        .original_order
-                        .iter()
-                        .position(|&o| o == v)
-                        .expect("validation point present");
-                    let predicted = scores.all()[row] >= 0.5;
-                    if predicted == (ds.targets()[v] > 0.5) {
-                        correct += 1;
+        let accuracy =
+            match Problem::new(w, ssl.labels.clone()).and_then(|p| HardCriterion::new().fit(&p)) {
+                Ok(scores) => {
+                    // Locate validation points inside the arranged order.
+                    let mut correct = 0;
+                    for &v in &validation {
+                        let row = ssl
+                            .original_order
+                            .iter()
+                            .position(|&o| o == v)
+                            .expect("validation point present");
+                        let predicted = scores.all()[row] >= 0.5;
+                        if predicted == (ds.targets()[v] > 0.5) {
+                            correct += 1;
+                        }
                     }
+                    let acc = correct as f64 / validation.len() as f64;
+                    if best.map_or(true, |(_, b)| acc > b) {
+                        best = Some((h, acc));
+                    }
+                    format!("{acc:.2}")
                 }
-                let acc = correct as f64 / validation.len() as f64;
-                if best.map_or(true, |(_, b)| acc > b) {
-                    best = Some((h, acc));
-                }
-                format!("{acc:.2}")
-            }
-            Err(error) => format!("fit failed: {error}"),
-        };
+                Err(error) => format!("fit failed: {error}"),
+            };
         println!(
             "{h:>8} {:>10} {:>12.3} {:>12}  {}",
             report.component_count,
@@ -80,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (h_best, acc_best) = best.expect("at least one bandwidth fits");
     println!("\nselected h = {h_best} (validation accuracy {acc_best:.2})");
-    assert!(acc_best >= 0.99, "some bandwidth should solve the validation set");
+    assert!(
+        acc_best >= 0.99,
+        "some bandwidth should solve the validation set"
+    );
     Ok(())
 }
 

@@ -12,14 +12,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Eight points in two clusters; only the first point of each cluster
     // is labeled (labeled rows must come first).
     let points = Matrix::from_rows(&[
-        &[0.0, 0.0],   // labeled: class 0
-        &[5.0, 5.0],   // labeled: class 1
-        &[0.2, 0.1],   // unlabeled, cluster A
-        &[0.1, 0.3],   // unlabeled, cluster A
-        &[-0.2, 0.2],  // unlabeled, cluster A
-        &[5.1, 4.8],   // unlabeled, cluster B
-        &[4.9, 5.2],   // unlabeled, cluster B
-        &[5.3, 5.1],   // unlabeled, cluster B
+        &[0.0, 0.0],  // labeled: class 0
+        &[5.0, 5.0],  // labeled: class 1
+        &[0.2, 0.1],  // unlabeled, cluster A
+        &[0.1, 0.3],  // unlabeled, cluster A
+        &[-0.2, 0.2], // unlabeled, cluster A
+        &[5.1, 4.8],  // unlabeled, cluster B
+        &[4.9, 5.2],  // unlabeled, cluster B
+        &[5.3, 5.1],  // unlabeled, cluster B
     ])?;
     let labels = [0.0, 1.0];
 

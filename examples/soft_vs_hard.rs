@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10}  {:>10}  {:>14}  {:>14}",
         "lambda", "RMSE", "max gap->hard", "max gap->mean"
     );
-    println!("{:>10}  {:>10.4}  {:>14}  {:>14}", "0 (hard)", hard_rmse, "0", "-");
+    println!(
+        "{:>10}  {:>10.4}  {:>14}  {:>14}",
+        "0 (hard)", hard_rmse, "0", "-"
+    );
     for &lambda in &[1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 50.0, 500.0] {
         let soft = SoftCriterion::new(lambda)?.fit(&problem)?;
         let gap_hard = soft
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rmse(truth, soft.unlabeled())?
         );
     }
-    println!("{:>10}  {:>10.4}  {:>14}  {:>14}", "infinity", mean_rmse, "-", "0");
+    println!(
+        "{:>10}  {:>10.4}  {:>14}  {:>14}",
+        "infinity", mean_rmse, "-", "0"
+    );
 
     println!("\nReading: RMSE is smallest at the hard end (Prop II.1 / Thm II.1)");
     println!("and approaches the mean predictor's as λ grows (Prop II.2).");

@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ssl = ds.arrange(&[total / 4, 3 * total / 4])?;
 
     let t0 = Instant::now();
-    let graph = knn_graph(&ssl.inputs, 12, Kernel::Gaussian, 0.2, Symmetrization::Union)?;
+    let graph = knn_graph(
+        &ssl.inputs,
+        12,
+        Kernel::Gaussian,
+        0.2,
+        Symmetrization::Union,
+    )?;
     println!(
         "kNN graph: {} vertices, {} edges ({:.1?}) — density {:.4}%",
         total,
@@ -56,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / truth.len() as f64
     };
 
-    println!("conjugate gradient:  {:.1?}, accuracy {:.2}%", cg_time, accuracy(&cg_scores) * 100.0);
+    println!(
+        "conjugate gradient:  {:.1?}, accuracy {:.2}%",
+        cg_time,
+        accuracy(&cg_scores) * 100.0
+    );
     println!(
         "label propagation:   {:.1?} ({sweeps} sweeps), accuracy {:.2}%",
         prop_time,
@@ -71,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fold(0.0f64, f64::max);
     println!("max CG-vs-propagation gap: {gap:.2e}");
 
-    assert!(accuracy(&cg_scores) > 0.95, "two moons at scale should solve");
+    assert!(
+        accuracy(&cg_scores) > 0.95,
+        "two moons at scale should solve"
+    );
     println!("\n{total} points classified from 2 labels, no dense matrix built ✓");
     Ok(())
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cut: Vec<bool> = v.iter().map(|x| x >= 0.0).collect();
     let agree = cut.iter().zip(&truth).filter(|(c, t)| c == t).count();
     let fiedler_accuracy = agree.max(truth.len() - agree) as f64 / truth.len() as f64;
-    println!("unsupervised Fiedler cut accuracy:        {:.1}%", fiedler_accuracy * 100.0);
+    println!(
+        "unsupervised Fiedler cut accuracy:        {:.1}%",
+        fiedler_accuracy * 100.0
+    );
 
     // Semi-supervised: same graph, two labels.
     let ssl = ds.arrange(&[37, 112])?; // one mid-arc point per moon
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(p, t)| p == t)
         .count();
     let hard_accuracy = correct as f64 / ssl_truth.len() as f64;
-    println!("hard criterion with 2 labels accuracy:    {:.1}%", hard_accuracy * 100.0);
+    println!(
+        "hard criterion with 2 labels accuracy:    {:.1}%",
+        hard_accuracy * 100.0
+    );
 
     println!("\nThe graph's spectrum already separates the moons (cluster");
     println!("assumption); labels only pin which side is which. This is why");

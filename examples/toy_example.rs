@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = Matrix::filled(n + m, n + m, 1.0);
     let problem = Problem::new(w, labels)?;
 
-    println!("all {} inputs identical; labeled responses 1,1,0,1 (mean {mean})\n", n + m);
+    println!(
+        "all {} inputs identical; labeled responses 1,1,0,1 (mean {mean})\n",
+        n + m
+    );
 
     let models: Vec<Box<dyn TransductiveModel>> = vec![
         Box::new(HardCriterion::new()),
@@ -29,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for model in models {
         let scores = model.fit(&problem)?;
-        println!("{:<28} unlabeled scores: {:?}", model.name(), scores.unlabeled());
+        println!(
+            "{:<28} unlabeled scores: {:?}",
+            model.name(),
+            scores.unlabeled()
+        );
     }
 
     let hard = HardCriterion::new().fit(&problem)?;

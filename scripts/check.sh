@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full workspace gate: format check (when rustfmt is installed), the
+# project's own static-analysis pass, release build, and the test suite
+# with and without the runtime numeric sanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "== cargo fmt unavailable; skipping format check"
+fi
+
+echo "== gssl-xtask check"
+cargo run -q -p gssl-xtask -- check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "== cargo test --features strict-checks"
+cargo test -q --features strict-checks
+
+echo "All checks passed."

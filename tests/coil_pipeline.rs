@@ -32,8 +32,18 @@ fn run_pipeline(labeled_fraction: f64, seed: u64) -> CoilRun {
     let score = |s: &gssl::Scores| auc(s.unlabeled(), &truth).expect("both classes present");
     CoilRun {
         hard_auc: score(&HardCriterion::new().fit(&problem).expect("hard")),
-        soft_small_auc: score(&SoftCriterion::new(0.1).unwrap().fit(&problem).expect("soft")),
-        soft_large_auc: score(&SoftCriterion::new(5.0).unwrap().fit(&problem).expect("soft")),
+        soft_small_auc: score(
+            &SoftCriterion::new(0.1)
+                .unwrap()
+                .fit(&problem)
+                .expect("soft"),
+        ),
+        soft_large_auc: score(
+            &SoftCriterion::new(5.0)
+                .unwrap()
+                .fit(&problem)
+                .expect("soft"),
+        ),
     }
 }
 

@@ -30,7 +30,13 @@ where
 
 #[test]
 fn hard_criterion_error_shrinks_with_n() {
-    let fit = |p: &Problem| HardCriterion::new().fit(p).expect("fit").unlabeled().to_vec();
+    let fit = |p: &Problem| {
+        HardCriterion::new()
+            .fit(p)
+            .expect("fit")
+            .unlabeled()
+            .to_vec()
+    };
     let small = average_rmse(20, 25, 10, fit);
     let large = average_rmse(400, 25, 10, fit);
     assert!(
@@ -43,7 +49,13 @@ fn hard_criterion_error_shrinks_with_n() {
 fn mean_predictor_error_does_not_vanish() {
     // Proposition II.2's limit: the constant predictor's RMSE is bounded
     // below by the spread of q(X) regardless of n.
-    let fit = |p: &Problem| MeanPredictor::new().fit(p).expect("fit").unlabeled().to_vec();
+    let fit = |p: &Problem| {
+        MeanPredictor::new()
+            .fit(p)
+            .expect("fit")
+            .unlabeled()
+            .to_vec()
+    };
     let large = average_rmse(400, 25, 10, fit);
     assert!(
         large > 0.12,
@@ -54,10 +66,18 @@ fn mean_predictor_error_does_not_vanish() {
 #[test]
 fn hard_beats_mean_predictor_at_large_n() {
     let hard = average_rmse(300, 25, 10, |p| {
-        HardCriterion::new().fit(p).expect("fit").unlabeled().to_vec()
+        HardCriterion::new()
+            .fit(p)
+            .expect("fit")
+            .unlabeled()
+            .to_vec()
     });
     let mean = average_rmse(300, 25, 10, |p| {
-        MeanPredictor::new().fit(p).expect("fit").unlabeled().to_vec()
+        MeanPredictor::new()
+            .fit(p)
+            .expect("fit")
+            .unlabeled()
+            .to_vec()
     });
     assert!(hard < mean, "hard {hard} should beat mean {mean}");
 }

@@ -82,14 +82,7 @@ fn rmse_ordering_across_variants_averaged() {
 
 #[test]
 fn builder_facade_covers_all_variants() {
-    let points = gssl_linalg::Matrix::from_rows(&[
-        &[0.0],
-        &[1.0],
-        &[0.1],
-        &[0.9],
-        &[0.5],
-    ])
-    .unwrap();
+    let points = gssl_linalg::Matrix::from_rows(&[&[0.0], &[1.0], &[0.1], &[0.9], &[0.5]]).unwrap();
     let labels = [0.0, 1.0];
     let criteria = [
         Criterion::Hard,
@@ -154,7 +147,9 @@ fn invalid_variant_parameters_error_through_facade() {
         Criterion::PLaplacian(0.5),
     ] {
         let mut builder = GsslModel::builder();
-        builder.bandwidth(Bandwidth::Fixed(0.5)).criterion(criterion);
+        builder
+            .bandwidth(Bandwidth::Fixed(0.5))
+            .criterion(criterion);
         assert!(
             builder.fit(&points, &labels).is_err(),
             "{criterion:?} should be rejected"

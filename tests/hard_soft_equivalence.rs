@@ -96,8 +96,14 @@ fn rmse_ordering_matches_figure_1_at_moderate_n() {
         let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, h).expect("affinity");
         let problem = Problem::new(w, ssl.labels.clone()).expect("valid problem");
         let hard = HardCriterion::new().fit(&problem).expect("hard");
-        let soft_small = SoftCriterion::new(0.1).unwrap().fit(&problem).expect("soft");
-        let soft_large = SoftCriterion::new(5.0).unwrap().fit(&problem).expect("soft");
+        let soft_small = SoftCriterion::new(0.1)
+            .unwrap()
+            .fit(&problem)
+            .expect("soft");
+        let soft_large = SoftCriterion::new(5.0)
+            .unwrap()
+            .fit(&problem)
+            .expect("soft");
         sums[0] += gssl_stats::metrics::rmse(truth, hard.unlabeled()).unwrap();
         sums[1] += gssl_stats::metrics::rmse(truth, soft_small.unlabeled()).unwrap();
         sums[2] += gssl_stats::metrics::rmse(truth, soft_large.unlabeled()).unwrap();

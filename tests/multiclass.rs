@@ -15,7 +15,9 @@ fn one_vs_rest_solves_gaussian_blobs() {
     let centers = vec![vec![0.0, 0.0], vec![6.0, 0.0], vec![3.0, 6.0]];
     let ds = gaussian_blobs(20, &centers, 0.6, &mut rng).expect("generation");
     // Label the first 4 samples of each blob (indices 0..4, 20..24, 40..44).
-    let labeled: Vec<usize> = (0..3).flat_map(|c| (0..4).map(move |i| c * 20 + i)).collect();
+    let labeled: Vec<usize> = (0..3)
+        .flat_map(|c| (0..4).map(move |i| c * 20 + i))
+        .collect();
     let ssl = ds.arrange(&labeled).expect("arrangement");
     let w = affinity_matrix(&ssl.inputs, Kernel::Gaussian, 1.5).expect("affinity");
     let class_labels: Vec<usize> = ssl.labels.iter().map(|&y| y as usize).collect();
@@ -38,7 +40,7 @@ fn one_vs_rest_solves_gaussian_blobs() {
 
 #[test]
 fn one_vs_rest_on_six_class_coil() {
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = StdRng::seed_from_u64(35);
     let coil = SyntheticCoil::builder()
         .images_per_class(12)
         .build(&mut rng)

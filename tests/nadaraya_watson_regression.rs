@@ -58,7 +58,10 @@ fn regression_scores_stay_in_label_range() {
     let lo = ssl.labels.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = ssl.labels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     for &s in scores.unlabeled() {
-        assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "maximum principle violated");
+        assert!(
+            s >= lo - 1e-9 && s <= hi + 1e-9,
+            "maximum principle violated"
+        );
     }
 }
 

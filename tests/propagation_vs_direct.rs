@@ -2,9 +2,7 @@
 //! Cholesky/LU, conjugate gradient, iterative propagation) coincide on
 //! realistic graphs, including sparse kNN constructions.
 
-use gssl::{
-    HardCriterion, HardSolver, LabelPropagation, Problem, SweepKind,
-};
+use gssl::{HardCriterion, HardSolver, LabelPropagation, Problem, SweepKind};
 use gssl_datasets::synthetic::two_moons;
 use gssl_graph::{affinity::affinity_matrix, knn_graph, Kernel, Symmetrization};
 use rand::rngs::StdRng;
@@ -49,8 +47,8 @@ fn propagation_on_sparse_knn_graph_matches_dense_solver() {
     let mut rng = StdRng::seed_from_u64(2);
     let ds = two_moons(100, 0.05, &mut rng).expect("generation");
     let ssl = ds.arrange(&[0, 50]).expect("one label per moon");
-    let sparse = knn_graph(&ssl.inputs, 8, Kernel::Gaussian, 0.4, Symmetrization::Union)
-        .expect("knn graph");
+    let sparse =
+        knn_graph(&ssl.inputs, 8, Kernel::Gaussian, 0.4, Symmetrization::Union).expect("knn graph");
     let dense = sparse.to_dense();
     let problem = Problem::new(dense, ssl.labels.clone()).expect("valid problem");
 

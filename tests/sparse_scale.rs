@@ -12,8 +12,8 @@ fn moons_sparse(total: usize, k: usize) -> (SparseProblem, Vec<bool>) {
     let mut rng = StdRng::seed_from_u64(77);
     let ds = two_moons(total, 0.05, &mut rng).expect("generation");
     let ssl = ds.arrange(&[total / 4, 3 * total / 4]).expect("labels");
-    let graph = knn_graph(&ssl.inputs, k, Kernel::Gaussian, 0.2, Symmetrization::Union)
-        .expect("knn graph");
+    let graph =
+        knn_graph(&ssl.inputs, k, Kernel::Gaussian, 0.2, Symmetrization::Union).expect("knn graph");
     let truth = ssl.hidden_targets_binary();
     (
         SparseProblem::new(graph, ssl.labels.clone()).expect("valid problem"),

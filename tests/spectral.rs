@@ -20,11 +20,7 @@ fn fiedler_vector_separates_two_moons() {
     // sign flip).
     let predicted: Vec<bool> = v.iter().map(|x| x >= 0.0).collect();
     let truth: Vec<bool> = ds.targets().iter().map(|&y| y > 0.5).collect();
-    let agree = predicted
-        .iter()
-        .zip(&truth)
-        .filter(|(p, t)| p == t)
-        .count();
+    let agree = predicted.iter().zip(&truth).filter(|(p, t)| p == t).count();
     let accuracy = agree.max(truth.len() - agree) as f64 / truth.len() as f64;
     assert!(
         accuracy > 0.9,
@@ -46,8 +42,7 @@ fn spectral_clustering_recovers_three_blobs() {
             (0..25).map(|i| labels[blob * 25 + i]).collect();
         assert_eq!(ids.len(), 1, "blob {blob} split across clusters {ids:?}");
     }
-    let firsts: std::collections::HashSet<usize> =
-        (0..3).map(|b| labels[b * 25]).collect();
+    let firsts: std::collections::HashSet<usize> = (0..3).map(|b| labels[b * 25]).collect();
     assert_eq!(firsts.len(), 3, "blobs merged: {firsts:?}");
 }
 
@@ -61,7 +56,10 @@ fn embedding_dimensions_are_orthogonal() {
     for a in 0..3 {
         for b in (a + 1)..3 {
             let dot: f64 = (0..40).map(|i| e.get(i, a) * e.get(i, b)).sum();
-            assert!(dot.abs() < 1e-8, "columns {a} and {b} not orthogonal: {dot}");
+            assert!(
+                dot.abs() < 1e-8,
+                "columns {a} and {b} not orthogonal: {dot}"
+            );
         }
     }
 }

@@ -1,0 +1,94 @@
+//! Integration tests for the `strict-checks` runtime sanitizer.
+//!
+//! Only compiled with the feature enabled (`cargo test --features
+//! strict-checks`): each test drives a NaN or infinity into a sanitized
+//! boundary and asserts it is rejected as [`gssl::Error::NonFiniteValue`]
+//! naming that boundary, and that clean inputs still solve exactly as the
+//! paper prescribes.
+
+#![cfg(feature = "strict-checks")]
+
+use gssl::{Error, HardCriterion, NadarayaWatson, Problem, SoftCriterion, TransductiveModel};
+use gssl_linalg::Matrix;
+
+fn symmetric_with(bad: f64) -> Matrix {
+    Matrix::from_rows(&[&[1.0, 0.5, bad], &[0.5, 1.0, 0.4], &[bad, 0.4, 1.0]]).expect("3x3 rows")
+}
+
+#[test]
+fn nan_weight_rejected_at_problem_construction() {
+    let err = Problem::new(symmetric_with(f64::NAN), vec![1.0]).unwrap_err();
+    match err {
+        Error::NonFiniteValue { context, .. } => {
+            assert!(context.contains("Problem::new weights"), "{context}");
+        }
+        other => panic!("expected NonFiniteValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn infinite_weight_rejected_at_problem_construction() {
+    let err = Problem::new(symmetric_with(f64::INFINITY), vec![1.0]).unwrap_err();
+    assert!(matches!(err, Error::NonFiniteValue { .. }), "{err:?}");
+}
+
+#[test]
+fn nan_label_rejected_with_position() {
+    let err = Problem::new(symmetric_with(0.2), vec![1.0, f64::NAN]).unwrap_err();
+    match err {
+        Error::NonFiniteValue { context, index } => {
+            assert!(context.contains("Problem::new labels"), "{context}");
+            assert_eq!(index, 1);
+        }
+        other => panic!("expected NonFiniteValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn linalg_solvers_reject_non_finite_rhs() {
+    use gssl_linalg::{Lu, Vector};
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).expect("2x2");
+    let lu = Lu::factor(&a).expect("nonsingular");
+    let err = lu.solve(&Vector::from(vec![1.0, f64::NAN])).unwrap_err();
+    assert!(
+        matches!(err, gssl_linalg::Error::NonFiniteValue { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn solvers_produce_finite_scores_with_checks_active() {
+    let problem = Problem::new(symmetric_with(0.2), vec![1.0, 0.0]).expect("valid problem");
+    for model in [
+        Box::new(HardCriterion::new()) as Box<dyn TransductiveModel>,
+        Box::new(SoftCriterion::new(0.5).expect("valid lambda")),
+        Box::new(NadarayaWatson::new()),
+    ] {
+        let scores = model.fit(&problem).expect("clean solve");
+        assert!(scores.all().iter().all(|s| s.is_finite()));
+    }
+}
+
+/// The paper's toy sanity example: when every pairwise similarity is
+/// identical, the hard criterion scores every unlabeled vertex at the mean
+/// of the observed labels — and does so with the sanitizer active.
+#[test]
+fn toy_identical_inputs_score_at_label_mean() {
+    let n = 4; // labeled
+    let m = 3; // unlabeled
+    let total = n + m;
+    let w = Matrix::from_fn(total, total, |_, _| 1.0);
+    let labels = vec![0.2, 0.4, 0.6, 1.2];
+    let mean = labels.iter().sum::<f64>() / labels.len() as f64;
+
+    let problem = Problem::new(w, labels).expect("valid problem");
+    let hard = HardCriterion::new().fit(&problem).expect("solvable");
+    for &score in hard.unlabeled() {
+        assert!((score - mean).abs() < 1e-10, "{score} vs mean {mean}");
+    }
+    // Nadaraya–Watson degenerates to the same mean on identical weights.
+    let nw = NadarayaWatson::new().fit(&problem).expect("solvable");
+    for &score in nw.unlabeled() {
+        assert!((score - mean).abs() < 1e-10, "{score} vs mean {mean}");
+    }
+}
