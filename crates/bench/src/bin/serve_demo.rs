@@ -1,0 +1,142 @@
+//! Serving-engine demo: fit once on two-moons, answer 10 000
+//! out-of-sample queries from the cached factorization, stream label
+//! updates through rank-1 repairs, and cross-check against a direct
+//! refit.
+//!
+//! ```text
+//! cargo run --release -p gssl-bench --bin serve_demo
+//! ```
+
+use gssl_datasets::synthetic::two_moons;
+use gssl_datasets::SemiSupervisedData;
+use gssl_graph::Kernel;
+use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 200;
+const LABELED: usize = 40;
+const QUERIES: usize = 10_000;
+const STREAMED_LABELS: usize = 30;
+const AGREEMENT_SAMPLE: usize = 500;
+
+/// True target of arranged node `i` (labeled prefix or hidden remainder).
+fn target_of(ssl: &SemiSupervisedData, i: usize) -> f64 {
+    if i < ssl.n_labeled() {
+        ssl.labels[i]
+    } else {
+        ssl.hidden_targets[i - ssl.n_labeled()]
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let ds = two_moons(NODES, 0.1, &mut rng).expect("two_moons generation");
+    // Stride the labeled set across the index range so both moons are
+    // represented (the generator orders one moon before the other).
+    let labeled: Vec<usize> = (0..LABELED).map(|i| i * (NODES / LABELED)).collect();
+    let ssl = ds.arrange(&labeled).expect("arrange");
+
+    println!("== gssl-serve demo: fit once, query many ==");
+    println!(
+        "two-moons: {NODES} nodes ({LABELED} labeled), hard criterion, Gaussian bandwidth 0.35\n"
+    );
+
+    let config = EngineConfig::new(Kernel::Gaussian, 0.35);
+    let mut engine =
+        ServingEngine::fit(&ssl.inputs, &ssl.labels, config.clone()).expect("engine fit");
+
+    // 10k out-of-sample queries jittered around the data's bounding box.
+    let queries: Vec<QueryPoint> = (0..QUERIES)
+        .map(|_| QueryPoint::new(vec![rng.gen_range(-1.8..2.8), rng.gen_range(-1.3..1.8)]))
+        .collect();
+    let predictions = engine.predict_batch(&queries).expect("batch predict");
+    let positive = predictions.iter().filter(|p| p.class == 1).count();
+
+    let metrics = engine.metrics();
+    let p50 = metrics.latency_quantile(0.5).expect("p50");
+    let p99 = metrics.latency_quantile(0.99).expect("p99");
+    println!("answered {} queries in one batch:", metrics.queries);
+    println!("  p50 latency     = {:.1} µs", p50 * 1e6);
+    println!("  p99 latency     = {:.1} µs", p99 * 1e6);
+    println!("  throughput      = {:.0} queries/s", metrics.throughput());
+    println!("  pool workers    = {}", engine.workers());
+    println!("  class balance   = {positive}/{QUERIES} predicted positive");
+    println!(
+        "  factorizations  = {} (query path never refactors)",
+        metrics.factorizations
+    );
+    assert_eq!(
+        metrics.factorizations, 1,
+        "query path must not refactor the cached system"
+    );
+
+    // Stream label updates: each is a rank-1 repair of the cached inverse.
+    for node in LABELED..LABELED + STREAMED_LABELS {
+        engine
+            .observe_label(node, target_of(&ssl, node))
+            .expect("streamed label");
+    }
+    let metrics = engine.metrics();
+    println!(
+        "\nstreamed {STREAMED_LABELS} labels: {} rank-1 updates, {} guarded refactors, residual {:.2e}",
+        metrics.rank1_updates,
+        metrics.guarded_refactors,
+        engine.residual().expect("residual")
+    );
+
+    // Direct refit: fresh engine over the same (now larger) labeled set.
+    // The streamed nodes sit right after the labeled prefix, so the
+    // arranged layout is still labeled-first.
+    let total_labeled = LABELED + STREAMED_LABELS;
+    let all_labels: Vec<f64> = (0..total_labeled).map(|i| target_of(&ssl, i)).collect();
+    let direct = ServingEngine::fit(&ssl.inputs, &all_labels, config).expect("direct refit");
+
+    let sample: Vec<QueryPoint> = queries[..AGREEMENT_SAMPLE].to_vec();
+    let streamed_out = engine.predict_batch(&sample).expect("streamed predict");
+    let direct_out = direct.predict_batch(&sample).expect("direct predict");
+    let max_gap = streamed_out
+        .iter()
+        .zip(&direct_out)
+        .map(|(a, b)| (a.score - b.score).abs())
+        .fold(0.0f64, f64::max);
+    let class_agreement = streamed_out
+        .iter()
+        .zip(&direct_out)
+        .filter(|(a, b)| a.class == b.class)
+        .count();
+    println!(
+        "\nagreement with direct refit on {AGREEMENT_SAMPLE} queries: max |Δscore| = {max_gap:.2e}, {class_agreement}/{AGREEMENT_SAMPLE} identical classes"
+    );
+    assert!(
+        max_gap < 1e-8,
+        "streamed engine drifted from the direct refit: {max_gap:.2e}"
+    );
+    assert_eq!(class_agreement, AGREEMENT_SAMPLE);
+
+    // Transductive accuracy sanity check on the held-out nodes.
+    let node_queries: Vec<QueryPoint> = (total_labeled..NODES)
+        .map(|i| QueryPoint::new(ssl.inputs.row(i).to_vec()))
+        .collect();
+    let node_out = engine.predict_batch(&node_queries).expect("node predict");
+    let correct = node_out
+        .iter()
+        .enumerate()
+        .filter(|(j, p)| p.class == usize::from(target_of(&ssl, total_labeled + j) >= 0.5))
+        .count();
+    println!(
+        "held-out accuracy via the extension: {}/{} nodes",
+        correct,
+        NODES - total_labeled
+    );
+
+    let final_metrics = engine.metrics();
+    println!(
+        "\ntotals: {} queries, {} batches, {} factorizations, {} rank-1 updates",
+        final_metrics.queries,
+        final_metrics.batches,
+        final_metrics.factorizations,
+        final_metrics.rank1_updates
+    );
+    println!("serve demo verified ✓");
+}

@@ -21,6 +21,11 @@ pub struct MulticlassScores {
 }
 
 impl MulticlassScores {
+    /// Assembles scores from a prebuilt `(n + m) × k` matrix.
+    pub(crate) fn from_matrix(scores: Matrix, n_labeled: usize) -> Self {
+        MulticlassScores { scores, n_labeled }
+    }
+
     /// Per-class score matrix (rows = vertices, columns = classes).
     pub fn scores(&self) -> &Matrix {
         &self.scores
@@ -118,6 +123,26 @@ impl<M: TransductiveModel> OneVsRest<M> {
     }
 }
 
+impl OneVsRest<crate::hard::HardCriterion> {
+    /// Shared-factorization fast path for the hard criterion: the system
+    /// `D₂₂ − W₂₂` does not depend on the class, so it is factored once
+    /// and all class right-hand sides are solved through `solve_matrix`.
+    /// Produces scores identical to [`OneVsRest::fit`] at `O(m³ + k·m²)`
+    /// instead of `O(k·m³)` cost.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OneVsRest::fit`].
+    pub fn fit_factored(
+        &self,
+        weights: &Matrix,
+        class_labels: &[usize],
+    ) -> Result<MulticlassScores> {
+        self.model
+            .fit_multiclass(weights, class_labels, self.class_count)
+    }
+}
+
 impl<M: TransductiveModel> TransductiveModel for OneVsRest<M> {
     /// Treats the problem's (binary) labels as classes `{0, 1}` and
     /// returns the positive-class scores, making `OneVsRest` usable
@@ -179,6 +204,65 @@ mod tests {
             // vectors sum to the all-ones labeling).
             assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
         }
+    }
+
+    #[test]
+    fn shared_factorization_matches_per_class_path() {
+        // The satellite contract: factoring `D₂₂ − W₂₂` once and solving
+        // all class columns through `solve_matrix` must reproduce the
+        // per-class refactoring path score for score.
+        let (w, labels) = three_cluster_weights();
+        let ovr = OneVsRest::new(HardCriterion::new(), 3).unwrap();
+        let per_class = ovr.fit(&w, &labels).unwrap();
+        let factored = ovr.fit_factored(&w, &labels).unwrap();
+        assert_eq!(factored.class_count(), per_class.class_count());
+        for i in 0..6 {
+            for c in 0..3 {
+                let a = per_class.scores().get(i, c);
+                let b = factored.scores().get(i, c);
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "vertex {i} class {c}: per-class {a} vs factored {b}"
+                );
+            }
+        }
+        assert_eq!(factored.predictions(), per_class.predictions());
+        assert_eq!(
+            factored.unlabeled_predictions(),
+            per_class.unlabeled_predictions()
+        );
+    }
+
+    #[test]
+    fn shared_factorization_agrees_across_backends() {
+        use crate::hard::HardSolver;
+        let (w, labels) = three_cluster_weights();
+        let reference = HardCriterion::new().fit_multiclass(&w, &labels, 3).unwrap();
+        for solver in [HardSolver::Lu, HardSolver::Cholesky] {
+            let scores = HardCriterion::new()
+                .solver(solver)
+                .fit_multiclass(&w, &labels, 3)
+                .unwrap();
+            for i in 0..6 {
+                for c in 0..3 {
+                    assert!(
+                        (scores.scores().get(i, c) - reference.scores().get(i, c)).abs() < 1e-10
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_multiclass_validates_parameters() {
+        let (w, _) = three_cluster_weights();
+        assert!(HardCriterion::new().fit_multiclass(&w, &[0, 1], 1).is_err());
+        assert!(HardCriterion::new()
+            .fit_multiclass(&w, &[0, 1, 7], 3)
+            .is_err());
+        assert!(HardCriterion::new()
+            .fit_multiclass(&Matrix::zeros(2, 3), &[0, 1], 2)
+            .is_err());
     }
 
     #[test]

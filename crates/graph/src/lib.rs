@@ -15,6 +15,8 @@
 //!   the Dirichlet energy `Σ w_ij (f_i − f_j)²` both criteria penalize.
 //! * [`components`] — connectivity checks backing Proposition II.2's
 //!   hypotheses and the hard criterion's solvability condition.
+//! * [`KernelGraph`] — a fitted point cloud + kernel + bandwidth, with
+//!   out-of-sample `kernel_row` evaluation for serving new points.
 //! * [`spectral`] — power iteration, used to measure the spectral radius
 //!   of `D₂₂⁻¹W₂₂` from the paper's Neumann-series argument.
 //!
@@ -43,6 +45,7 @@ pub mod bandwidth;
 pub mod components;
 mod diagnostics;
 mod error;
+mod extension;
 mod kernel;
 mod knn;
 mod laplacian;
@@ -53,6 +56,7 @@ pub use diagnostics::GraphReport;
 
 pub use bandwidth::Bandwidth;
 pub use error::{Error, Result};
+pub use extension::KernelGraph;
 pub use kernel::Kernel;
 pub use knn::{epsilon_graph, knn_graph, Symmetrization};
 pub use laplacian::{degrees, dirichlet_energy, laplacian, volume, LaplacianKind};

@@ -1,0 +1,180 @@
+//! Engine configuration: criterion, kernel graph parameters, update
+//! policy and thread-pool width.
+
+use crate::error::{Error, Result};
+use gssl_graph::Kernel;
+
+/// Which of the paper's criteria the engine caches a factorization of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ServeCriterion {
+    /// The hard criterion (Eq. 5): the engine caches the Cholesky
+    /// factorization and explicit inverse of the `m × m` unlabeled-block
+    /// system `D₂₂ − W₂₂`. Labeled scores are clamped to the
+    /// observations. Label arrival is an exact rank-1 deletion update.
+    Hard,
+    /// The soft criterion in its full-system form (Eq. 3): the engine
+    /// caches the LU factorization and explicit inverse of the
+    /// `(n+m) × (n+m)` system `V + λL`. Label arrival is a textbook
+    /// Sherman–Morrison update (`V` gains `eᵢeᵢᵀ`, exactly rank 1).
+    Soft {
+        /// The tuning parameter `λ > 0` (the full system is singular at
+        /// `λ = 0`; use [`ServeCriterion::Hard`] for that limit, per
+        /// Proposition II.1).
+        lambda: f64,
+    },
+}
+
+/// Configuration for [`crate::ServingEngine::fit`].
+///
+/// ```
+/// use gssl_graph::Kernel;
+/// use gssl_serve::{EngineConfig, ServeCriterion};
+/// let config = EngineConfig::new(Kernel::Gaussian, 0.4)
+///     .criterion(ServeCriterion::Hard)
+///     .refactor_every(128)
+///     .workers(4);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Kernel used for both the fitted graph and out-of-sample rows.
+    pub kernel: Kernel,
+    /// Bandwidth `h > 0` shared by fit and query paths.
+    pub bandwidth: f64,
+    /// Criterion whose factorization is cached.
+    pub criterion: ServeCriterion,
+    /// Periodic fallback: force a full refactorization after this many
+    /// rank-1 updates (`0` disables the periodic trigger; the residual
+    /// guard below still applies).
+    pub refactor_every: usize,
+    /// Residual guard: after each rank-1 update the engine checks
+    /// `‖A f − b‖∞` of the cached system and refactors from scratch when
+    /// it exceeds this tolerance.
+    pub residual_tolerance: f64,
+    /// Thread-pool width for `predict_batch` (`0` = host parallelism).
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the given kernel graph parameters and
+    /// default policy: hard criterion, refactor every 64 updates,
+    /// residual tolerance `1e-8`, auto-sized pool.
+    pub fn new(kernel: Kernel, bandwidth: f64) -> Self {
+        EngineConfig {
+            kernel,
+            bandwidth,
+            criterion: ServeCriterion::Hard,
+            refactor_every: 64,
+            residual_tolerance: 1e-8,
+            workers: 0,
+        }
+    }
+
+    /// Selects the cached criterion.
+    pub fn criterion(mut self, criterion: ServeCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the periodic refactor interval (`0` disables it).
+    pub fn refactor_every(mut self, every: usize) -> Self {
+        self.refactor_every = every;
+        self
+    }
+
+    /// Sets the residual-guard tolerance.
+    pub fn residual_tolerance(mut self, tolerance: f64) -> Self {
+        self.residual_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the thread-pool width (`0` = host parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Checks every parameter's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the bandwidth, residual
+    /// tolerance or soft-criterion `λ` is outside its valid domain.
+    pub fn validate(&self) -> Result<()> {
+        if !self.bandwidth.is_finite() || !(self.bandwidth > 0.0) {
+            return Err(Error::InvalidConfig {
+                message: format!(
+                    "bandwidth must be finite and positive, got {}",
+                    self.bandwidth
+                ),
+            });
+        }
+        if !self.residual_tolerance.is_finite() || !(self.residual_tolerance > 0.0) {
+            return Err(Error::InvalidConfig {
+                message: format!(
+                    "residual tolerance must be finite and positive, got {}",
+                    self.residual_tolerance
+                ),
+            });
+        }
+        if let ServeCriterion::Soft { lambda } = self.criterion {
+            if !lambda.is_finite() || !(lambda > 0.0) {
+                return Err(Error::InvalidConfig {
+                    message: format!(
+                        "soft-criterion lambda must be finite and positive, got {lambda} \
+                         (use ServeCriterion::Hard for the lambda = 0 limit)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(EngineConfig::new(Kernel::Gaussian, 1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = EngineConfig::new(Kernel::Boxcar, 0.5)
+            .criterion(ServeCriterion::Soft { lambda: 0.1 })
+            .refactor_every(7)
+            .residual_tolerance(1e-6)
+            .workers(3);
+        assert_eq!(c.kernel, Kernel::Boxcar);
+        assert_eq!(c.bandwidth, 0.5);
+        assert_eq!(c.criterion, ServeCriterion::Soft { lambda: 0.1 });
+        assert_eq!(c.refactor_every, 7);
+        assert_eq!(c.residual_tolerance, 1e-6);
+        assert_eq!(c.workers, 3);
+    }
+
+    #[test]
+    fn rejects_invalid_domains() {
+        assert!(EngineConfig::new(Kernel::Gaussian, 0.0).validate().is_err());
+        assert!(EngineConfig::new(Kernel::Gaussian, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::new(Kernel::Gaussian, 1.0)
+            .residual_tolerance(0.0)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::new(Kernel::Gaussian, 1.0)
+            .criterion(ServeCriterion::Soft { lambda: 0.0 })
+            .validate()
+            .is_err());
+        assert!(EngineConfig::new(Kernel::Gaussian, 1.0)
+            .criterion(ServeCriterion::Soft {
+                lambda: f64::INFINITY
+            })
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,1047 @@
+//! The fit-once, query-many serving engine.
+//!
+//! `fit` pays the cubic factorization cost of the chosen criterion once
+//! and caches both the factor's explicit inverse and the assembled system.
+//! After that:
+//!
+//! * `predict_batch` answers out-of-sample queries with the paper's
+//!   Nadaraya–Watson extension (Theorem II.1 / Eq. 6) in `O(N·d)` per
+//!   query — the query path never touches a factorization;
+//! * `observe_label` folds a newly revealed label into the cached inverse
+//!   with an exact rank-1 (Sherman–Morrison family) update in `O(m²)`
+//!   instead of refactoring in `O(m³)`, guarded by a residual check and a
+//!   periodic full-refactor fallback.
+//!
+//! # Rank-1 update identities
+//!
+//! **Hard criterion** (Eq. 5). The cached system is `A = D₂₂ − W₂₂` over
+//! the current unlabeled set, with inverse `B = A⁻¹`. When node `j`
+//! becomes labeled, the new system is exactly `A` with row and column `j`
+//! deleted — the degrees `D₂₂` are full-graph row sums and do not change.
+//! The inverse of the deleted system over the survivors `S` is the
+//! block-deletion identity (the Sherman–Morrison limit of sending the
+//! `j`-th diagonal penalty to infinity):
+//!
+//! ```text
+//! B' = B_SS − B_Sj B_jS / B_jj .
+//! ```
+//!
+//! The right-hand side gains the new label's pull, `b'_a = b_a +
+//! w(x_a, x_j) y_j`, and the updated scores are `f_S = B' b'`.
+//!
+//! **Soft criterion** (Eq. 3). The cached system is the full
+//! `(n+m) × (n+m)` matrix `A = V + λL`. Labeling node `i` changes `V` by
+//! `e_i e_iᵀ` — a textbook rank-1 perturbation — so
+//!
+//! ```text
+//! B' = B − (B e_i)(e_iᵀ B) / (1 + B_ii) ,
+//! ```
+//!
+//! the right-hand side gains `y_i` at row `i`, and `f = B' b'`.
+//!
+//! Both identities are exact in real arithmetic; floating-point drift
+//! across many updates is what the residual guard `‖A f − b‖∞ ≤ tol`
+//! catches.
+
+use crate::config::{EngineConfig, ServeCriterion};
+use crate::error::{Error, Result};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::pool::ThreadPool;
+use gssl::Problem;
+use gssl_graph::{laplacian, KernelGraph, LaplacianKind};
+use gssl_linalg::{strict, Cholesky, Lu, Matrix};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// An out-of-sample point to be scored by the fitted engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPoint {
+    coords: Vec<f64>,
+}
+
+impl QueryPoint {
+    /// Wraps a coordinate vector (must match the fitted dimension).
+    pub fn new(coords: Vec<f64>) -> Self {
+        QueryPoint { coords }
+    }
+
+    /// The query's coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+}
+
+impl From<Vec<f64>> for QueryPoint {
+    fn from(coords: Vec<f64>) -> Self {
+        QueryPoint::new(coords)
+    }
+}
+
+impl From<&[f64]> for QueryPoint {
+    fn from(coords: &[f64]) -> Self {
+        QueryPoint::new(coords.to_vec())
+    }
+}
+
+/// The engine's answer for one query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Extended score per class column: one entry for a binary engine
+    /// (the raw Eq. 6 value), `class_count` entries for a multiclass one.
+    pub per_class: Vec<f64>,
+    /// Predicted class. Binary engines use the `{0, 1}` label convention
+    /// and threshold the score at `1/2`; multiclass engines take the
+    /// arg-max over the one-vs-rest columns.
+    pub class: usize,
+    /// The winning score: the raw extension value for binary engines, the
+    /// arg-max column's value for multiclass ones.
+    pub score: f64,
+}
+
+/// Fit-once, query-many serving engine for graph-based semi-supervised
+/// prediction.
+///
+/// ```
+/// use gssl_graph::Kernel;
+/// use gssl_linalg::Matrix;
+/// use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
+/// # fn main() -> Result<(), gssl_serve::Error> {
+/// // Four 1-D points; the first two labeled 0 and 1.
+/// let points = Matrix::from_rows(&[&[0.0], &[1.0], &[0.2], &[0.8]])
+///     .map_err(gssl_serve::Error::Linalg)?;
+/// let mut engine = ServingEngine::fit(
+///     &points,
+///     &[0.0, 1.0],
+///     EngineConfig::new(Kernel::Gaussian, 0.5),
+/// )?;
+/// let out = engine.predict_batch(&[QueryPoint::new(vec![0.1])])?;
+/// assert_eq!(out[0].class, 0);
+/// // A streamed label folds in without refactoring.
+/// engine.observe_label(2, 0.0)?;
+/// assert_eq!(engine.metrics().factorizations, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServingEngine {
+    config: EngineConfig,
+    graph: KernelGraph,
+    weights: Matrix,
+    degrees: gssl_linalg::Vector,
+    multiclass: bool,
+    class_count: usize,
+    /// Per-node observed-label mask.
+    labeled: Vec<bool>,
+    /// Observed targets, `N × k` (rows of unlabeled nodes are zero).
+    targets: Matrix,
+    /// Global indices of the still-unlabeled nodes, in cached-system order.
+    unlabeled: Vec<usize>,
+    /// The cached criterion system (hard: `m × m`; soft: `N × N`).
+    system: Matrix,
+    /// Explicit inverse of `system`, maintained by rank-1 updates.
+    inverse: Matrix,
+    /// Right-hand side matching `system`, one column per class.
+    rhs: Matrix,
+    /// Current fitted scores for all `N` nodes, one column per class.
+    scores: Matrix,
+    pool: ThreadPool,
+    updates_since_refactor: usize,
+    metrics: Mutex<ServeMetrics>,
+}
+
+impl ServingEngine {
+    /// Fits a binary engine: `points` are all `N` coordinates (labeled
+    /// first), `labels` the first `n` observations under the `{0, 1}`
+    /// convention (any finite reals are accepted; only the `class` field
+    /// of predictions assumes the convention).
+    ///
+    /// Costs one factorization: `O(m³)` for the hard criterion's
+    /// `m × m` unlabeled block, `O(N³)` for the soft criterion's full
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] for out-of-domain configuration;
+    /// * [`Error::InvalidLabel`] when no labels (or more labels than
+    ///   points) are supplied;
+    /// * [`Error::NonFiniteValue`] for NaN/infinite labels or coordinates;
+    /// * [`Error::Core`] when a graph component has no labeled anchor
+    ///   (the criterion system would be singular).
+    pub fn fit(points: &Matrix, labels: &[f64], config: EngineConfig) -> Result<Self> {
+        if let Some(i) = labels.iter().position(|y| !y.is_finite()) {
+            return Err(Error::NonFiniteValue {
+                context: "serve.fit labels",
+                index: i,
+            });
+        }
+        let targets = Matrix::from_fn(labels.len(), 1, |i, _| labels[i]);
+        Self::fit_internal(points, targets, false, 2, config)
+    }
+
+    /// Fits a multiclass engine via one-vs-rest: class labels become
+    /// one-hot target rows and every class column shares the single cached
+    /// factorization (the system depends only on the graph, not on the
+    /// targets).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingEngine::fit`], plus [`Error::InvalidLabel`] when
+    /// `class_count < 2` or a class label is out of range.
+    pub fn fit_multiclass(
+        points: &Matrix,
+        class_labels: &[usize],
+        class_count: usize,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        if class_count < 2 {
+            return Err(Error::InvalidLabel {
+                message: format!("class_count must be at least 2, got {class_count}"),
+            });
+        }
+        if let Some(&bad) = class_labels.iter().find(|&&c| c >= class_count) {
+            return Err(Error::InvalidLabel {
+                message: format!("class label {bad} out of range for {class_count} classes"),
+            });
+        }
+        let targets = Matrix::from_fn(class_labels.len(), class_count, |i, j| {
+            if class_labels[i] == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        Self::fit_internal(points, targets, true, class_count, config)
+    }
+
+    fn fit_internal(
+        points: &Matrix,
+        initial_targets: Matrix,
+        multiclass: bool,
+        class_count: usize,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let n = initial_targets.rows();
+        let total = points.rows();
+        if n == 0 {
+            return Err(Error::InvalidLabel {
+                message: "at least one labeled point is required".to_owned(),
+            });
+        }
+        if n > total {
+            return Err(Error::InvalidLabel {
+                message: format!("{n} labels supplied for {total} points"),
+            });
+        }
+
+        let graph = KernelGraph::fit(points.clone(), config.kernel, config.bandwidth)?;
+        let weights = graph.weights()?;
+        // Reuse the core crate's problem validation (symmetry, finiteness)
+        // and its anchoring check: every component must contain a labeled
+        // vertex or the criterion system is singular. Labeling only ever
+        // grows the labeled set, so the check holds for the engine's whole
+        // lifetime.
+        let anchor_labels: Vec<f64> = (0..n).map(|i| initial_targets.get(i, 0)).collect();
+        let problem = Problem::new(weights.clone(), anchor_labels)?;
+        problem.require_anchored(0.0)?;
+        let degrees = problem.degrees();
+
+        let k = initial_targets.cols();
+        let mut targets = Matrix::zeros(total, k);
+        for i in 0..n {
+            for c in 0..k {
+                targets.set(i, c, initial_targets.get(i, c));
+            }
+        }
+        let pool = if config.workers == 0 {
+            ThreadPool::with_available_parallelism()
+        } else {
+            ThreadPool::new(config.workers)?
+        };
+
+        let mut engine = ServingEngine {
+            config,
+            graph,
+            weights,
+            degrees,
+            multiclass,
+            class_count,
+            labeled: (0..total).map(|i| i < n).collect(),
+            targets,
+            unlabeled: (n..total).collect(),
+            system: Matrix::zeros(0, 0),
+            inverse: Matrix::zeros(0, 0),
+            rhs: Matrix::zeros(0, k),
+            scores: Matrix::zeros(total, k),
+            pool,
+            updates_since_refactor: 0,
+            metrics: Mutex::new(ServeMetrics::default()),
+        };
+        engine.refactor()?;
+        engine.lock_metrics().record_factorization();
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // Query path
+    // ------------------------------------------------------------------
+
+    /// Scores a batch of out-of-sample queries, sharded across the
+    /// engine's thread pool.
+    ///
+    /// Each query costs `O(N·d)` for its kernel row plus `O(N·k)` for the
+    /// weighted average of Eq. 6 — no factorization, no solve. Latency and
+    /// throughput are recorded in [`ServingEngine::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidQuery`] on a dimension mismatch;
+    /// * [`Error::NonFiniteValue`] for NaN/infinite coordinates (always
+    ///   checked, with `index` flattened as `query · dim + coordinate`);
+    /// * [`Error::ZeroKernelMass`] when a query sees zero total kernel
+    ///   weight (possible for compactly supported kernels such as boxcar).
+    pub fn predict_batch(&self, queries: &[QueryPoint]) -> Result<Vec<Prediction>> {
+        let dim = self.graph.dim();
+        for (qi, q) in queries.iter().enumerate() {
+            if q.coords.len() != dim {
+                return Err(Error::InvalidQuery {
+                    message: format!(
+                        "query {qi} has dimension {}, engine was fitted on {dim}",
+                        q.coords.len()
+                    ),
+                });
+            }
+            // Unconditional sanitizing at the serving boundary: bad query
+            // coordinates are caller error, not a numerical accident, so
+            // they are rejected even without the strict-checks feature.
+            if let Some(pos) = q.coords.iter().position(|v| !v.is_finite()) {
+                return Err(Error::NonFiniteValue {
+                    context: "serve.predict query coordinates",
+                    index: qi * dim + pos,
+                });
+            }
+        }
+
+        let batch_start = Instant::now();
+        let outcomes = self.pool.map(queries, |qi, q| {
+            let start = Instant::now();
+            let prediction = self.predict_one(qi, q)?;
+            Ok((prediction, start.elapsed().as_secs_f64()))
+        })?;
+        let batch_seconds = batch_start.elapsed().as_secs_f64();
+
+        let mut predictions = Vec::with_capacity(outcomes.len());
+        let mut latencies = Vec::with_capacity(outcomes.len());
+        for (prediction, latency) in outcomes {
+            predictions.push(prediction);
+            latencies.push(latency);
+        }
+        self.lock_metrics().record_batch(&latencies, batch_seconds);
+        Ok(predictions)
+    }
+
+    /// The out-of-sample extension of Theorem II.1 / Eq. 6 for one query:
+    /// `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` over all fitted nodes.
+    fn predict_one(&self, query_index: usize, query: &QueryPoint) -> Result<Prediction> {
+        let row = self.graph.kernel_row(&query.coords)?;
+        strict::check_finite("serve.predict kernel row", row.as_slice())?;
+        let mass: f64 = row.as_slice().iter().sum();
+        if !mass.is_finite() || !(mass > 0.0) {
+            return Err(Error::ZeroKernelMass { query_index });
+        }
+        let k = self.targets.cols();
+        let mut per_class = vec![0.0; k];
+        for (i, &w) in row.as_slice().iter().enumerate() {
+            for (c, acc) in per_class.iter_mut().enumerate() {
+                *acc += w * self.scores.get(i, c);
+            }
+        }
+        for acc in &mut per_class {
+            *acc /= mass;
+        }
+        strict::check_finite("serve.predict output", &per_class)?;
+
+        let (class, score) = if self.multiclass {
+            let mut best = 0;
+            for c in 1..k {
+                if per_class[c] > per_class[best] {
+                    best = c;
+                }
+            }
+            (best, per_class[best])
+        } else {
+            let score = per_class[0];
+            (usize::from(score >= 0.5), score)
+        };
+        Ok(Prediction {
+            per_class,
+            class,
+            score,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental labeling
+    // ------------------------------------------------------------------
+
+    /// Folds a newly observed binary label into the fitted state with an
+    /// exact rank-1 update of the cached inverse — `O(m²)` (hard) or
+    /// `O(N²·k)` (soft) instead of a cubic refit.
+    ///
+    /// After the update, the residual guard `‖A f − b‖∞` and the periodic
+    /// `refactor_every` counter decide whether a full refactorization is
+    /// performed; both events are visible in [`ServingEngine::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidLabel`] on a multiclass engine (use
+    ///   [`ServingEngine::observe_class_label`]);
+    /// * [`Error::UnknownNode`] / [`Error::AlreadyLabeled`] for bad node
+    ///   indices;
+    /// * [`Error::NonFiniteValue`] for a NaN/infinite label.
+    pub fn observe_label(&mut self, node: usize, y: f64) -> Result<()> {
+        if self.multiclass {
+            return Err(Error::InvalidLabel {
+                message: "engine was fitted for multiclass labels; use observe_class_label"
+                    .to_owned(),
+            });
+        }
+        self.observe_target(node, vec![y])
+    }
+
+    /// Multiclass counterpart of [`ServingEngine::observe_label`]: the
+    /// class index becomes a one-hot target row and all one-vs-rest
+    /// columns are updated through the same rank-1 identity.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingEngine::observe_label`], plus [`Error::InvalidLabel`]
+    /// for an out-of-range class.
+    pub fn observe_class_label(&mut self, node: usize, class: usize) -> Result<()> {
+        if !self.multiclass {
+            return Err(Error::InvalidLabel {
+                message: "engine was fitted for binary labels; use observe_label".to_owned(),
+            });
+        }
+        if class >= self.class_count {
+            return Err(Error::InvalidLabel {
+                message: format!(
+                    "class {class} out of range for {} classes",
+                    self.class_count
+                ),
+            });
+        }
+        let mut target = vec![0.0; self.targets.cols()];
+        target[class] = 1.0;
+        self.observe_target(node, target)
+    }
+
+    fn observe_target(&mut self, node: usize, target: Vec<f64>) -> Result<()> {
+        if node >= self.n_nodes() {
+            return Err(Error::UnknownNode { node });
+        }
+        if self.labeled[node] {
+            return Err(Error::AlreadyLabeled { node });
+        }
+        if let Some(pos) = target.iter().position(|t| !t.is_finite()) {
+            return Err(Error::NonFiniteValue {
+                context: "serve.observe_label target",
+                index: pos,
+            });
+        }
+
+        match self.config.criterion {
+            ServeCriterion::Hard => self.rank1_hard(node, &target)?,
+            ServeCriterion::Soft { .. } => self.rank1_soft(node, &target)?,
+        }
+        self.updates_since_refactor += 1;
+        self.lock_metrics().record_rank1_update();
+
+        let periodic = self.config.refactor_every > 0
+            && self.updates_since_refactor >= self.config.refactor_every;
+        if periodic || self.current_residual()? > self.config.residual_tolerance {
+            self.refactor()?;
+            self.lock_metrics().record_guarded_refactor();
+        }
+        strict::check_finite_matrix("serve.observe_label scores", &self.scores)?;
+        Ok(())
+    }
+
+    /// Hard-criterion update: delete the labeled node from the cached
+    /// `m × m` system via the inverse block-deletion identity.
+    fn rank1_hard(&mut self, node: usize, target: &[f64]) -> Result<()> {
+        let j = self
+            .unlabeled
+            .iter()
+            .position(|&u| u == node)
+            .ok_or_else(|| Error::Internal {
+                message: format!("node {node} missing from unlabeled bookkeeping"),
+            })?;
+        let m = self.unlabeled.len();
+        let k = self.targets.cols();
+
+        self.labeled[node] = true;
+        for (c, &t) in target.iter().enumerate() {
+            self.targets.set(node, c, t);
+            // Hard criterion clamps labeled scores to the observations.
+            self.scores.set(node, c, t);
+        }
+
+        if m == 1 {
+            // Last unlabeled node: the cached system becomes empty.
+            self.unlabeled.clear();
+            self.system = Matrix::zeros(0, 0);
+            self.inverse = Matrix::zeros(0, 0);
+            self.rhs = Matrix::zeros(0, k);
+            return Ok(());
+        }
+
+        let bjj = self.inverse.get(j, j);
+        if !(bjj.abs() > f64::MIN_POSITIVE) {
+            // Defensive: an SPD system cannot produce a zero diagonal in
+            // its inverse, but fall back to a guarded refit rather than
+            // dividing by (near-)zero.
+            self.unlabeled.remove(j);
+            self.refactor()?;
+            self.lock_metrics().record_guarded_refactor();
+            return Ok(());
+        }
+
+        let keep: Vec<usize> = (0..m).filter(|&a| a != j).collect();
+        // B' = B_SS − B_Sj B_jS / B_jj over the surviving rows/columns.
+        let mut new_inverse = Matrix::zeros(m - 1, m - 1);
+        for (a2, &a) in keep.iter().enumerate() {
+            let baj = self.inverse.get(a, j);
+            for (b2, &b) in keep.iter().enumerate() {
+                new_inverse.set(
+                    a2,
+                    b2,
+                    self.inverse.get(a, b) - baj * self.inverse.get(j, b) / bjj,
+                );
+            }
+        }
+        // The freshly labeled node now pulls every surviving unlabeled row
+        // through its edge weight: b'_a = b_a + w(x_a, x_node) · y.
+        let mut new_rhs = Matrix::zeros(m - 1, k);
+        for (a2, &a) in keep.iter().enumerate() {
+            let w = self.weights.get(self.unlabeled[a], node);
+            for c in 0..k {
+                new_rhs.set(a2, c, self.rhs.get(a, c) + w * target[c]);
+            }
+        }
+        // The shrunk system is the old one minus row/column j — degrees
+        // are full-graph sums and unaffected by labeling. Kept only for
+        // the residual guard.
+        let mut new_system = Matrix::zeros(m - 1, m - 1);
+        for (a2, &a) in keep.iter().enumerate() {
+            for (b2, &b) in keep.iter().enumerate() {
+                new_system.set(a2, b2, self.system.get(a, b));
+            }
+        }
+
+        let solution = new_inverse.matmul(&new_rhs)?;
+        self.unlabeled.remove(j);
+        for (a2, &ia) in self.unlabeled.iter().enumerate() {
+            for c in 0..k {
+                self.scores.set(ia, c, solution.get(a2, c));
+            }
+        }
+        self.system = new_system;
+        self.inverse = new_inverse;
+        self.rhs = new_rhs;
+        Ok(())
+    }
+
+    /// Soft-criterion update: `V` gains `e_node e_nodeᵀ`, a textbook
+    /// Sherman–Morrison rank-1 perturbation of the full system.
+    fn rank1_soft(&mut self, node: usize, target: &[f64]) -> Result<()> {
+        let total = self.n_nodes();
+
+        self.labeled[node] = true;
+        for (c, &t) in target.iter().enumerate() {
+            self.targets.set(node, c, t);
+        }
+        if let Some(pos) = self.unlabeled.iter().position(|&u| u == node) {
+            self.unlabeled.remove(pos);
+        }
+
+        let denom = 1.0 + self.inverse.get(node, node);
+        if !(denom.abs() > f64::MIN_POSITIVE) {
+            // Defensive: for the SPD system V + λL the denominator is
+            // strictly greater than 1; never divide by (near-)zero.
+            self.refactor()?;
+            self.lock_metrics().record_guarded_refactor();
+            return Ok(());
+        }
+
+        // B' = B − (B e)(eᵀ B) / (1 + B_nn).
+        let b_col = self.inverse.col(node);
+        let b_row: Vec<f64> = self.inverse.row(node).to_vec();
+        let mut new_inverse = Matrix::zeros(total, total);
+        for a in 0..total {
+            let ba = b_col[a];
+            for b in 0..total {
+                new_inverse.set(a, b, self.inverse.get(a, b) - ba * b_row[b] / denom);
+            }
+        }
+        self.inverse = new_inverse;
+        self.system
+            .set(node, node, self.system.get(node, node) + 1.0);
+        for (c, &t) in target.iter().enumerate() {
+            self.rhs.set(node, c, self.rhs.get(node, c) + t);
+        }
+        self.scores = self.inverse.matmul(&self.rhs)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Refactorization and diagnostics
+    // ------------------------------------------------------------------
+
+    /// Rebuilds and refactors the cached system from scratch for the
+    /// current labeled set, discarding accumulated rank-1 drift. Counted
+    /// as a factorization in [`ServingEngine::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Linalg`] when the rebuilt system cannot be
+    /// factored.
+    pub fn refit(&mut self) -> Result<()> {
+        self.refactor()?;
+        self.lock_metrics().record_factorization();
+        Ok(())
+    }
+
+    fn refactor(&mut self) -> Result<()> {
+        match self.config.criterion {
+            ServeCriterion::Hard => self.refactor_hard()?,
+            ServeCriterion::Soft { lambda } => self.refactor_soft(lambda)?,
+        }
+        self.updates_since_refactor = 0;
+        strict::check_finite_matrix("serve cached scores", &self.scores)?;
+        Ok(())
+    }
+
+    fn refactor_hard(&mut self) -> Result<()> {
+        let k = self.targets.cols();
+        let m = self.unlabeled.len();
+        let total = self.n_nodes();
+
+        for i in 0..total {
+            if self.labeled[i] {
+                for c in 0..k {
+                    self.scores.set(i, c, self.targets.get(i, c));
+                }
+            }
+        }
+
+        // A = D₂₂ − W₂₂ over the current unlabeled set, with full-graph
+        // degrees on the diagonal.
+        let mut system = Matrix::zeros(m, m);
+        for (a, &ia) in self.unlabeled.iter().enumerate() {
+            for (b, &ib) in self.unlabeled.iter().enumerate() {
+                let w = self.weights.get(ia, ib);
+                system.set(a, b, if a == b { self.degrees[ia] - w } else { -w });
+            }
+        }
+        let mut rhs = Matrix::zeros(m, k);
+        for (a, &ia) in self.unlabeled.iter().enumerate() {
+            for j in 0..total {
+                if self.labeled[j] {
+                    let w = self.weights.get(ia, j);
+                    for c in 0..k {
+                        rhs.set(a, c, rhs.get(a, c) + w * self.targets.get(j, c));
+                    }
+                }
+            }
+        }
+
+        if m == 0 {
+            self.system = system;
+            self.inverse = Matrix::zeros(0, 0);
+            self.rhs = rhs;
+            return Ok(());
+        }
+        let factor = Cholesky::factor(&system)?;
+        let solution = factor.solve_matrix(&rhs)?;
+        self.inverse = factor.inverse()?;
+        for (a, &ia) in self.unlabeled.iter().enumerate() {
+            for c in 0..k {
+                self.scores.set(ia, c, solution.get(a, c));
+            }
+        }
+        self.system = system;
+        self.rhs = rhs;
+        Ok(())
+    }
+
+    fn refactor_soft(&mut self, lambda: f64) -> Result<()> {
+        let k = self.targets.cols();
+        let total = self.n_nodes();
+
+        // A = V + λL, the literal Eq. 3 system (matches
+        // SoftCriterion::fit_full_system).
+        let l = laplacian(&self.weights, LaplacianKind::Unnormalized)?;
+        let mut system = l.map(|x| lambda * x);
+        let mut rhs = Matrix::zeros(total, k);
+        for i in 0..total {
+            if self.labeled[i] {
+                system.set(i, i, system.get(i, i) + 1.0);
+                for c in 0..k {
+                    rhs.set(i, c, self.targets.get(i, c));
+                }
+            }
+        }
+        let factor = Lu::factor(&system)?;
+        self.scores = factor.solve_matrix(&rhs)?;
+        self.inverse = factor.inverse()?;
+        self.system = system;
+        self.rhs = rhs;
+        Ok(())
+    }
+
+    /// The current residual `‖A f − b‖∞` of the cached system — the
+    /// quantity the post-update guard compares against
+    /// `residual_tolerance`. Zero (up to factorization accuracy) right
+    /// after a refit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Linalg`] on a dimension mismatch (an internal
+    /// invariant violation).
+    pub fn residual(&self) -> Result<f64> {
+        self.current_residual()
+    }
+
+    fn current_residual(&self) -> Result<f64> {
+        match self.config.criterion {
+            ServeCriterion::Hard => {
+                let m = self.unlabeled.len();
+                if m == 0 {
+                    return Ok(0.0);
+                }
+                let k = self.targets.cols();
+                let f = Matrix::from_fn(m, k, |a, c| self.scores.get(self.unlabeled[a], c));
+                Ok((&self.system.matmul(&f)? - &self.rhs).norm_max())
+            }
+            ServeCriterion::Soft { .. } => {
+                Ok((&self.system.matmul(&self.scores)? - &self.rhs).norm_max())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of nodes in the fitted graph.
+    pub fn n_nodes(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// Input dimension the engine was fitted on.
+    pub fn dim(&self) -> usize {
+        self.graph.dim()
+    }
+
+    /// Number of nodes whose label has been observed.
+    pub fn n_labeled(&self) -> usize {
+        self.labeled.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of still-unlabeled nodes.
+    pub fn n_unlabeled(&self) -> usize {
+        self.unlabeled.len()
+    }
+
+    /// Number of classes (2 for a binary engine).
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Whether the engine was fitted with one-vs-rest multiclass targets.
+    pub fn is_multiclass(&self) -> bool {
+        self.multiclass
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Width of the batch-prediction thread pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The fitted kernel graph (points, kernel, bandwidth).
+    pub fn graph(&self) -> &KernelGraph {
+        &self.graph
+    }
+
+    /// Current fitted scores for all nodes (`N × k`, one column per
+    /// class; a binary engine has a single column).
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// Convenience: the binary score of one fitted node.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidLabel`] on a multiclass engine,
+    /// [`Error::UnknownNode`] for an out-of-range index.
+    pub fn score(&self, node: usize) -> Result<f64> {
+        if self.multiclass {
+            return Err(Error::InvalidLabel {
+                message: "score() is binary-only; use scores() for multiclass".to_owned(),
+            });
+        }
+        if node >= self.n_nodes() {
+            return Err(Error::UnknownNode { node });
+        }
+        Ok(self.scores.get(node, 0))
+    }
+
+    /// Snapshot of the engine's latency/throughput counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.lock_metrics().snapshot()
+    }
+
+    fn lock_metrics(&self) -> MutexGuard<'_, ServeMetrics> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gssl_graph::Kernel;
+
+    fn line_points(total: usize) -> Matrix {
+        Matrix::from_fn(total, 1, |i, _| i as f64 * 0.3)
+    }
+
+    fn hard_config() -> EngineConfig {
+        EngineConfig::new(Kernel::Gaussian, 0.8).workers(1)
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let points = line_points(4);
+        assert!(matches!(
+            ServingEngine::fit(&points, &[], hard_config()),
+            Err(Error::InvalidLabel { .. })
+        ));
+        assert!(matches!(
+            ServingEngine::fit(&points, &[0.0; 5], hard_config()),
+            Err(Error::InvalidLabel { .. })
+        ));
+        assert!(matches!(
+            ServingEngine::fit(&points, &[f64::NAN], hard_config()),
+            Err(Error::NonFiniteValue { .. })
+        ));
+        assert!(matches!(
+            ServingEngine::fit_multiclass(&points, &[0, 1], 1, hard_config()),
+            Err(Error::InvalidLabel { .. })
+        ));
+        assert!(matches!(
+            ServingEngine::fit_multiclass(&points, &[0, 7], 3, hard_config()),
+            Err(Error::InvalidLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_rejects_bad_queries() {
+        let engine = ServingEngine::fit(&line_points(5), &[0.0, 1.0], hard_config()).unwrap();
+        assert!(matches!(
+            engine.predict_batch(&[QueryPoint::new(vec![0.0, 0.0])]),
+            Err(Error::InvalidQuery { .. })
+        ));
+        let err = engine
+            .predict_batch(&[QueryPoint::new(vec![0.1]), QueryPoint::new(vec![f64::NAN])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::NonFiniteValue {
+                context: "serve.predict query coordinates",
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn boxcar_far_query_has_zero_mass() {
+        let config = EngineConfig::new(Kernel::Boxcar, 0.5).workers(1);
+        let engine = ServingEngine::fit(&line_points(4), &[0.0, 1.0], config).unwrap();
+        assert_eq!(
+            engine.predict_batch(&[QueryPoint::new(vec![1e6])]),
+            Err(Error::ZeroKernelMass { query_index: 0 })
+        );
+    }
+
+    #[test]
+    fn queries_never_refactor() {
+        let engine = ServingEngine::fit(&line_points(8), &[0.0, 1.0], hard_config()).unwrap();
+        let queries: Vec<QueryPoint> = (0..40)
+            .map(|i| QueryPoint::new(vec![i as f64 * 0.05]))
+            .collect();
+        for _ in 0..5 {
+            engine.predict_batch(&queries).unwrap();
+        }
+        let m = engine.metrics();
+        assert_eq!(m.factorizations, 1);
+        assert_eq!(m.queries, 200);
+        assert_eq!(m.batches, 5);
+        assert_eq!(m.latencies.len(), 200);
+    }
+
+    #[test]
+    fn predictions_match_manual_extension() {
+        let engine = ServingEngine::fit(&line_points(6), &[0.0, 1.0, 1.0], hard_config()).unwrap();
+        let query = vec![0.77];
+        let row = engine.graph().kernel_row(&query).unwrap();
+        let mass: f64 = row.as_slice().iter().sum();
+        let manual: f64 = row
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w * engine.scores().get(i, 0))
+            .sum::<f64>()
+            / mass;
+        let out = engine.predict_batch(&[QueryPoint::new(query)]).unwrap();
+        assert!((out[0].score - manual).abs() < 1e-14);
+        assert_eq!(out[0].class, usize::from(manual >= 0.5));
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let points = Matrix::from_fn(30, 2, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.21);
+        let labels: Vec<f64> = (0..6).map(|i| (i % 2) as f64).collect();
+        let seq = ServingEngine::fit(&points, &labels, hard_config()).unwrap();
+        let par = ServingEngine::fit(&points, &labels, hard_config().workers(4)).unwrap();
+        let queries: Vec<QueryPoint> = (0..123)
+            .map(|i| QueryPoint::new(vec![(i % 11) as f64 * 0.2, (i % 7) as f64 * 0.3]))
+            .collect();
+        let a = seq.predict_batch(&queries).unwrap();
+        let b = par.predict_batch(&queries).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observe_label_bookkeeping_and_errors() {
+        let mut engine = ServingEngine::fit(&line_points(5), &[0.0, 1.0], hard_config()).unwrap();
+        assert_eq!(engine.n_labeled(), 2);
+        assert_eq!(engine.n_unlabeled(), 3);
+        assert!(matches!(
+            engine.observe_label(99, 1.0),
+            Err(Error::UnknownNode { node: 99 })
+        ));
+        assert!(matches!(
+            engine.observe_label(0, 1.0),
+            Err(Error::AlreadyLabeled { node: 0 })
+        ));
+        assert!(matches!(
+            engine.observe_label(3, f64::INFINITY),
+            Err(Error::NonFiniteValue { .. })
+        ));
+        assert!(matches!(
+            engine.observe_class_label(3, 0),
+            Err(Error::InvalidLabel { .. })
+        ));
+        engine.observe_label(3, 1.0).unwrap();
+        assert_eq!(engine.n_labeled(), 3);
+        assert_eq!(engine.n_unlabeled(), 2);
+        assert_eq!(engine.score(3).unwrap(), 1.0);
+        assert!(matches!(
+            engine.observe_label(3, 0.0),
+            Err(Error::AlreadyLabeled { node: 3 })
+        ));
+        assert_eq!(engine.metrics().rank1_updates, 1);
+    }
+
+    #[test]
+    fn labeling_every_node_empties_the_system() {
+        let mut engine = ServingEngine::fit(&line_points(4), &[0.0, 1.0], hard_config()).unwrap();
+        engine.observe_label(2, 1.0).unwrap();
+        engine.observe_label(3, 0.0).unwrap();
+        assert_eq!(engine.n_unlabeled(), 0);
+        assert_eq!(engine.residual().unwrap(), 0.0);
+        // Scores are exactly the observations now, and queries still work.
+        assert_eq!(engine.score(2).unwrap(), 1.0);
+        let out = engine.predict_batch(&[QueryPoint::new(vec![0.6])]).unwrap();
+        assert!(out[0].score.is_finite());
+        // Further updates keep erroring cleanly.
+        assert!(matches!(
+            engine.observe_label(2, 1.0),
+            Err(Error::AlreadyLabeled { .. })
+        ));
+    }
+
+    #[test]
+    fn periodic_refactor_fallback_triggers() {
+        let config = hard_config().refactor_every(1);
+        let mut engine = ServingEngine::fit(&line_points(6), &[0.0, 1.0], config).unwrap();
+        engine.observe_label(2, 1.0).unwrap();
+        engine.observe_label(4, 0.0).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.rank1_updates, 2);
+        assert_eq!(m.guarded_refactors, 2);
+        assert_eq!(m.factorizations, 3); // initial + 2 guarded
+    }
+
+    #[test]
+    fn explicit_refit_is_counted_and_idempotent() {
+        let mut engine = ServingEngine::fit(&line_points(5), &[0.0, 1.0], hard_config()).unwrap();
+        let before = engine.scores().clone();
+        engine.refit().unwrap();
+        assert!(engine.scores().approx_eq(&before, 1e-12));
+        assert_eq!(engine.metrics().factorizations, 2);
+    }
+
+    #[test]
+    fn multiclass_predictions_argmax_one_hot_targets() {
+        // Three well-separated 1-D clusters, one labeled point each.
+        let coords: Vec<f64> = vec![0.0, 10.0, 20.0, 0.3, 10.3, 19.7];
+        let points = Matrix::from_fn(6, 1, |i, _| coords[i]);
+        let config = EngineConfig::new(Kernel::Gaussian, 1.0).workers(1);
+        let mut engine = ServingEngine::fit_multiclass(&points, &[0, 1, 2], 3, config).unwrap();
+        assert!(engine.is_multiclass());
+        assert_eq!(engine.class_count(), 3);
+        assert!(engine.score(0).is_err());
+        let out = engine
+            .predict_batch(&[
+                QueryPoint::new(vec![0.1]),
+                QueryPoint::new(vec![10.1]),
+                QueryPoint::new(vec![19.9]),
+            ])
+            .unwrap();
+        assert_eq!(out[0].class, 0);
+        assert_eq!(out[1].class, 1);
+        assert_eq!(out[2].class, 2);
+        for p in &out {
+            assert_eq!(p.per_class.len(), 3);
+            assert!((p.score - p.per_class[p.class]).abs() < 1e-15);
+        }
+        // Streaming a class label works and clamps the one-hot row.
+        engine.observe_class_label(5, 2).unwrap();
+        assert_eq!(engine.scores().get(5, 2), 1.0);
+        assert_eq!(engine.scores().get(5, 0), 0.0);
+        assert!(matches!(
+            engine.observe_class_label(4, 9),
+            Err(Error::InvalidLabel { .. })
+        ));
+        assert!(matches!(
+            engine.observe_label(4, 1.0),
+            Err(Error::InvalidLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn query_point_conversions() {
+        let q: QueryPoint = vec![1.0, 2.0].into();
+        assert_eq!(q.coords(), &[1.0, 2.0]);
+        let q: QueryPoint = (&[3.0][..]).into();
+        assert_eq!(q.coords(), &[3.0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Error type for the serving engine.
+
+use std::fmt;
+
+/// Errors returned by engine construction, batch prediction and
+/// incremental label updates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The engine configuration is invalid (e.g. a non-positive bandwidth
+    /// or residual tolerance).
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A query is malformed (wrong dimension, empty batch where one is
+    /// required, …).
+    InvalidQuery {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A node index passed to a label update does not exist in the fitted
+    /// graph.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A label update targeted a node whose label is already observed.
+    AlreadyLabeled {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An observed label (or class index) is outside its valid domain.
+    InvalidLabel {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A query point has zero kernel mass on the whole fitted graph, so
+    /// the out-of-sample extension `Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` is
+    /// undefined (possible with compactly supported kernels).
+    ZeroKernelMass {
+        /// Index of the affected query within its batch.
+        query_index: usize,
+    },
+    /// A NaN or infinity crossed the serving boundary. Query coordinates
+    /// are always validated; with the `strict-checks` cargo feature the
+    /// sanitizer additionally guards kernel weights, cached solutions and
+    /// batch outputs. `context` names the boundary, `index` the flat
+    /// position of the first offending element.
+    NonFiniteValue {
+        /// Name of the guarded boundary.
+        context: &'static str,
+        /// Flat index of the first non-finite element.
+        index: usize,
+    },
+    /// An internal invariant of the engine or thread pool was violated —
+    /// always a bug in this crate, never caller error.
+    Internal {
+        /// Description of the broken invariant.
+        message: String,
+    },
+    /// An underlying criterion-solver operation failed.
+    Core(gssl::Error),
+    /// An underlying graph operation failed.
+    Graph(gssl_graph::Error),
+    /// An underlying linear-algebra operation failed.
+    Linalg(gssl_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { message } => write!(f, "invalid engine config: {message}"),
+            Error::InvalidQuery { message } => write!(f, "invalid query: {message}"),
+            Error::UnknownNode { node } => {
+                write!(f, "node {node} does not exist in the fitted graph")
+            }
+            Error::AlreadyLabeled { node } => {
+                write!(f, "node {node} already carries an observed label")
+            }
+            Error::InvalidLabel { message } => write!(f, "invalid label: {message}"),
+            Error::ZeroKernelMass { query_index } => write!(
+                f,
+                "query {query_index} has zero kernel mass on the fitted graph"
+            ),
+            Error::NonFiniteValue { context, index } => write!(
+                f,
+                "non-finite value (NaN or infinity) at {context}, element {index}"
+            ),
+            Error::Internal { message } => write!(f, "internal serving-engine error: {message}"),
+            Error::Core(inner) => write!(f, "criterion error: {inner}"),
+            Error::Graph(inner) => write!(f, "graph error: {inner}"),
+            Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(inner) => Some(inner),
+            Error::Graph(inner) => Some(inner),
+            Error::Linalg(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl::Error> for Error {
+    fn from(inner: gssl::Error) -> Self {
+        // Keep the sanitizer's verdict first-class regardless of the layer
+        // that caught the non-finite value.
+        match inner {
+            gssl::Error::NonFiniteValue { context, index } => {
+                Error::NonFiniteValue { context, index }
+            }
+            other => Error::Core(other),
+        }
+    }
+}
+
+impl From<gssl_graph::Error> for Error {
+    fn from(inner: gssl_graph::Error) -> Self {
+        match inner {
+            gssl_graph::Error::Linalg(gssl_linalg::Error::NonFiniteValue { context, index }) => {
+                Error::NonFiniteValue { context, index }
+            }
+            other => Error::Graph(other),
+        }
+    }
+}
+
+impl From<gssl_linalg::Error> for Error {
+    fn from(inner: gssl_linalg::Error) -> Self {
+        match inner {
+            gssl_linalg::Error::NonFiniteValue { context, index } => {
+                Error::NonFiniteValue { context, index }
+            }
+            other => Error::Linalg(other),
+        }
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::InvalidConfig {
+            message: "bad bandwidth".into()
+        }
+        .to_string()
+        .contains("bad bandwidth"));
+        assert!(Error::UnknownNode { node: 7 }.to_string().contains("7"));
+        assert!(Error::AlreadyLabeled { node: 2 }.to_string().contains("2"));
+        assert!(Error::ZeroKernelMass { query_index: 3 }
+            .to_string()
+            .contains("query 3"));
+        assert!(Error::NonFiniteValue {
+            context: "serve boundary",
+            index: 1
+        }
+        .to_string()
+        .contains("serve boundary"));
+        assert!(Error::Internal {
+            message: "slot missing".into()
+        }
+        .to_string()
+        .contains("slot missing"));
+    }
+
+    #[test]
+    fn non_finite_values_surface_first_class_from_every_layer() {
+        let from_linalg: Error = gssl_linalg::Error::NonFiniteValue {
+            context: "x",
+            index: 0,
+        }
+        .into();
+        assert!(matches!(from_linalg, Error::NonFiniteValue { .. }));
+        let from_core: Error = gssl::Error::NonFiniteValue {
+            context: "y",
+            index: 1,
+        }
+        .into();
+        assert!(matches!(from_core, Error::NonFiniteValue { .. }));
+        let from_graph: Error = gssl_graph::Error::Linalg(gssl_linalg::Error::NonFiniteValue {
+            context: "z",
+            index: 2,
+        })
+        .into();
+        assert!(matches!(from_graph, Error::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error as _;
+        let e = Error::Linalg(gssl_linalg::Error::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+        let e = Error::UnknownNode { node: 0 };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! # gssl-serve — fit-once, query-many prediction serving
+//!
+//! The transductive solvers in [`gssl`] answer one question: given a
+//! fixed graph, what are the scores of its unlabeled vertices? A serving
+//! deployment asks three more:
+//!
+//! 1. **Out-of-sample queries.** Points that were never part of the
+//!    fitted graph must be scored without refitting. Theorem II.1 of the
+//!    paper shows the graph solution converges to the Nadaraya–Watson
+//!    kernel regressor, which justifies the extension (Eq. 6)
+//!    `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` — an `O(N·d)` weighted
+//!    average over the fitted scores, no linear solve involved.
+//! 2. **Streaming labels.** When a previously unlabeled vertex reveals
+//!    its label, the criterion system changes by exactly rank one, so the
+//!    cached inverse is repaired with a Sherman–Morrison-family update in
+//!    quadratic time instead of a cubic refit (details in
+//!    [`mod@crate::engine`]).
+//! 3. **Throughput.** Queries are independent reads of shared fitted
+//!    state; [`ThreadPool`] (dependency-free, `std::thread::scope` only)
+//!    shards batches across workers, and [`MetricsSnapshot`] reports
+//!    p50/p99 latency and sustained throughput via the [`gssl_stats`]
+//!    descriptive machinery.
+//!
+//! [`ServingEngine::fit`] builds the kernel graph and the criterion
+//! problem internally from raw points (labeled first), so callers hand
+//! over coordinates once and then only exchange queries and labels.
+//!
+//! Enable the `strict-checks` cargo feature to extend the workspace's
+//! numeric sanitizer across the serving boundary: kernel rows, cached
+//! scores and batch outputs are then checked for NaN/infinity and
+//! reported as [`Error::NonFiniteValue`]. Query coordinates and observed
+//! labels are validated unconditionally.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Engine configuration: criterion, kernel parameters, update policy.
+pub mod config;
+/// The fit-once, query-many serving engine and its rank-1 update math.
+pub mod engine;
+/// Error type for the serving boundary.
+pub mod error;
+/// Latency/throughput counters built on `gssl-stats`.
+pub mod metrics;
+/// Dependency-free scoped thread pool for batch prediction.
+pub mod pool;
+
+pub use config::{EngineConfig, ServeCriterion};
+pub use engine::{Prediction, QueryPoint, ServingEngine};
+pub use error::{Error, Result};
+pub use metrics::MetricsSnapshot;
+pub use pool::ThreadPool;

@@ -1,0 +1,202 @@
+//! A small dependency-free scoped thread pool (`std::thread` only).
+//!
+//! Batch prediction is embarrassingly parallel: every query reads the
+//! shared fitted state and writes one independent result. The pool shards
+//! an input slice into contiguous chunks, hands chunks to scoped worker
+//! threads through an atomic cursor, and reassembles results in input
+//! order. There are no sleeps, channels or timing assumptions — workers
+//! run until the cursor is exhausted and `std::thread::scope` joins them —
+//! so behaviour is deterministic up to scheduling and results are
+//! identical to the sequential loop.
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool owns no threads between calls: each [`ThreadPool::map`] opens
+/// a `std::thread::scope`, spawns up to `workers` threads for the duration
+/// of the batch and joins them before returning. This keeps the type
+/// trivially `Send + Sync` and free of shutdown protocols.
+///
+/// ```
+/// use gssl_serve::ThreadPool;
+/// # fn main() -> Result<(), gssl_serve::Error> {
+/// let pool = ThreadPool::new(4)?;
+/// let squares = pool.map(&[1.0, 2.0, 3.0], |_, x| Ok(x * x))?;
+/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with exactly `workers` worker threads per batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `workers == 0`.
+    pub fn new(workers: usize) -> Result<Self> {
+        if workers == 0 {
+            return Err(Error::InvalidConfig {
+                message: "thread pool needs at least one worker".to_owned(),
+            });
+        }
+        Ok(ThreadPool { workers })
+    }
+
+    /// Creates a pool sized to the host's available parallelism (at least
+    /// one worker).
+    pub fn with_available_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool { workers }
+    }
+
+    /// Number of worker threads the pool spawns per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f(index, &item)` to every item, sharding the slice across
+    /// the pool's workers, and returns the results in input order.
+    ///
+    /// `f` runs concurrently on several threads, so it must be `Sync`;
+    /// with a single worker (or a batch of at most one item) everything
+    /// runs on the calling thread and no threads are spawned.
+    ///
+    /// # Errors
+    ///
+    /// When one or more invocations fail, the error of the *lowest input
+    /// index* is returned (deterministic regardless of scheduling);
+    /// remaining work is still drained and all threads joined first.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R> + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        // Chunked work-stealing via an atomic cursor: small enough chunks
+        // to balance skewed per-item cost, large enough to amortize the
+        // atomic increment.
+        let chunk = (items.len() / (self.workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<R>>>> =
+            Mutex::new((0..items.len()).map(|_| None).collect());
+
+        let threads = self.workers.min(items.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    // Compute the whole chunk locally, then publish under
+                    // one short lock.
+                    let mut local = Vec::with_capacity(end - start);
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        local.push(f(start + i, item));
+                    }
+                    let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                    for (offset, outcome) in local.into_iter().enumerate() {
+                        guard[start + offset] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        let collected = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, slot) in collected.into_iter().enumerate() {
+            match slot {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(Error::Internal {
+                        message: format!("batch item {i} was never claimed by a worker"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_workers() {
+        assert!(matches!(
+            ThreadPool::new(0),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn available_parallelism_pool_has_workers() {
+        assert!(ThreadPool::with_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        for workers in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(workers).unwrap();
+            let items: Vec<usize> = (0..257).collect();
+            let out = pool.map(&items, |i, &x| Ok(i * 1000 + x)).unwrap();
+            let expected: Vec<usize> = (0..257).map(|i| i * 1000 + i).collect();
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+        let sequential = ThreadPool::new(1)
+            .unwrap()
+            .map(&items, |_, x| Ok(x.sin() * x.cos()))
+            .unwrap();
+        let parallel = ThreadPool::new(6)
+            .unwrap()
+            .map(&items, |_, x| Ok(x.sin() * x.cos()))
+            .unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let pool = ThreadPool::new(4).unwrap();
+        let items: Vec<usize> = (0..100).collect();
+        let result: Result<Vec<usize>> = pool.map(&items, |i, &x| {
+            if i == 13 || i == 77 {
+                Err(Error::UnknownNode { node: i })
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(result, Err(Error::UnknownNode { node: 13 }));
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = ThreadPool::new(4).unwrap();
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(
+            pool.map(&empty, |_, &x| Ok(x)).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(pool.map(&[42usize], |_, &x| Ok(x)).unwrap(), vec![42]);
+    }
+}

@@ -7,8 +7,9 @@
 //! ```
 //!
 //! The checker is a line/token scanner (no `syn`, no network, no build
-//! scripts) enforcing the project's correctness conventions on the five
-//! library crates (`linalg`, `graph`, `stats`, `datasets`, `core`):
+//! scripts) enforcing the project's correctness conventions on the six
+//! library crates (`linalg`, `graph`, `stats`, `datasets`, `core`,
+//! `serve`):
 //!
 //! * crate roots carry `#![forbid(unsafe_code)]` and
 //!   `#![deny(missing_docs)]`, and every `pub` item is documented;
@@ -36,7 +37,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates under `crates/` exempt from the five-crate strict rules: the
+/// Crates under `crates/` exempt from the library-crate strict rules: the
 /// vendored offline shims (`rand`, `criterion`), the benchmark harness and
 /// this checker itself. Their roots are still checked for the mandatory
 /// attributes.

@@ -24,4 +24,7 @@ cargo test -q --workspace
 echo "== cargo test --features strict-checks"
 cargo test -q --features strict-checks
 
+echo "== serve_demo smoke run"
+cargo run --release -q -p gssl-bench --bin serve_demo >/dev/null
+
 echo "All checks passed."
