@@ -44,9 +44,15 @@ impl MeanPredictor {
     ///
     /// # Errors
     ///
-    /// Never fails for a constructed [`Problem`] (which guarantees at
-    /// least one label).
+    /// Returns [`crate::Error::InvalidProblem`] when the problem has no
+    /// labeled vertices (unreachable for a constructed [`Problem`], which
+    /// guarantees at least one label).
     pub fn fit(&self, problem: &Problem) -> Result<Scores> {
+        if problem.n_labeled() == 0 {
+            return Err(crate::Error::InvalidProblem {
+                message: "mean predictor needs at least one labeled vertex".to_owned(),
+            });
+        }
         let n = problem.n_labeled() as f64;
         let mean = problem.labels().iter().sum::<f64>() / n;
         let labeled = vec![mean; problem.n_labeled()];

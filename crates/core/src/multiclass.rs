@@ -27,6 +27,7 @@ impl MulticlassScores {
     }
 
     /// Per-class score matrix (rows = vertices, columns = classes).
+    /// shape: (n, k)
     pub fn scores(&self) -> &Matrix {
         &self.scores
     }

@@ -139,6 +139,7 @@ impl Problem {
     }
 
     /// Borrows the similarity matrix `W`.
+    /// shape: (total, total)
     pub fn weights(&self) -> &Matrix {
         &self.weights
     }
@@ -149,11 +150,13 @@ impl Problem {
     }
 
     /// The observed labels as a [`Vector`].
+    /// shape: (n,)
     pub fn labels_vector(&self) -> Vector {
         Vector::from(self.labels.as_slice())
     }
 
     /// Degree vector `d_i = Σ_j w_ij` over the full graph.
+    /// shape: (total,)
     pub fn degrees(&self) -> Vector {
         self.weights.row_sums()
     }
@@ -175,6 +178,7 @@ impl Problem {
     /// # Errors
     ///
     /// Propagates partition errors (none for a constructed problem).
+    /// shape: (m, m)
     pub fn unlabeled_system(&self) -> Result<Matrix> {
         let blocks = self.weight_blocks()?;
         strict::check_symmetric("unlabeled system block W22", &blocks.a22, 1e-9)?;
@@ -193,6 +197,7 @@ impl Problem {
     /// # Errors
     ///
     /// Propagates partition errors (none for a constructed problem).
+    /// shape: (m,)
     pub fn unlabeled_rhs(&self) -> Result<Vector> {
         let blocks = self.weight_blocks()?;
         Ok(blocks.a21.matvec(&self.labels_vector())?)

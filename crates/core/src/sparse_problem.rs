@@ -100,6 +100,7 @@ impl SparseProblem {
     }
 
     /// Borrows the sparse affinity matrix.
+    /// shape: (total, total)
     pub fn weights(&self) -> &CsrMatrix {
         &self.weights
     }

@@ -167,6 +167,11 @@ pub fn tiny_element_bound(
 ) -> f64 {
     let (beta, _delta) = kernel.lower_bound_ball();
     let k_star = kernel.upper_bound();
+    // Degenerate inputs (no samples, vanishing density or bandwidth) make
+    // the bound vacuous; return it explicitly instead of dividing by zero.
+    if n == 0 || density_lower_bound <= 0.0 || bandwidth <= 0.0 || beta <= 0.0 {
+        return f64::INFINITY;
+    }
     let m_const = 2.0 * k_star / (density_lower_bound * beta);
     m_const / (n as f64 * bandwidth.powi(dim as i32))
 }

@@ -23,6 +23,7 @@ use gssl_linalg::Matrix;
 /// # Ok(())
 /// # }
 /// ```
+/// shape: (points.rows, points.rows)
 pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
     let n = points.rows();
     if n == 0 {
@@ -52,6 +53,7 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
 ///
 /// * [`Error::EmptyInput`] when `points` has no rows.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+/// shape: (points.rows, points.rows)
 pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Result<Matrix> {
     if !(bandwidth > 0.0) {
         return Err(Error::InvalidBandwidth { value: bandwidth });
@@ -70,6 +72,7 @@ pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Resul
 ///
 /// * [`Error::InvalidArgument`] when `squared_distances` is not square.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+/// shape: (squared_distances.rows, squared_distances.cols)
 pub fn affinity_from_distances(
     squared_distances: &Matrix,
     kernel: Kernel,
@@ -106,6 +109,7 @@ pub fn affinity_from_distances(
 /// # Errors
 ///
 /// Propagates bandwidth-resolution and affinity-construction errors.
+/// shape: (points.rows, points.rows)
 pub fn affinity_with_rule(
     points: &Matrix,
     kernel: Kernel,

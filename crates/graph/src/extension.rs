@@ -92,6 +92,7 @@ impl KernelGraph {
     }
 
     /// Borrows the fitted point cloud (rows are points).
+    /// shape: (n, d)
     pub fn points(&self) -> &Matrix {
         &self.points
     }
@@ -112,6 +113,7 @@ impl KernelGraph {
     ///
     /// Propagates affinity-construction errors (none for a constructed
     /// graph).
+    /// shape: (n, n)
     pub fn weights(&self) -> Result<Matrix> {
         affinity_matrix(&self.points, self.kernel, self.bandwidth)
     }
@@ -128,6 +130,7 @@ impl KernelGraph {
     /// * [`Error::DimensionMismatch`] when `x.len() != self.dim()`.
     /// * [`Error::InvalidArgument`] when a coordinate of `x` is
     ///   non-finite.
+    /// shape: (n,)
     pub fn kernel_row(&self, x: &[f64]) -> Result<Vector> {
         if x.len() != self.dim() {
             return Err(Error::DimensionMismatch {

@@ -33,6 +33,7 @@ pub enum Symmetrization {
 /// * [`Error::EmptyInput`] when `points` has no rows.
 /// * [`Error::InvalidArgument`] when `k == 0` or `k >= points.rows()`.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+/// shape: (points.rows, points.rows)
 pub fn knn_graph(
     points: &Matrix,
     k: usize,
@@ -100,6 +101,7 @@ pub fn knn_graph(
 /// * [`Error::EmptyInput`] when `points` has no rows.
 /// * [`Error::InvalidArgument`] when `epsilon <= 0`.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+/// shape: (points.rows, points.rows)
 pub fn epsilon_graph(
     points: &Matrix,
     epsilon: f64,

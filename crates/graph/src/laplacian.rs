@@ -21,6 +21,7 @@ pub enum LaplacianKind {
 /// # Errors
 ///
 /// Returns [`Error::InvalidArgument`] when `w` is not square.
+/// shape: (w.rows,)
 pub fn degrees(w: &Matrix) -> Result<Vector> {
     require_square(w)?;
     Ok(w.row_sums())
@@ -53,6 +54,7 @@ pub fn volume(w: &Matrix) -> Result<f64> {
 /// # Ok(())
 /// # }
 /// ```
+/// shape: (w.rows, w.rows)
 pub fn laplacian(w: &Matrix, kind: LaplacianKind) -> Result<Matrix> {
     require_square(w)?;
     let n = w.rows();

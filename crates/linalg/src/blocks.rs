@@ -68,6 +68,7 @@ impl BlockPartition {
     ///
     /// Returns [`Error::DimensionMismatch`] when the blocks are not
     /// conformal.
+    /// shape: (n, n)
     pub fn assemble(&self) -> Result<Matrix> {
         let top = self.a11.hstack(&self.a12)?;
         let bottom = self.a21.hstack(&self.a22)?;

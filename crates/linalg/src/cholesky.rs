@@ -83,6 +83,7 @@ impl Cholesky {
     }
 
     /// Borrows the lower-triangular factor `L`.
+    /// shape: (n, n)
     pub fn lower(&self) -> &Matrix {
         &self.lower
     }
@@ -94,6 +95,7 @@ impl Cholesky {
     /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`, or
     /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
     /// side or the computed solution is non-finite.
+    /// shape: (b.len,)
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -130,6 +132,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when `B.rows() != dim()`.
+    /// shape: (b.rows, b.cols)
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
@@ -172,6 +175,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Propagates errors from the underlying solves.
+    /// shape: (n, n)
     pub fn inverse(&self) -> Result<Matrix> {
         self.solve_matrix(&Matrix::identity(self.dim()))
     }

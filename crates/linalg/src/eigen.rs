@@ -44,12 +44,14 @@ pub struct SymmetricEigen {
 
 impl SymmetricEigen {
     /// Eigenvalues in ascending order.
+    /// shape: (n,)
     pub fn eigenvalues(&self) -> &Vector {
         &self.eigenvalues
     }
 
     /// Orthonormal eigenvectors as matrix columns (column `k` pairs with
     /// eigenvalue `k`).
+    /// shape: (n, n)
     pub fn eigenvectors(&self) -> &Matrix {
         &self.eigenvectors
     }
@@ -59,6 +61,7 @@ impl SymmetricEigen {
     /// # Panics
     ///
     /// Panics when `k` is out of range.
+    /// shape: (n,)
     pub fn eigenvector(&self, k: usize) -> Vector {
         self.eigenvectors.col(k)
     }

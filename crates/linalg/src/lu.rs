@@ -106,6 +106,7 @@ impl Lu {
     /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`, or
     /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
     /// side or the computed solution is non-finite.
+    /// shape: (b.len,)
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -143,6 +144,7 @@ impl Lu {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when `B.rows() != dim()`.
+    /// shape: (b.rows, b.cols)
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
@@ -180,6 +182,7 @@ impl Lu {
     ///
     /// Propagates errors from the underlying solves (none in practice once
     /// factorization succeeded).
+    /// shape: (n, n)
     pub fn inverse(&self) -> Result<Matrix> {
         self.solve_matrix(&Matrix::identity(self.dim()))
     }
@@ -190,6 +193,7 @@ impl Lu {
 /// # Errors
 ///
 /// Propagates factorization and dimension errors from [`Lu`].
+/// shape: (a.rows,)
 pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
     Lu::factor(a)?.solve(b)
 }
@@ -199,6 +203,7 @@ pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
 /// # Errors
 ///
 /// Propagates factorization and dimension errors from [`Lu`].
+/// shape: (a.rows, b.cols)
 pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     Lu::factor(a)?.solve_matrix(b)
 }
@@ -208,6 +213,7 @@ pub fn solve_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// # Errors
 ///
 /// Propagates factorization errors from [`Lu`].
+/// shape: (a.rows, a.cols)
 pub fn inverse(a: &Matrix) -> Result<Matrix> {
     Lu::factor(a)?.inverse()
 }

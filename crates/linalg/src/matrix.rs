@@ -26,6 +26,7 @@ pub struct Matrix {
 
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
+    /// shape: (rows, cols)
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
@@ -42,6 +43,7 @@ impl Matrix {
     /// assert_eq!(i.get(0, 0), 1.0);
     /// assert_eq!(i.get(0, 1), 0.0);
     /// ```
+    /// shape: (n, n)
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
@@ -51,6 +53,7 @@ impl Matrix {
     }
 
     /// Creates a matrix filled with `value`.
+    /// shape: (rows, cols)
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
         Matrix {
             rows,
@@ -64,6 +67,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::InvalidLength`] when `data.len() != rows * cols`.
+    /// shape: (rows, cols)
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(Error::InvalidLength {
@@ -79,6 +83,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::InvalidLength`] when rows have differing lengths.
+    /// shape: (rows.len, cols)
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, |r| r.len());
@@ -106,6 +111,7 @@ impl Matrix {
     /// let hilbert = Matrix::from_fn(2, 2, |i, j| 1.0 / (i + j + 1) as f64);
     /// assert_eq!(hilbert.get(1, 1), 1.0 / 3.0);
     /// ```
+    /// shape: (rows, cols)
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
@@ -118,6 +124,7 @@ impl Matrix {
 
     /// Creates a square matrix with `diag` on the diagonal and zeros
     /// elsewhere.
+    /// shape: (diag.len, diag.len)
     pub fn from_diag(diag: &[f64]) -> Self {
         let n = diag.len();
         let mut m = Matrix::zeros(n, n);
@@ -194,6 +201,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics when `j >= cols`.
+    /// shape: (self.rows,)
     pub fn col(&self, j: usize) -> Vector {
         assert!(j < self.cols, "column index out of bounds");
         (0..self.rows).map(|i| self.get(i, j)).collect()
@@ -210,6 +218,7 @@ impl Matrix {
     }
 
     /// Returns the transpose.
+    /// shape: (self.cols, self.rows)
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
@@ -235,6 +244,7 @@ impl Matrix {
     /// # Ok(())
     /// # }
     /// ```
+    /// shape: (self.rows, rhs.cols)
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
@@ -266,6 +276,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when `self.cols() != x.len()`.
+    /// shape: (self.rows,)
     pub fn matvec(&self, x: &Vector) -> Result<Vector> {
         if self.cols != x.len() {
             return Err(Error::DimensionMismatch {
@@ -280,11 +291,13 @@ impl Matrix {
     }
 
     /// Sum of each row, as a vector of length `rows`.
+    /// shape: (self.rows,)
     pub fn row_sums(&self) -> Vector {
         (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
     }
 
     /// Sum of each column, as a vector of length `cols`.
+    /// shape: (self.cols,)
     pub fn col_sums(&self) -> Vector {
         let mut sums = Vector::zeros(self.cols);
         for i in 0..self.rows {
@@ -296,6 +309,7 @@ impl Matrix {
     }
 
     /// The main diagonal as a vector (length `min(rows, cols)`).
+    /// shape: (n,)
     pub fn diag(&self) -> Vector {
         (0..self.rows.min(self.cols))
             .map(|i| self.get(i, i))
@@ -347,6 +361,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics when the ranges are not `r0 <= r1 <= rows` / `c0 <= c1 <= cols`.
+    /// shape: (nr, nc)
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
         assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
         assert!(c0 <= c1 && c1 <= self.cols, "column range out of bounds");
@@ -362,6 +377,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when column counts differ.
+    /// shape: (rows, self.cols)
     pub fn vstack(&self, bottom: &Matrix) -> Result<Matrix> {
         if self.cols != bottom.cols {
             return Err(Error::DimensionMismatch {
@@ -384,6 +400,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when row counts differ.
+    /// shape: (self.rows, cols)
     pub fn hstack(&self, right: &Matrix) -> Result<Matrix> {
         if self.rows != right.rows {
             return Err(Error::DimensionMismatch {
@@ -401,6 +418,7 @@ impl Matrix {
     }
 
     /// Returns a new matrix with `f` applied to every element.
+    /// shape: (self.rows, self.cols)
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix {
             rows: self.rows,
@@ -436,6 +454,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when shapes differ.
+    /// shape: (self.rows, self.cols)
     pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(Error::DimensionMismatch {

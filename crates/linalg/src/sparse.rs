@@ -30,6 +30,7 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// Creates an empty (all-zero) sparse matrix.
+    /// shape: (rows, cols)
     pub fn zeros(rows: usize, cols: usize) -> Self {
         CsrMatrix {
             rows,
@@ -48,6 +49,7 @@ impl CsrMatrix {
     ///
     /// Returns [`Error::InvalidArgument`] when any coordinate is out of
     /// bounds.
+    /// shape: (rows, cols)
     pub fn from_triplets(
         rows: usize,
         cols: usize,
@@ -102,6 +104,7 @@ impl CsrMatrix {
 
     /// Converts a dense matrix to CSR, dropping entries with
     /// `|a_ij| <= threshold`.
+    /// shape: (dense.rows, dense.cols)
     pub fn from_dense(dense: &Matrix, threshold: f64) -> Self {
         let mut indptr = Vec::with_capacity(dense.rows() + 1);
         let mut indices = Vec::new();
@@ -126,6 +129,7 @@ impl CsrMatrix {
     }
 
     /// Expands to a dense [`Matrix`].
+    /// shape: (self.rows, self.cols)
     pub fn to_dense(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
         for i in 0..self.rows {
@@ -217,6 +221,7 @@ impl CsrMatrix {
     }
 
     /// Returns the transpose (also in CSR form).
+    /// shape: (self.cols, self.rows)
     pub fn transpose(&self) -> CsrMatrix {
         let mut triplets = Vec::with_capacity(self.nnz());
         for i in 0..self.rows {

@@ -23,6 +23,7 @@ pub struct Vector {
 
 impl Vector {
     /// Creates an empty vector.
+    /// shape: (0,)
     pub fn new() -> Self {
         Vector { data: Vec::new() }
     }
@@ -33,6 +34,7 @@ impl Vector {
     /// use gssl_linalg::Vector;
     /// assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
     /// ```
+    /// shape: (len,)
     pub fn zeros(len: usize) -> Self {
         Vector {
             data: vec![0.0; len],
@@ -40,6 +42,7 @@ impl Vector {
     }
 
     /// Creates a vector of `len` ones.
+    /// shape: (len,)
     pub fn ones(len: usize) -> Self {
         Vector {
             data: vec![1.0; len],
@@ -47,6 +50,7 @@ impl Vector {
     }
 
     /// Creates a vector filled with `value`.
+    /// shape: (len,)
     pub fn filled(len: usize, value: f64) -> Self {
         Vector {
             data: vec![value; len],
@@ -60,6 +64,7 @@ impl Vector {
     /// let v = Vector::from_fn(3, |i| i as f64 * 2.0);
     /// assert_eq!(v.as_slice(), &[0.0, 2.0, 4.0]);
     /// ```
+    /// shape: (len,)
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f64) -> Self {
         Vector {
             data: (0..len).map(&mut f).collect(),
@@ -194,6 +199,7 @@ impl Vector {
     }
 
     /// Returns a new vector with `f` applied to every element.
+    /// shape: (self.len,)
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
         Vector {
             data: self.data.iter().map(|&x| f(x)).collect(),

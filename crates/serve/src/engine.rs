@@ -556,6 +556,17 @@ impl ServingEngine {
     /// Sherman–Morrison rank-1 perturbation of the full system.
     fn rank1_soft(&mut self, node: usize, target: &[f64]) -> Result<()> {
         let total = self.n_nodes();
+        // Defense in depth: the public observe path validates `node`, but
+        // this update writes raw rows, so re-check the bound locally.
+        if node >= total || target.len() != self.targets.cols() {
+            return Err(Error::Internal {
+                message: format!(
+                    "rank1_soft: node {node} / target width {} out of shape ({total} nodes, {} classes)",
+                    target.len(),
+                    self.targets.cols()
+                ),
+            });
+        }
 
         self.labeled[node] = true;
         for (c, &t) in target.iter().enumerate() {

@@ -44,6 +44,10 @@ pub mod error;
 pub mod metrics;
 /// Dependency-free scoped thread pool for batch prediction.
 pub mod pool;
+/// Deterministic interleaving harness for the pool's chunk-claim protocol
+/// (`strict-checks` only).
+#[cfg(feature = "strict-checks")]
+pub mod sim;
 
 pub use config::{EngineConfig, ServeCriterion};
 pub use engine::{Prediction, QueryPoint, ServingEngine};

@@ -13,6 +13,35 @@ use crate::error::{Error, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// Chunk width used to shard a batch of `len` items across `workers`
+/// threads: small enough to balance skewed per-item cost, large enough to
+/// amortize the atomic increment. Always at least 1.
+///
+/// Shared with the deterministic interleaving harness in [`crate::sim`] so
+/// the schedules it enumerates exercise exactly the production protocol.
+pub(crate) fn chunk_size(len: usize, workers: usize) -> usize {
+    let workers = workers.max(1);
+    (len / (workers * 4)).max(1)
+}
+
+/// One step of the chunk-claim protocol: atomically advances the shared
+/// cursor by `chunk` and returns the claimed half-open range, or `None`
+/// once the batch is exhausted.
+///
+/// The single `fetch_add` is the *only* synchronization between claimants;
+/// `Ordering::Relaxed` suffices because the read-modify-write total order
+/// alone makes claims disjoint and exhaustive (no other memory is
+/// published through the cursor — results go through a mutex and the
+/// scope join). [`crate::sim::enumerate_schedules`] checks this
+/// exhaustively over all bounded interleavings under `strict-checks`.
+pub(crate) fn claim(cursor: &AtomicUsize, chunk: usize, len: usize) -> Option<(usize, usize)> {
+    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+    if start >= len {
+        return None;
+    }
+    Some((start, (start + chunk).min(len)))
+}
+
 /// A fixed-width scoped thread pool.
 ///
 /// The pool owns no threads between calls: each [`ThreadPool::map`] opens
@@ -85,10 +114,9 @@ impl ThreadPool {
             return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         }
 
-        // Chunked work-stealing via an atomic cursor: small enough chunks
-        // to balance skewed per-item cost, large enough to amortize the
-        // atomic increment.
-        let chunk = (items.len() / (self.workers * 4)).max(1);
+        // Chunked work-stealing via an atomic cursor; see `chunk_size` and
+        // `claim` for the protocol and its correctness argument.
+        let chunk = chunk_size(items.len(), self.workers);
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<R>>>> =
             Mutex::new((0..items.len()).map(|_| None).collect());
@@ -97,11 +125,9 @@ impl ThreadPool {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
+                    let Some((start, end)) = claim(&cursor, chunk, items.len()) else {
                         break;
-                    }
-                    let end = (start + chunk).min(items.len());
+                    };
                     // Compute the whole chunk locally, then publish under
                     // one short lock.
                     let mut local = Vec::with_capacity(end - start);

@@ -119,9 +119,14 @@ impl ConfusionMatrix {
         self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
     }
 
-    /// Fraction of correct predictions.
+    /// Fraction of correct predictions (`NaN` for an empty matrix, the
+    /// same value the unguarded `0 / 0` division used to produce).
     pub fn accuracy(&self) -> f64 {
-        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
     }
 
     /// Precision `TP / (TP + FP)`.

@@ -190,6 +190,9 @@ pub fn labeled_unlabeled_split(len: usize, n_labeled: usize, rng: &mut impl Rng)
 
 /// Sizes of `k` balanced partitions of `len` items (differ by at most 1).
 fn balanced_sizes(len: usize, k: usize) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
     let base = len / k;
     let extra = len % k;
     (0..k).map(|i| base + usize::from(i < extra)).collect()

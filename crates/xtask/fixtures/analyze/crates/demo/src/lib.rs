@@ -1,0 +1,24 @@
+//! Analyze fixture: panic-reachability through a private helper, plus a
+//! baselined offender the fixture baseline must suppress.
+
+/// Public entry point; reaches the unguarded index in `pick`.
+pub fn api(values: &[f64]) -> f64 {
+    pick(values)
+}
+
+fn pick(values: &[f64]) -> f64 {
+    values[3]
+}
+
+/// Directly offending pub function; suppressed by the fixture baseline.
+pub fn baselined(values: &[f64]) -> f64 {
+    values[7]
+}
+
+/// A guarded sibling that must stay silent.
+pub fn guarded(values: &[f64]) -> f64 {
+    if values.len() <= 3 {
+        return 0.0;
+    }
+    values[3]
+}

@@ -1,0 +1,31 @@
+//! Analyze fixture: shape-contract violations — a missing annotation, a
+//! malformed annotation, and a definite literal shape mismatch at a
+//! `matmul` call site.
+
+/// Matrix-producing pub fn with no `/// shape:` line (flagged: missing).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::alloc(rows, cols)
+}
+
+/// shape: (rows, oops.bad)
+pub fn filled(rows: usize, cols: usize) -> Matrix {
+    Matrix::alloc(rows, cols)
+}
+
+/// shape: (2, 3)
+pub fn left() -> Matrix {
+    Matrix::alloc(2, 3)
+}
+
+/// shape: (4, 5)
+pub fn right() -> Matrix {
+    Matrix::alloc(4, 5)
+}
+
+/// shape: (2, 5)
+pub fn bad_product() -> Matrix {
+    let x = left();
+    let y = right();
+    let z = x.matmul(&y);
+    z
+}

@@ -1,0 +1,19 @@
+//! Analyze fixture: a threaded file carrying one of each concurrency
+//! violation — a relaxed atomic, a lock guard held across a join, and
+//! non-`Sync` interior mutability.
+
+/// Spawns one worker and commits all three concurrency sins.
+pub fn run() -> f64 {
+    let shared = std::cell::RefCell::new(0.0f64);
+    let lock = std::sync::Mutex::new(0u32);
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let guard = lock.lock().unwrap();
+        handle.join().ok();
+        drop(guard);
+    });
+    *shared.borrow()
+}

@@ -1,0 +1,407 @@
+//! The `analyze` driver: runs the semantic passes (panic-reachability,
+//! shape contracts, concurrency) over the library crates, applies the
+//! ratchet baseline, and renders human/JSON output.
+
+use crate::baseline;
+use crate::callgraph;
+use crate::concurrency;
+use crate::items::{self, FnInfo};
+use crate::scanner::{self, SourceFile};
+use crate::shape;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Workspace-relative location of the ratchet baseline.
+pub const BASELINE_PATH: &str = "crates/xtask/analyze.baseline";
+
+/// Crates whose Matrix/Vector-producing `pub` functions must carry
+/// `/// shape:` annotations.
+const ANNOTATED_CRATES: [&str; 3] = ["linalg", "graph", "core"];
+
+/// The semantic rules `analyze` knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyzeRule {
+    /// A `pub` API path reaches an unguarded panic site.
+    PanicReach,
+    /// A `/// shape:` annotation is missing or malformed.
+    ShapeAnnotation,
+    /// A block-operation call site has a definite shape mismatch.
+    ShapeMismatch,
+    /// `Ordering::Relaxed` in a threaded file.
+    RelaxedOrdering,
+    /// A lock guard is live across a join/scope/spawn call.
+    LockAcrossJoin,
+    /// Interior mutability without `Sync` in a threaded file.
+    NonSyncShared,
+    /// A baseline entry no longer matches reality.
+    BaselineStale,
+}
+
+impl AnalyzeRule {
+    /// Stable key used in output and the baseline file.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            AnalyzeRule::PanicReach => "panic_reach",
+            AnalyzeRule::ShapeAnnotation => "shape_annotation",
+            AnalyzeRule::ShapeMismatch => "shape_mismatch",
+            AnalyzeRule::RelaxedOrdering => "relaxed_ordering",
+            AnalyzeRule::LockAcrossJoin => "lock_across_join",
+            AnalyzeRule::NonSyncShared => "non_sync_shared",
+            AnalyzeRule::BaselineStale => "baseline_stale",
+        }
+    }
+
+    /// Parses a baseline key back into a rule.
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<AnalyzeRule> {
+        match key {
+            "panic_reach" => Some(AnalyzeRule::PanicReach),
+            "shape_annotation" => Some(AnalyzeRule::ShapeAnnotation),
+            "shape_mismatch" => Some(AnalyzeRule::ShapeMismatch),
+            "relaxed_ordering" => Some(AnalyzeRule::RelaxedOrdering),
+            "lock_across_join" => Some(AnalyzeRule::LockAcrossJoin),
+            "non_sync_shared" => Some(AnalyzeRule::NonSyncShared),
+            "baseline_stale" => Some(AnalyzeRule::BaselineStale),
+            _ => None,
+        }
+    }
+}
+
+/// One semantic finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: AnalyzeRule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// Qualified function name the finding is attributed to (`-` when
+    /// file-level).
+    pub func: String,
+    /// 1-based line (0 for file-level problems).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] ({}) {}",
+            self.file,
+            self.line,
+            self.rule.key(),
+            self.func,
+            self.message
+        )
+    }
+}
+
+/// Outcome of a full `analyze` run.
+#[derive(Debug)]
+pub struct AnalyzeReport {
+    /// Findings surviving the baseline ratchet, in path order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+    /// Number of findings suppressed by baseline entries.
+    pub suppressed: usize,
+}
+
+impl AnalyzeReport {
+    /// Whether the tree is clean (baseline-suppressed findings included).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs every semantic pass over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns `io::Error` when the tree cannot be read (a *finding* is not an
+/// error — inspect the returned [`AnalyzeReport`]).
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalyzeReport> {
+    let mut files_scanned = 0usize;
+    // (relative path, analyzed source, extracted fns, crate name)
+    let mut analyzed: Vec<(String, SourceFile, Vec<FnInfo>)> = Vec::new();
+    let mut require_shapes: Vec<bool> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    crate_names.sort();
+
+    for name in &crate_names {
+        if crate::EXEMPT_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src_dir = crates_dir.join(name).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        crate::collect_rust_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            files_scanned += 1;
+            let text = fs::read_to_string(&file)?;
+            let source = scanner::analyze(&text);
+            let rel = crate::relative_path(root, &file);
+            let fns = items::extract(&rel, &source);
+            analyzed.push((rel, source, fns));
+            require_shapes.push(ANNOTATED_CRATES.contains(&name.as_str()));
+        }
+    }
+
+    let mut findings = run_passes(&analyzed, &require_shapes);
+
+    // Ratchet baseline.
+    let list_path = root.join(BASELINE_PATH);
+    let list_text = match fs::read_to_string(&list_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let (entries, mut problems) = baseline::parse(&list_text, BASELINE_PATH);
+    let raw = findings.len();
+    findings = baseline::reconcile(findings, &entries, BASELINE_PATH);
+    let suppressed = raw.saturating_sub(
+        findings
+            .iter()
+            .filter(|f| f.rule != AnalyzeRule::BaselineStale)
+            .count(),
+    );
+    findings.append(&mut problems);
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.key()).cmp(&(b.file.as_str(), b.line, b.rule.key()))
+    });
+
+    Ok(AnalyzeReport {
+        findings,
+        files_scanned,
+        suppressed,
+    })
+}
+
+/// Runs the three passes over pre-analyzed files (shared by the real run
+/// and the fixture self-tests).
+#[must_use]
+pub fn run_passes(
+    analyzed: &[(String, SourceFile, Vec<FnInfo>)],
+    require_shapes: &[bool],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Shape pass: annotations per file, then call sites against the
+    // workspace-wide registry.
+    let mut registry = shape::Registry::default();
+    for (_, _, fns) in analyzed {
+        registry.add_all(fns);
+    }
+    for (i, (rel, source, fns)) in analyzed.iter().enumerate() {
+        let require = require_shapes.get(i).copied().unwrap_or(false);
+        for f in shape::check_annotations(fns, require) {
+            findings.push(Finding {
+                rule: if f.mismatch {
+                    AnalyzeRule::ShapeMismatch
+                } else {
+                    AnalyzeRule::ShapeAnnotation
+                },
+                file: rel.clone(),
+                func: f.func,
+                line: f.line,
+                message: f.message,
+            });
+        }
+        for f in shape::check_call_sites(source, fns, &registry) {
+            findings.push(Finding {
+                rule: if f.mismatch {
+                    AnalyzeRule::ShapeMismatch
+                } else {
+                    AnalyzeRule::ShapeAnnotation
+                },
+                file: rel.clone(),
+                func: f.func,
+                line: f.line,
+                message: f.message,
+            });
+        }
+
+        // Concurrency pass, attributed to the enclosing function.
+        for c in concurrency::check(source) {
+            let func = enclosing_fn(fns, c.line);
+            findings.push(Finding {
+                rule: match c.rule {
+                    concurrency::ConcRule::RelaxedOrdering => AnalyzeRule::RelaxedOrdering,
+                    concurrency::ConcRule::LockAcrossJoin => AnalyzeRule::LockAcrossJoin,
+                    concurrency::ConcRule::NonSyncShared => AnalyzeRule::NonSyncShared,
+                },
+                file: rel.clone(),
+                func,
+                line: c.line,
+                message: c.message,
+            });
+        }
+    }
+
+    // Panic-reachability over the workspace-wide call graph.
+    let all_fns: Vec<FnInfo> = analyzed
+        .iter()
+        .flat_map(|(_, _, f)| f.iter().cloned())
+        .collect();
+    let graph = callgraph::build(all_fns);
+    for path in callgraph::panic_reachability(&graph) {
+        let offender = &graph.fns[path.offender];
+        findings.push(Finding {
+            rule: AnalyzeRule::PanicReach,
+            file: offender.file.clone(),
+            func: offender.qual.clone(),
+            line: offender.line,
+            message: format!(
+                "unguarded {} reachable from pub API via `{}`",
+                path.sites,
+                callgraph::render_chain(&graph, &path.chain)
+            ),
+        });
+    }
+
+    findings
+}
+
+/// The qualified name of the last function starting at or before `line`
+/// (`-` when the line precedes every function).
+fn enclosing_fn(fns: &[FnInfo], line: usize) -> String {
+    fns.iter()
+        .filter(|f| f.line <= line)
+        .max_by_key(|f| f.line)
+        .map_or_else(|| "-".to_owned(), |f| f.qual.clone())
+}
+
+/// Escapes a string for embedding in JSON output.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an analyze report as a single JSON object.
+#[must_use]
+pub fn analyze_json(report: &AnalyzeReport) -> String {
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"func\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                f.rule.key(),
+                json_escape(&f.file),
+                json_escape(&f.func),
+                f.line,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"pass\":\"analyze\",\"files_scanned\":{},\"suppressed\":{},\"clean\":{},\"findings\":[{}]}}",
+        report.files_scanned,
+        report.suppressed,
+        report.is_clean(),
+        findings.join(",")
+    )
+}
+
+/// Renders a `check` report as a single JSON object (same contract as
+/// [`analyze_json`], so CI can diff both passes uniformly).
+#[must_use]
+pub fn check_json(report: &crate::Report) -> String {
+    let violations: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                v.rule.key(),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"pass\":\"check\",\"files_scanned\":{},\"clean\":{},\"violations\":[{}]}}",
+        report.files_scanned,
+        report.is_clean(),
+        violations.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::scanner::analyze;
+
+    fn run(src: &str, require: bool) -> Vec<Finding> {
+        let source = analyze(src);
+        let fns = extract("t.rs", &source);
+        run_passes(&[("t.rs".to_owned(), source, fns)], &[require])
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "/// shape: (n, n)\npub fn eye(n: usize) -> Matrix { make(n) }\n\
+                   fn make(n: usize) -> Matrix { Matrix }";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn panic_reach_findings_carry_the_chain() {
+        let src = "pub fn api(v: &[f64]) -> f64 { inner(v) }\nfn inner(v: &[f64]) -> f64 { v[1] }";
+        let out = run(src, false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, AnalyzeRule::PanicReach);
+        assert!(out[0].message.contains("api -> inner"));
+        assert_eq!(out[0].func, "inner");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn rule_keys_round_trip() {
+        for rule in [
+            AnalyzeRule::PanicReach,
+            AnalyzeRule::ShapeAnnotation,
+            AnalyzeRule::ShapeMismatch,
+            AnalyzeRule::RelaxedOrdering,
+            AnalyzeRule::LockAcrossJoin,
+            AnalyzeRule::NonSyncShared,
+            AnalyzeRule::BaselineStale,
+        ] {
+            assert_eq!(AnalyzeRule::from_key(rule.key()), Some(rule));
+        }
+    }
+}

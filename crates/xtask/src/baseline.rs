@@ -1,0 +1,223 @@
+//! The ratchet baseline for `analyze` findings.
+//!
+//! `crates/xtask/analyze.baseline` registers findings that are understood
+//! and proven acceptable (e.g. a `Relaxed` ordering whose soundness the
+//! interleaving harness establishes). Each entry carries a justification
+//! and a *count*; the ratchet is two-sided:
+//!
+//! * a keyed finding group whose count **exceeds** its baseline count is
+//!   reported in full (regressions never hide behind the baseline);
+//! * a baseline entry whose count **exceeds** reality is a
+//!   `baseline_stale` finding (the baseline must shrink as code improves —
+//!   counts only go down).
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! <file> <rule> <function> <count> <justification…>
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. `<function>` is the
+//! qualified name (`Type::method`), or `-` for file-level findings.
+
+use crate::analysis::{AnalyzeRule, Finding};
+use std::collections::HashMap;
+
+/// One baseline registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Rule being baselined.
+    pub rule: AnalyzeRule,
+    /// Qualified function name, `-` for file-level findings.
+    pub func: String,
+    /// Number of sanctioned findings under this key.
+    pub count: usize,
+    /// Justification recorded for reviewers.
+    pub reason: String,
+    /// 1-based line in the baseline file.
+    pub line: usize,
+}
+
+/// Parses the baseline text; malformed lines become findings against the
+/// baseline file itself.
+#[must_use]
+pub fn parse(text: &str, list_path: &str) -> (Vec<Entry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut problems = Vec::new();
+    let mut bad = |line: usize, message: String| {
+        problems.push(Finding {
+            rule: AnalyzeRule::BaselineStale,
+            file: list_path.to_owned(),
+            func: "-".to_owned(),
+            line,
+            message,
+        });
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(5, char::is_whitespace);
+        let file = parts.next().unwrap_or("").to_owned();
+        let rule_key = parts.next().unwrap_or("");
+        let func = parts.next().unwrap_or("").to_owned();
+        let count = parts.next().unwrap_or("");
+        let reason = parts.next().unwrap_or("").trim().to_owned();
+        let Some(rule) = AnalyzeRule::from_key(rule_key) else {
+            bad(i + 1, format!("unknown rule `{rule_key}` in baseline"));
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            bad(i + 1, format!("baseline count `{count}` is not a number"));
+            continue;
+        };
+        if reason.is_empty() {
+            bad(i + 1, "baseline entry has no justification text".to_owned());
+            continue;
+        }
+        if count == 0 {
+            bad(
+                i + 1,
+                "baseline count 0 is meaningless; delete the entry".to_owned(),
+            );
+            continue;
+        }
+        entries.push(Entry {
+            file,
+            rule,
+            func,
+            count,
+            reason,
+            line: i + 1,
+        });
+    }
+    (entries, problems)
+}
+
+/// Applies the ratchet: returns the findings that survive (regressions)
+/// plus `baseline_stale` findings for over-generous entries.
+#[must_use]
+pub fn reconcile(findings: Vec<Finding>, entries: &[Entry], list_path: &str) -> Vec<Finding> {
+    // Group findings by key.
+    let mut groups: HashMap<(String, AnalyzeRule, String), Vec<Finding>> = HashMap::new();
+    for f in findings {
+        groups
+            .entry((f.file.clone(), f.rule, f.func.clone()))
+            .or_default()
+            .push(f);
+    }
+
+    let mut out = Vec::new();
+    for entry in entries {
+        let key = (entry.file.clone(), entry.rule, entry.func.clone());
+        let actual = groups.get(&key).map_or(0, Vec::len);
+        if actual < entry.count {
+            out.push(Finding {
+                rule: AnalyzeRule::BaselineStale,
+                file: list_path.to_owned(),
+                func: entry.func.clone(),
+                line: entry.line,
+                message: format!(
+                    "stale baseline: {} {} in `{}` registers {} finding(s) but only {actual} \
+                     remain — ratchet the count down",
+                    entry.file,
+                    entry.rule.key(),
+                    entry.func,
+                    entry.count
+                ),
+            });
+        }
+        if actual <= entry.count {
+            groups.remove(&key);
+        }
+        // actual > entry.count: leave the whole group to be reported — a
+        // regression must show every site, not just the excess.
+    }
+    for (_, group) in groups {
+        out.extend(group);
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.key()).cmp(&(b.file.as_str(), b.line, b.rule.key()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: AnalyzeRule, func: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            func: func.to_owned(),
+            line,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parses_entries() {
+        let (entries, problems) = parse(
+            "# c\n\ncrates/serve/src/pool.rs relaxed_ordering ThreadPool::map 1 proven by harness\n",
+            "b",
+        );
+        assert!(problems.is_empty());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 1);
+        assert_eq!(entries[0].func, "ThreadPool::map");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let (entries, problems) = parse(
+            "a.rs bogus f 1 why\na.rs panic_reach f x why\na.rs panic_reach f 1\na.rs panic_reach f 0 why\n",
+            "b",
+        );
+        assert!(entries.is_empty());
+        assert_eq!(problems.len(), 4);
+    }
+
+    #[test]
+    fn at_or_under_baseline_is_suppressed() {
+        let (entries, _) = parse("a.rs panic_reach f 2 ok\n", "b");
+        let findings = vec![
+            finding("a.rs", AnalyzeRule::PanicReach, "f", 1),
+            finding("a.rs", AnalyzeRule::PanicReach, "f", 2),
+        ];
+        assert!(reconcile(findings, &entries, "b").is_empty());
+    }
+
+    #[test]
+    fn over_baseline_reports_whole_group() {
+        let (entries, _) = parse("a.rs panic_reach f 1 ok\n", "b");
+        let findings = vec![
+            finding("a.rs", AnalyzeRule::PanicReach, "f", 1),
+            finding("a.rs", AnalyzeRule::PanicReach, "f", 2),
+        ];
+        assert_eq!(reconcile(findings, &entries, "b").len(), 2);
+    }
+
+    #[test]
+    fn under_baseline_is_stale() {
+        let (entries, _) = parse("a.rs panic_reach f 2 ok\n", "b");
+        let findings = vec![finding("a.rs", AnalyzeRule::PanicReach, "f", 1)];
+        let out = reconcile(findings, &entries, "b");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, AnalyzeRule::BaselineStale);
+    }
+
+    #[test]
+    fn unrelated_findings_pass_through() {
+        let (entries, _) = parse("a.rs panic_reach f 1 ok\n", "b");
+        let findings = vec![finding("z.rs", AnalyzeRule::ShapeMismatch, "g", 9)];
+        let out = reconcile(findings, &entries, "b");
+        // The unrelated finding passes through AND the unused entry is stale.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|f| f.file == "z.rs"));
+        assert!(out.iter().any(|f| f.rule == AnalyzeRule::BaselineStale));
+    }
+}

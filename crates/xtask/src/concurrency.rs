@@ -1,0 +1,295 @@
+//! The concurrency pass over thread-using files (the `gssl-serve` pool and
+//! engine): memory-ordering, lock-discipline and `Sync`-evidence lints.
+//!
+//! Three rules, all scoped to files that actually use `std::thread`
+//! primitives (`thread::scope`, `spawn`, `join`):
+//!
+//! * `relaxed_ordering` — any `Ordering::Relaxed` on an atomic in a
+//!   threaded file. Relaxed is only sound when the RMW itself carries the
+//!   whole protocol (e.g. a claim-only `fetch_add` cursor whose results
+//!   are published under a lock and fenced by scope join); such proven
+//!   sites are baselined with a written justification, everything else
+//!   must use Acquire/Release.
+//! * `lock_across_join` — a `lock()`/`read()`/`write()` guard binding
+//!   still live at a `join(`/`scope(`/`spawn(` call in the same scope:
+//!   holding a lock while blocking on other threads is the classic
+//!   self-deadlock shape.
+//! * `non_sync_shared` — interior-mutability types without `Sync`
+//!   (`RefCell`, `Cell`, `Rc`, `UnsafeCell`) appearing in a threaded
+//!   file; sharing one into `std::thread::scope` is either a compile
+//!   error waiting to happen or evidence of an unsound wrapper.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scanner::SourceFile;
+
+/// Which concurrency rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcRule {
+    /// `Ordering::Relaxed` in a threaded file.
+    RelaxedOrdering,
+    /// Lock guard live across a join/scope/spawn call.
+    LockAcrossJoin,
+    /// Interior mutability type in a threaded file.
+    NonSyncShared,
+}
+
+impl ConcRule {
+    /// Stable key used in findings and the baseline.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            ConcRule::RelaxedOrdering => "relaxed_ordering",
+            ConcRule::LockAcrossJoin => "lock_across_join",
+            ConcRule::NonSyncShared => "non_sync_shared",
+        }
+    }
+}
+
+/// One concurrency finding.
+#[derive(Debug, Clone)]
+pub struct ConcFinding {
+    /// Which rule fired.
+    pub rule: ConcRule,
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Whether the file uses threading primitives at all (the pass is a no-op
+/// otherwise — `Ordering::Relaxed` on a single-threaded counter is fine).
+#[must_use]
+pub fn is_threaded(source: &SourceFile) -> bool {
+    let toks = &source.tokens;
+    toks.iter().enumerate().any(|(i, t)| {
+        t.kind == TokKind::Ident
+            && (t.is_ident("spawn")
+                || (t.is_ident("scope")
+                    && i >= 2
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':'))
+                || t.is_ident("JoinHandle"))
+    })
+}
+
+/// Runs all three concurrency rules over one file.
+#[must_use]
+pub fn check(source: &SourceFile) -> Vec<ConcFinding> {
+    if !is_threaded(source) {
+        return Vec::new();
+    }
+    let toks: Vec<&Tok> = source
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment | TokKind::Doc))
+        .collect();
+    let in_test = |line: usize| {
+        source
+            .test_mask
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    };
+
+    let mut out = Vec::new();
+    // Live lock-guard bindings: (name, brace depth at binding).
+    let mut guards: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut k = 0;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|&(_, d)| d <= depth);
+        }
+
+        if in_test(t.line) {
+            k += 1;
+            continue;
+        }
+
+        // Ordering::Relaxed
+        if t.is_ident("Relaxed")
+            && k >= 3
+            && toks[k - 1].is_punct(':')
+            && toks[k - 2].is_punct(':')
+            && toks[k - 3].is_ident("Ordering")
+        {
+            out.push(ConcFinding {
+                rule: ConcRule::RelaxedOrdering,
+                line: t.line,
+                message: "`Ordering::Relaxed` on an atomic in a threaded file; use \
+                          Acquire/Release or baseline with a proof of why Relaxed is sound"
+                    .to_owned(),
+            });
+        }
+
+        // `let name = … .lock()/.read()/.write() …;` — track the guard.
+        if t.is_ident("let") {
+            let mut n = k + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if let Some(name_tok) = toks.get(n).filter(|t| t.kind == TokKind::Ident) {
+                // Scan the initializer (to `;` at this depth) for a lock
+                // acquisition method call.
+                let mut m = n + 1;
+                let mut local_depth = 0i32;
+                let mut is_guard = false;
+                while m < toks.len() {
+                    let tm = toks[m];
+                    if tm.is_punct('(') || tm.is_punct('{') || tm.is_punct('[') {
+                        local_depth += 1;
+                    } else if tm.is_punct(')') || tm.is_punct('}') || tm.is_punct(']') {
+                        local_depth -= 1;
+                        if local_depth < 0 {
+                            break;
+                        }
+                    } else if tm.is_punct(';') && local_depth == 0 {
+                        break;
+                    } else if tm.kind == TokKind::Ident
+                        && matches!(tm.text.as_str(), "lock" | "read" | "write")
+                        && m >= 1
+                        && toks[m - 1].is_punct('.')
+                        && toks.get(m + 1).is_some_and(|p| p.is_punct('('))
+                    {
+                        is_guard = true;
+                    }
+                    m += 1;
+                }
+                if is_guard {
+                    guards.push((name_tok.text.clone(), depth));
+                }
+            }
+        }
+
+        // Explicit `drop(name)` releases a tracked guard.
+        if t.is_ident("drop")
+            && toks.get(k + 1).is_some_and(|p| p.is_punct('('))
+            && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = &toks[k + 2].text;
+            guards.retain(|(g, _)| g != name);
+        }
+
+        // Blocking thread calls while a guard is live.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "join" | "spawn" | "scope")
+            && toks.get(k + 1).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some((name, _)) = guards.first() {
+                out.push(ConcFinding {
+                    rule: ConcRule::LockAcrossJoin,
+                    line: t.line,
+                    message: format!(
+                        "lock guard `{name}` is live across `{}(`; release it before \
+                         blocking on other threads",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // Interior mutability without Sync.
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "RefCell" | "Rc" | "UnsafeCell") {
+            out.push(ConcFinding {
+                rule: ConcRule::NonSyncShared,
+                line: t.line,
+                message: format!(
+                    "`{}` (not Sync) in a threaded file; use Mutex/RwLock/atomics for \
+                     state that crosses `thread::scope`",
+                    t.text
+                ),
+            });
+        }
+        // Bare `Cell<` (but not RefCell/UnsafeCell which matched above).
+        if t.is_ident("Cell") && toks.get(k + 1).is_some_and(|p| p.is_punct('<')) {
+            out.push(ConcFinding {
+                rule: ConcRule::NonSyncShared,
+                line: t.line,
+                message: "`Cell` (not Sync) in a threaded file; use atomics for state \
+                          that crosses `thread::scope`"
+                    .to_owned(),
+            });
+        }
+
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::analyze;
+
+    const THREADED: &str = "fn run() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+
+    #[test]
+    fn non_threaded_files_are_skipped() {
+        let src = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(check(&analyze(src)).is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_threaded_file_fires() {
+        let src =
+            format!("{THREADED}fn f(c: &AtomicUsize) {{ c.fetch_add(1, Ordering::Relaxed); }}");
+        let out = check(&analyze(&src));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, ConcRule::RelaxedOrdering);
+    }
+
+    #[test]
+    fn guard_across_join_fires() {
+        let src =
+            format!("{THREADED}fn f(m: &Mutex<u32>, h: Handle) {{ let g = m.lock(); h.join(); }}");
+        let out = check(&analyze(&src));
+        assert!(out.iter().any(|f| f.rule == ConcRule::LockAcrossJoin));
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let src = format!(
+            "{THREADED}fn f(m: &Mutex<u32>, h: Handle) {{ let g = m.lock(); drop(g); h.join(); }}"
+        );
+        let out = check(&analyze(&src));
+        assert!(out.iter().all(|f| f.rule != ConcRule::LockAcrossJoin));
+    }
+
+    #[test]
+    fn scope_closed_guard_is_fine() {
+        let src = format!(
+            "{THREADED}fn f(m: &Mutex<u32>, h: Handle) {{ {{ let g = m.lock(); }} h.join(); }}"
+        );
+        let out = check(&analyze(&src));
+        assert!(out.iter().all(|f| f.rule != ConcRule::LockAcrossJoin));
+    }
+
+    #[test]
+    fn guard_inside_spawned_closure_is_fine() {
+        // pool.rs shape: the guard is taken *inside* the worker closure,
+        // at deeper depth than the spawn call.
+        let src = "fn run(m: &Mutex<u32>) { std::thread::scope(|s| { s.spawn(|| { let g = m.lock(); }); }); }";
+        let out = check(&analyze(src));
+        assert!(out.iter().all(|f| f.rule != ConcRule::LockAcrossJoin));
+    }
+
+    #[test]
+    fn refcell_in_threaded_file_fires() {
+        let src = format!("{THREADED}struct S {{ inner: RefCell<u32> }}");
+        let out = check(&analyze(&src));
+        assert!(out.iter().any(|f| f.rule == ConcRule::NonSyncShared));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = format!(
+            "{THREADED}#[cfg(test)]\nmod tests {{\n fn t(c: &AtomicUsize) {{ c.store(1, Ordering::Relaxed); }}\n}}"
+        );
+        assert!(check(&analyze(&src)).is_empty());
+    }
+}

@@ -29,8 +29,15 @@
 #![deny(missing_docs)]
 
 pub mod allowlist;
+pub mod analysis;
+pub mod baseline;
+pub mod callgraph;
+pub mod concurrency;
+pub mod items;
+pub mod lexer;
 pub mod rules;
 pub mod scanner;
+pub mod shape;
 
 use rules::{FileContext, FileOutcome, Rule, Violation};
 use std::fs;

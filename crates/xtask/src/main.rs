@@ -1,10 +1,13 @@
-//! Command-line entry point for the workspace checker.
+//! Command-line entry point for the workspace checker/analyzer.
 //!
 //! ```text
-//! cargo run -p gssl-xtask -- check [--root PATH]
+//! cargo run -p gssl-xtask -- check   [--root PATH] [--json]
+//! cargo run -p gssl-xtask -- analyze [--root PATH] [--json]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes (both subcommands): `0` clean, `1` violations/findings,
+//! `2` usage or I/O error. `--json` emits one JSON object on stdout with
+//! the same fields for both passes, so CI can diff them uniformly.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -12,7 +15,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gssl-xtask check [--root PATH]";
+const USAGE: &str = "usage: gssl-xtask <check|analyze> [--root PATH] [--json]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -20,12 +23,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if command != "check" {
+    if command != "check" && command != "analyze" {
         eprintln!("unknown command `{command}`\n{USAGE}");
         return ExitCode::from(2);
     }
 
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--root" => match args.next() {
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -50,8 +55,24 @@ fn main() -> ExitCode {
             .join("..")
     });
 
-    match gssl_xtask::check_workspace(&root) {
+    if command == "check" {
+        return run_check(&root, json);
+    }
+    run_analyze(&root, json)
+}
+
+/// Runs the PR-1 line-rule pass.
+fn run_check(root: &PathBuf, json: bool) -> ExitCode {
+    match gssl_xtask::check_workspace(root) {
         Ok(report) => {
+            if json {
+                println!("{}", gssl_xtask::analysis::check_json(&report));
+                return if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                };
+            }
             for violation in &report.violations {
                 println!("{violation}");
             }
@@ -72,6 +93,44 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("gssl-xtask check: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the semantic analyze pass.
+fn run_analyze(root: &PathBuf, json: bool) -> ExitCode {
+    match gssl_xtask::analysis::analyze_workspace(root) {
+        Ok(report) => {
+            if json {
+                println!("{}", gssl_xtask::analysis::analyze_json(&report));
+                return if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                };
+            }
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.is_clean() {
+                println!(
+                    "gssl-xtask analyze: {} files analyzed, no findings ({} baselined)",
+                    report.files_scanned, report.suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "gssl-xtask analyze: {} finding(s) in {} files ({} baselined)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("gssl-xtask analyze: cannot analyze {}: {e}", root.display());
             ExitCode::from(2)
         }
     }

@@ -1,26 +1,20 @@
-//! Line-level lexical analysis of Rust sources.
+//! Line-level analysis of Rust sources, built on the token lexer.
 //!
-//! The checker deliberately avoids a full parser: each file is reduced to a
-//! per-line view in which string/char-literal bodies and comments are
-//! blanked out, so the rule passes can match tokens with plain substring
-//! searches without tripping over `"panic!"` inside a string or a doc
-//! example. Block comments, multi-line string literals and `#[cfg(test)]`
-//! regions are tracked across lines.
+//! PR 1 implemented this module as a hand-rolled line state machine; it is
+//! now a thin layer over [`crate::lexer`]: the lexer produces both the
+//! token stream (used by the `analyze` passes) and the blanked per-line
+//! view (used by the PR-1 `check` rules), and this module derives the
+//! `#[cfg(test)]` mask from the *token stream* with a region stack. That
+//! fixes two PR-1 scanner bugs:
+//!
+//! * **nested `#[cfg(test)]` modules** — the old single-slot tracker was
+//!   overwritten by an inner `#[cfg(test)]` item, unmasking the tail of
+//!   the outer test module and producing false `no_panic` positives;
+//! * **`'\''` char literals** — the old scanner mis-consumed the escaped
+//!   quote and desynchronized on the closing quote.
 
-/// One analyzed source line.
-#[derive(Debug, Clone)]
-pub struct Line {
-    /// Original text, unmodified.
-    pub raw: String,
-    /// The line with string/char-literal bodies and all comments replaced
-    /// by spaces; token searches run against this.
-    pub code: String,
-    /// Text of the trailing `//` line comment (without the slashes), empty
-    /// when there is none. Used to parse `lint: allow(...)` markers.
-    pub comment: String,
-    /// Whether the line is (part of) a doc comment (`///` or `//!`).
-    pub is_doc: bool,
-}
+pub use crate::lexer::Line;
+use crate::lexer::{lex, Tok, TokKind};
 
 /// A fully analyzed source file.
 #[derive(Debug)]
@@ -30,222 +24,119 @@ pub struct SourceFile {
     /// `test_mask[i]` is `true` when line `i` belongs to a `#[cfg(test)]`
     /// region (the attribute line itself included).
     pub test_mask: Vec<bool>,
+    /// The full token stream (comments included), for the semantic passes.
+    pub tokens: Vec<Tok>,
 }
 
-/// Lexical state carried across lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LexState {
-    /// Ordinary code.
-    Normal,
-    /// Inside a `"..."` literal (they may span lines via `\` continuation).
-    InString,
-    /// Inside a raw string literal with the given number of `#` markers.
-    InRawString(usize),
-    /// Inside a `/* ... */` comment at the given nesting depth.
-    InBlockComment(usize),
-}
-
-/// Blanks string/char bodies and comments from one line, carrying `state`
-/// across the call. Returns the code-only text, the trailing line-comment
-/// text, and whether the visible part was a doc comment.
-fn blank_line(raw: &str, state: &mut LexState) -> (String, String, bool) {
-    let chars: Vec<char> = raw.chars().collect();
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let mut is_doc = false;
-    let mut i = 0;
-
-    while i < chars.len() {
-        match *state {
-            LexState::InBlockComment(depth) => {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    *state = if depth > 1 {
-                        LexState::InBlockComment(depth - 1)
-                    } else {
-                        LexState::Normal
-                    };
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    *state = LexState::InBlockComment(depth + 1);
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            LexState::InString => {
-                if chars[i] == '\\' {
-                    code.push(' ');
-                    if i + 1 < chars.len() {
-                        code.push(' ');
-                    }
-                    i += 2;
-                } else if chars[i] == '"' {
-                    *state = LexState::Normal;
-                    code.push('"');
-                    i += 1;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            LexState::InRawString(hashes) => {
-                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
-                    *state = LexState::Normal;
-                    code.push('"');
-                    for _ in 0..hashes {
-                        code.push(' ');
-                    }
-                    i += 1 + hashes;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            LexState::Normal => {
-                let c = chars[i];
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: doc (`///`, `//!`) or plain.
-                    let rest: String = chars[i + 2..].iter().collect();
-                    if rest.starts_with('/') || rest.starts_with('!') {
-                        is_doc = code.trim().is_empty();
-                    }
-                    comment = rest;
-                    break;
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    *state = LexState::InBlockComment(1);
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else if c == 'r'
-                    && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
-                    && raw_string_hashes(&chars, i + 1).is_some()
-                {
-                    let hashes = raw_string_hashes(&chars, i + 1).unwrap_or(0);
-                    *state = LexState::InRawString(hashes);
-                    code.push('"');
-                    for _ in 0..=hashes {
-                        code.push(' ');
-                    }
-                    i += 2 + hashes;
-                } else if c == '"' {
-                    *state = LexState::InString;
-                    code.push('"');
-                    i += 1;
-                } else if c == '\'' {
-                    // Char literal vs lifetime: a literal is 'x' or '\..'.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        code.push('\'');
-                        i += 2;
-                        while i < chars.len() && chars[i] != '\'' {
-                            code.push(' ');
-                            i += 1;
-                        }
-                        if i < chars.len() {
-                            code.push('\'');
-                            i += 1;
-                        }
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        code.push('\'');
-                        code.push(' ');
-                        code.push('\'');
-                        i += 3;
-                    } else {
-                        // Lifetime: keep as-is.
-                        code.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-    }
-
-    (code, comment, is_doc)
-}
-
-/// Whether `chars[from..]` starts with exactly `hashes` `#` characters
-/// (closing a raw string opened with that many).
-fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
-    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
-}
-
-/// If `chars[from..]` opens a raw string (`"` or `#...#"`), returns the
-/// number of `#` markers; `None` when it is not a raw-string opener.
-fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
-    let mut hashes = 0;
-    let mut i = from;
-    while chars.get(i) == Some(&'#') {
-        hashes += 1;
-        i += 1;
-    }
-    (chars.get(i) == Some(&'"')).then_some(hashes)
-}
-
-/// Analyzes a whole file: blanks literals/comments and computes the
-/// `#[cfg(test)]` mask.
+/// Analyzes a whole file: lexes it and computes the `#[cfg(test)]` mask.
 #[must_use]
 pub fn analyze(source: &str) -> SourceFile {
-    let mut state = LexState::Normal;
-    let mut lines = Vec::new();
-    for raw in source.lines() {
-        let (code, comment, is_doc) = blank_line(raw, &mut state);
-        lines.push(Line {
-            raw: raw.to_owned(),
-            code,
-            comment,
-            is_doc,
-        });
+    let out = lex(source);
+    let test_mask = compute_test_mask(&out.tokens, out.lines.len());
+    SourceFile {
+        lines: out.lines,
+        test_mask,
+        tokens: out.tokens,
     }
+}
 
-    // Second pass: mark `#[cfg(test)]` regions by brace depth.
-    let mut test_mask = vec![false; lines.len()];
-    let mut depth: usize = 0;
-    let mut skip_at: Option<usize> = None; // depth at which the test block opened
-    let mut armed = false; // saw the attribute, waiting for `{` or `;`
-    for (i, line) in lines.iter().enumerate() {
-        let mut in_test = skip_at.is_some() || armed;
-        if line.code.contains("#[cfg(test)]") {
-            armed = true;
-            in_test = true;
-        }
-        for c in line.code.chars() {
-            match c {
-                '{' => {
-                    if armed {
-                        skip_at = Some(depth);
-                        armed = false;
-                        in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if skip_at == Some(depth) {
-                        skip_at = None;
-                        in_test = true;
-                    }
-                }
-                ';' => {
-                    // `#[cfg(test)] use ...;` style single-item gating.
-                    if armed {
-                        armed = false;
-                        in_test = true;
-                    }
-                }
-                _ => {}
+/// Marks every line covered by a `#[cfg(test)]` item. Regions are tracked
+/// with a stack of opening brace depths, so test modules nested inside
+/// test modules stay masked until the *outer* brace closes.
+fn compute_test_mask(tokens: &[Tok], line_count: usize) -> Vec<bool> {
+    let mut mask = vec![false; line_count];
+    let code: Vec<&Tok> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment | TokKind::Doc))
+        .collect();
+
+    let mut depth = 0usize;
+    // Brace depth at which each open `#[cfg(test)]` region started, with
+    // the line its attribute began on.
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    // A `#[cfg(test)]` attribute was seen; waiting for `{` or item-level
+    // `;`. Holds (attribute line, bracket/paren depth since arming).
+    let mut armed: Option<(usize, i32)> = None;
+
+    let mark = |mask: &mut Vec<bool>, from: usize, to: usize| {
+        for line in from..=to.min(line_count) {
+            if line >= 1 {
+                mask[line - 1] = true;
             }
         }
-        test_mask[i] = in_test || skip_at.is_some();
-    }
+    };
 
-    SourceFile { lines, test_mask }
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('#') && is_cfg_test_attr(&code[i..]) {
+            if armed.is_none() {
+                armed = Some((t.line, 0));
+            }
+            i += 7;
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                if let Some((attr_line, _)) = armed.take() {
+                    regions.push((depth, attr_line));
+                }
+                depth += 1;
+            }
+            (TokKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                if regions.last().is_some_and(|&(d, _)| d == depth) {
+                    let (_, attr_line) = regions.pop().unwrap_or((0, t.line));
+                    mark(&mut mask, attr_line, t.line);
+                }
+            }
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => {
+                if let Some((_, delim)) = armed.as_mut() {
+                    *delim += 1;
+                }
+            }
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                if let Some((_, delim)) = armed.as_mut() {
+                    *delim -= 1;
+                }
+            }
+            (TokKind::Punct, ";") => {
+                // `#[cfg(test)] use …;`-style single-item gating: only an
+                // item-level semicolon resolves the armed attribute.
+                if let Some((attr_line, delim)) = armed {
+                    if delim <= 0 {
+                        mark(&mut mask, attr_line, t.line);
+                        armed = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unclosed regions (truncated file): mask to the end.
+    for (_, attr_line) in regions {
+        mark(&mut mask, attr_line, line_count);
+    }
+    if let Some((attr_line, _)) = armed {
+        mark(&mut mask, attr_line, line_count);
+    }
+    // Lines strictly inside open regions between attribute and closing
+    // brace are handled by the ranged marking above; nothing else to do.
+    mask
+}
+
+/// Whether `code` (comment-free tokens) starts with exactly
+/// `#[cfg(test)]`.
+fn is_cfg_test_attr(code: &[&Tok]) -> bool {
+    code.len() >= 7
+        && code[0].is_punct('#')
+        && code[1].is_punct('[')
+        && code[2].is_ident("cfg")
+        && code[3].is_punct('(')
+        && code[4].is_ident("test")
+        && code[5].is_punct(')')
+        && code[6].is_punct(']')
 }
 
 #[cfg(test)]
@@ -310,6 +201,40 @@ mod tests {
     }
 
     #[test]
+    fn nested_cfg_test_modules_stay_masked() {
+        // Regression (PR-1 scanner bug): the inner `#[cfg(test)]` item
+        // overwrote the single-slot region tracker, unmasking `g`.
+        let src = "#[cfg(test)]\nmod tests {\n    #[cfg(test)]\n    mod inner { fn f() {} }\n    fn g() { y.unwrap(); }\n}\nfn real() {}";
+        let f = analyze(src);
+        for line in 0..6 {
+            assert!(f.test_mask[line], "line {} must be masked", line + 1);
+        }
+        assert!(!f.test_mask[6]);
+    }
+
+    #[test]
+    fn sibling_cfg_test_items_each_masked() {
+        let src =
+            "#[cfg(test)]\nmod a { fn f() {} }\nfn mid() {}\n#[cfg(test)]\nmod b { fn g() {} }";
+        let f = analyze(src);
+        assert!(f.test_mask[0]);
+        assert!(f.test_mask[1]);
+        assert!(!f.test_mask[2]);
+        assert!(f.test_mask[3]);
+        assert!(f.test_mask[4]);
+    }
+
+    #[test]
+    fn cfg_test_attr_with_array_semicolon_stays_armed() {
+        // The `;` inside `[u8; 3]` must not resolve the armed attribute.
+        let src = "#[cfg(test)]\nstatic X: [u8; 3] = [0; 3];\nfn real() {}";
+        let f = analyze(src);
+        assert!(f.test_mask[0]);
+        assert!(f.test_mask[1]);
+        assert!(!f.test_mask[2]);
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let f = analyze("fn f<'a>(x: &'a str) -> &'a str { x }");
         assert!(f.lines[0].code.contains("str"));
@@ -323,9 +248,30 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        // Regression (PR-1 scanner bug): `'\''` lost sync and could blank
+        // or expose the wrong span on the rest of the line.
+        let f = analyze(r"let c = '\''; x.unwrap();");
+        assert!(f.lines[0].code.contains(".unwrap()"), "{}", f.lines[0].code);
+    }
+
+    #[test]
     fn raw_strings_are_blanked() {
         let f = analyze("let s = r#\"has .unwrap() text\"#; f();");
         assert!(!f.lines[0].code.contains("unwrap"));
         assert!(f.lines[0].code.contains("f()"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_are_blanked() {
+        // Regression fixture: a raw string spanning lines must mask its
+        // interior (including `#[cfg(test)]`-looking text and braces) and
+        // re-expose code after the terminator.
+        let src = "let s = r##\"\n#[cfg(test)]\nmod fake { x.unwrap(); }\n\"##;\nx.unwrap();";
+        let f = analyze(src);
+        assert!(!f.lines[1].code.contains("cfg"));
+        assert!(!f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[4].code.contains(".unwrap()"));
+        assert!(!f.test_mask[4], "raw-string text must not arm the mask");
     }
 }

@@ -5,6 +5,7 @@
 //! firing breaks the fixture expectations, and a regression in the tree
 //! breaks the clean check.
 
+use gssl_xtask::analysis::{analyze_workspace, AnalyzeRule};
 use gssl_xtask::rules::Rule;
 use gssl_xtask::{check_workspace, count_rule};
 use std::path::PathBuf;
@@ -13,6 +14,12 @@ fn fixture_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
         .join("bad")
+}
+
+fn analyze_fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("analyze")
 }
 
 fn workspace_root() -> PathBuf {
@@ -58,6 +65,55 @@ fn fixture_test_code_is_exempt() {
             .all(|v| !v.file.ends_with("demo/src/lib.rs") || v.line < 30),
         "{:#?}",
         report.violations
+    );
+}
+
+#[test]
+fn analyze_fixture_tree_is_flagged() {
+    let report = analyze_workspace(&analyze_fixture_root()).expect("fixture tree is readable");
+    assert!(!report.is_clean());
+    let dump = || format!("{:#?}", report.findings);
+    let count = |rule| report.findings.iter().filter(|f| f.rule == rule).count();
+
+    // `api -> pick` reaches an unguarded index; `baselined` is suppressed
+    // by the fixture baseline and `guarded` stays silent.
+    assert_eq!(count(AnalyzeRule::PanicReach), 1, "{}", dump());
+    let reach = report
+        .findings
+        .iter()
+        .find(|f| f.rule == AnalyzeRule::PanicReach)
+        .expect("panic_reach finding");
+    assert!(reach.message.contains("api -> pick"), "{}", dump());
+    // `zeros` missing its annotation, `filled` carrying a malformed one.
+    assert_eq!(count(AnalyzeRule::ShapeAnnotation), 2, "{}", dump());
+    // (2, 3) · (4, 5): inner dimensions differ by literal arithmetic.
+    assert_eq!(count(AnalyzeRule::ShapeMismatch), 1, "{}", dump());
+    // One of each concurrency violation in the threaded fixture.
+    assert_eq!(count(AnalyzeRule::RelaxedOrdering), 1, "{}", dump());
+    assert_eq!(count(AnalyzeRule::LockAcrossJoin), 1, "{}", dump());
+    assert_eq!(count(AnalyzeRule::NonSyncShared), 1, "{}", dump());
+    // The stale `ghost` entry and the unknown rule key.
+    assert_eq!(count(AnalyzeRule::BaselineStale), 2, "{}", dump());
+
+    assert_eq!(report.findings.len(), 9, "{}", dump());
+    assert_eq!(report.suppressed, 1, "{}", dump());
+    assert_eq!(report.files_scanned, 3);
+}
+
+#[test]
+fn analyze_real_workspace_is_baseline_clean() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace is readable");
+    assert!(
+        report.is_clean(),
+        "gssl-xtask analyze found findings in the real tree:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50);
+    // Every committed baseline entry must still be live — the ratchet
+    // reports both regressions (counts up) and staleness (counts down).
+    assert_eq!(
+        report.suppressed, 9,
+        "baseline drifted from the committed 9 entries"
     );
 }
 

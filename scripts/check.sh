@@ -15,6 +15,12 @@ fi
 echo "== gssl-xtask check"
 cargo run -q -p gssl-xtask -- check
 
+echo "== gssl-xtask analyze"
+# Semantic pass (panic-reachability, shape contracts, concurrency); fails
+# on any finding not covered by crates/xtask/analyze.baseline, including
+# stale baseline entries.
+cargo run -q -p gssl-xtask -- analyze
+
 echo "== cargo build --release"
 cargo build --release
 
