@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gssl::{HardCriterion, HardSolver, Problem, SoftCriterion, SweepKind};
 use gssl_datasets::synthetic::{paper_dataset, PaperModel, PAPER_DIM};
 use gssl_graph::{affinity::affinity_matrix, bandwidth::paper_rate, Kernel};
+use gssl_linalg::{CsrMatrix, Matrix, SolverPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -83,10 +84,62 @@ fn bench_hard_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// A banded similarity graph (path plus short-range edges) with `total`
+/// vertices — sparse at every size, so it can be held dense or as CSR.
+fn banded_graph(total: usize) -> Matrix {
+    let mut w = Matrix::zeros(total, total);
+    for i in 0..total {
+        for d in 1..=3usize {
+            if i + d < total {
+                let weight = 1.0 / d as f64;
+                w.set(i, i + d, weight);
+                w.set(i + d, i, weight);
+            }
+        }
+    }
+    w
+}
+
+/// Dense-direct vs sparse-CG crossover: the same banded problem solved
+/// through the dense representation (policy picks a direct factorization
+/// below the dimension cutoff) and the CSR representation (policy picks
+/// Jacobi-CG once the system is large and sparse). Direct costs `O(m³)`
+/// regardless of sparsity; CG costs `O(nnz · iters)` — the crossover in
+/// wall time is the point the `SolverPolicy` defaults encode.
+fn bench_dense_vs_sparse_cg_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_vs_sparse_cg_crossover");
+    group.sample_size(10);
+    let n_labeled = 8;
+    for &total in &[64usize, 128, 256, 512] {
+        let w = banded_graph(total);
+        let labels: Vec<f64> = (0..n_labeled).map(|i| (i % 2) as f64).collect();
+        let dense = Problem::new(w.clone(), labels.clone()).expect("dense problem");
+        let sparse =
+            Problem::new(CsrMatrix::from_dense(&w, 0.0), labels.clone()).expect("sparse problem");
+        let auto = HardCriterion::new().solver(HardSolver::Auto(SolverPolicy::default()));
+        group.bench_with_input(BenchmarkId::new("dense_direct", total), &dense, |b, p| {
+            let direct = HardCriterion::new().solver(HardSolver::Cholesky);
+            b.iter(|| direct.fit(p).expect("dense direct fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_cg", total), &sparse, |b, p| {
+            let cg = HardCriterion::new().solver(HardSolver::ConjugateGradient(Default::default()));
+            b.iter(|| cg.fit(p).expect("sparse cg fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("auto_dense", total), &dense, |b, p| {
+            b.iter(|| auto.fit(p).expect("auto dense fit"));
+        });
+        group.bench_with_input(BenchmarkId::new("auto_sparse", total), &sparse, |b, p| {
+            b.iter(|| auto.fit(p).expect("auto sparse fit"));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_hard_vs_soft,
     bench_hard_scaling,
-    bench_hard_backends
+    bench_hard_backends,
+    bench_dense_vs_sparse_cg_crossover
 );
 criterion_main!(benches);

@@ -17,7 +17,7 @@
 //! A second table compares penalty exponents p = 2 vs p = 3 (El Alaoui et
 //! al., reference \[19\]): larger p preserves more score spread.
 
-use gssl::{PLaplacian, Problem, SparseProblem, TransductiveModel};
+use gssl::{HardCriterion, HardSolver, PLaplacian, Problem, TransductiveModel};
 use gssl_bench::runner::CliArgs;
 use gssl_linalg::{CgOptions, Matrix};
 use rand::rngs::StdRng;
@@ -78,9 +78,10 @@ fn main() {
         let dense = gssl_graph::affinity::affinity_matrix(&points, gssl_graph::Kernel::Gaussian, h)
             .expect("affinity");
         let graph = gssl_linalg::CsrMatrix::from_dense(&dense, 1e-12);
-        let problem = SparseProblem::new(graph, labels).expect("valid problem");
+        let problem = Problem::new(graph, labels).expect("valid problem");
         let regime = 4.0 * h * h / m as f64; // n h^d / m with n = 4, d = 2
-        match problem.solve_hard(&CgOptions::default()) {
+        let cg = HardCriterion::new().solver(HardSolver::ConjugateGradient(CgOptions::default()));
+        match cg.fit(&problem) {
             Ok(scores) => {
                 let spread = score_spread(scores.unlabeled());
                 let mean = scores.unlabeled().iter().sum::<f64>() / m as f64;

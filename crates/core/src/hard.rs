@@ -14,9 +14,16 @@ use crate::multiclass::MulticlassScores;
 use crate::problem::{Problem, Scores};
 use crate::propagation::{LabelPropagation, SweepKind};
 use crate::traits::TransductiveModel;
-use gssl_linalg::{conjugate_gradient, strict, CgOptions, Cholesky, Lu, Matrix};
+use crate::weights::Weights;
+use gssl_linalg::{
+    strict, CgOptions, Cholesky, Factorization, JacobiCg, Lu, Matrix, SolverBackend, SolverPolicy,
+};
 
 /// Numerical backend used to solve the `m × m` hard-criterion system.
+///
+/// Each variant (except `Propagation`) is a thin policy alias resolving to
+/// a [`gssl_linalg::Factorization`] backend; the actual solve always runs
+/// through that shared layer.
 #[derive(Debug, Clone, PartialEq, Default)]
 #[non_exhaustive]
 pub enum HardSolver {
@@ -27,10 +34,14 @@ pub enum HardSolver {
     /// LU with partial pivoting — slightly more robust to borderline
     /// conditioning, twice the work of Cholesky.
     Lu,
-    /// Matrix-free conjugate gradient.
+    /// Jacobi-preconditioned conjugate gradient over the CSR-assembled
+    /// system — never densifies, whatever representation the problem holds.
     ConjugateGradient(CgOptions),
     /// Iterative label propagation (Jacobi or Gauss–Seidel sweeps).
     Propagation(SweepKind),
+    /// Let a [`SolverPolicy`] pick the backend from system size, symmetry,
+    /// and nonzero density.
+    Auto(SolverPolicy),
 }
 
 /// The hard criterion solver.
@@ -77,6 +88,31 @@ impl HardCriterion {
         &self.solver
     }
 
+    /// Resolves the configured solver to a factored backend for this
+    /// problem's `D₂₂ − W₂₂` system. Direct backends assemble densely, the
+    /// CG backend assembles in CSR (no densification), and `Auto` defers
+    /// to its [`SolverPolicy`] on whichever representation the problem
+    /// holds.
+    fn factor_for(&self, problem: &Problem) -> Result<SolverBackend> {
+        match &self.solver {
+            HardSolver::Cholesky => Ok(SolverBackend::Cholesky(Cholesky::factor(
+                &problem.unlabeled_system()?,
+            )?)),
+            HardSolver::Lu => Ok(SolverBackend::Lu(Lu::factor(&problem.unlabeled_system()?)?)),
+            HardSolver::ConjugateGradient(options) => Ok(SolverBackend::Cg(
+                JacobiCg::factor_sparse(&problem.unlabeled_system_csr()?, options.clone())?,
+            )),
+            HardSolver::Auto(policy) => match problem.weights() {
+                Weights::Dense(_) => Ok(policy.factor_dense(&problem.unlabeled_system()?)?),
+                Weights::Sparse(_) => Ok(policy.factor_sparse(&problem.unlabeled_system_csr()?)?),
+            },
+            HardSolver::Propagation(_) => Err(Error::InvalidParameter {
+                message: "the propagation backend solves iteratively and has no factorization"
+                    .to_owned(),
+            }),
+        }
+    }
+
     /// Solves `(D₂₂ − W₂₂) f_U = W₂₁ Y_n` and returns all scores.
     ///
     /// # Errors
@@ -90,27 +126,11 @@ impl HardCriterion {
         if problem.n_unlabeled() == 0 {
             return Ok(Scores::from_parts(problem.labels(), &[]));
         }
-        let unlabeled = match &self.solver {
-            HardSolver::Cholesky => {
-                let system = problem.unlabeled_system()?;
-                let rhs = problem.unlabeled_rhs()?;
-                Cholesky::factor(&system)?.solve(&rhs)?
-            }
-            HardSolver::Lu => {
-                let system = problem.unlabeled_system()?;
-                let rhs = problem.unlabeled_rhs()?;
-                Lu::factor(&system)?.solve(&rhs)?
-            }
-            HardSolver::ConjugateGradient(options) => {
-                let system = problem.unlabeled_system()?;
-                let rhs = problem.unlabeled_rhs()?;
-                conjugate_gradient(&system, &rhs, options)?.solution
-            }
-            HardSolver::Propagation(sweep) => {
-                let scores = LabelPropagation::new().sweep(*sweep).fit(problem)?;
-                return Ok(scores);
-            }
-        };
+        if let HardSolver::Propagation(sweep) = &self.solver {
+            return LabelPropagation::new().sweep(*sweep).fit(problem);
+        }
+        let backend = self.factor_for(problem)?;
+        let unlabeled = backend.solve(&problem.unlabeled_rhs()?)?;
         strict::check_finite("hard criterion output", unlabeled.as_slice())?;
         Ok(Scores::from_parts(problem.labels(), unlabeled.as_slice()))
     }
@@ -125,9 +145,9 @@ impl HardCriterion {
     /// `0..class_count`. Produces the same scores as fitting
     /// [`crate::OneVsRest`] over this criterion class by class.
     ///
-    /// For the direct backends (Cholesky, LU) the factorization is shared;
-    /// the matrix-free backends (CG, propagation) have no factorization to
-    /// share and fall back to one solve per class.
+    /// Every backend that resolves to a [`gssl_linalg::Factorization`]
+    /// (Cholesky, LU, CG, `Auto`) shares one handle across all classes;
+    /// only the propagation backend falls back to one fit per class.
     ///
     /// # Errors
     ///
@@ -183,22 +203,7 @@ impl HardCriterion {
             return Ok(MulticlassScores::from_matrix(scores, n));
         }
 
-        let system = problem.unlabeled_system()?;
-        // RHS block: W₂₁ Y_ind, one column per class.
-        let rhs = problem.weight_blocks()?.a21.matmul(&indicators)?;
         let unlabeled = match &self.solver {
-            HardSolver::Cholesky => Cholesky::factor(&system)?.solve_matrix(&rhs)?,
-            HardSolver::Lu => Lu::factor(&system)?.solve_matrix(&rhs)?,
-            HardSolver::ConjugateGradient(options) => {
-                let mut out = Matrix::zeros(m, class_count);
-                for c in 0..class_count {
-                    let col = conjugate_gradient(&system, &rhs.col(c), options)?.solution;
-                    for a in 0..m {
-                        out.set(a, c, col.as_slice()[a]);
-                    }
-                }
-                out
-            }
             HardSolver::Propagation(sweep) => {
                 let mut out = Matrix::zeros(m, class_count);
                 for c in 0..class_count {
@@ -210,6 +215,12 @@ impl HardCriterion {
                     }
                 }
                 out
+            }
+            _ => {
+                // One shared factorization for every class: only the RHS
+                // block W₂₁ Y_ind changes per class.
+                let rhs = problem.weight_blocks()?.a21.matmul(&indicators)?;
+                self.factor_for(&problem)?.solve_matrix(&rhs)?
             }
         };
         strict::check_finite_matrix("hard multiclass output", &unlabeled)?;
@@ -258,6 +269,7 @@ mod tests {
             })),
             HardCriterion::new().solver(HardSolver::Propagation(SweepKind::Simultaneous)),
             HardCriterion::new().solver(HardSolver::Propagation(SweepKind::InPlace)),
+            HardCriterion::new().solver(HardSolver::Auto(SolverPolicy::default())),
         ]
     }
 

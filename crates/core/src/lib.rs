@@ -26,8 +26,9 @@
 //! * Extensions: [`OneVsRest`] multiclass, [`cmn`] class-mass
 //!   normalization, [`LocalGlobalConsistency`] (the paper's ref \[12\]),
 //!   [`PLaplacian`] (ref \[19\]), [`SelfTraining`] (ref \[3\]) and
-//!   [`CoTraining`] (ref \[4\]) baselines, and the matrix-free
-//!   [`SparseProblem`] for kNN/ε graphs.
+//!   [`CoTraining`] (ref \[4\]) baselines, and the unified [`Weights`]
+//!   representation that lets every criterion run on dense or CSR
+//!   kNN/ε graphs through one [`Problem`] type.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ mod sparse_problem;
 /// Diagnostics for the paper's consistency theory (Neumann tails, spectral gaps).
 pub mod theory;
 mod traits;
+mod weights;
 
 pub use co_training::CoTraining;
 pub use error::{Error, Result};
@@ -84,5 +86,7 @@ pub use problem::{Problem, Scores};
 pub use propagation::{LabelPropagation, SweepKind};
 pub use self_training::SelfTraining;
 pub use soft::SoftCriterion;
+#[allow(deprecated)]
 pub use sparse_problem::SparseProblem;
 pub use traits::TransductiveModel;
+pub use weights::Weights;

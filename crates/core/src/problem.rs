@@ -2,8 +2,9 @@
 //! return.
 
 use crate::error::{Error, Result};
-use gssl_graph::{affinity::affinity_matrix, components::unlabeled_anchored, Kernel};
-use gssl_linalg::{strict, BlockPartition, Matrix, Vector};
+use crate::weights::Weights;
+use gssl_graph::{affinity::affinity_matrix, Kernel};
+use gssl_linalg::{strict, BlockPartition, CsrMatrix, Matrix, Vector};
 
 /// A graph-based semi-supervised learning problem: a symmetric similarity
 /// matrix over `n + m` points, of which the first `n` carry observed
@@ -14,24 +15,31 @@ use gssl_linalg::{strict, BlockPartition, Matrix, Vector};
 /// is accepted), responses `Y₁, …, Y_n` observed, `Y_{n+1}, …, Y_{n+m}`
 /// to be predicted.
 ///
+/// The similarity matrix may be dense or CSR — [`Problem::new`] accepts
+/// either through the [`Weights`] abstraction, and every criterion runs
+/// unchanged on both representations.
+///
 /// ```
 /// use gssl::Problem;
-/// use gssl_linalg::Matrix;
+/// use gssl_linalg::{CsrMatrix, Matrix};
 /// # fn main() -> Result<(), gssl::Error> {
 /// let w = Matrix::from_rows(&[
 ///     &[1.0, 0.8, 0.1],
 ///     &[0.8, 1.0, 0.2],
 ///     &[0.1, 0.2, 1.0],
 /// ])?;
-/// let problem = Problem::new(w, vec![1.0])?; // 1 labeled, 2 unlabeled
+/// let problem = Problem::new(w.clone(), vec![1.0])?; // 1 labeled, 2 unlabeled
 /// assert_eq!(problem.n_labeled(), 1);
 /// assert_eq!(problem.n_unlabeled(), 2);
+/// // The same problem over a sparse graph:
+/// let sparse = Problem::new(CsrMatrix::from_dense(&w, 0.0), vec![1.0])?;
+/// assert_eq!(sparse.n_unlabeled(), 2);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Problem {
-    weights: Matrix,
+    weights: Weights,
     labels: Vec<f64>,
 }
 
@@ -39,32 +47,28 @@ impl Problem {
     /// Symmetry tolerance accepted by the constructor.
     const SYMMETRY_TOL: f64 = 1e-9;
 
-    /// Creates a problem from a similarity matrix and the observed labels
+    /// Creates a problem from a similarity matrix — dense [`Matrix`], CSR
+    /// [`CsrMatrix`], or an explicit [`Weights`] — and the observed labels
     /// of the first `labels.len()` vertices.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidProblem`] when:
-    /// * `weights` is not square or not symmetric (within `1e-9`),
+    /// * the matrix is not square or not symmetric (within `1e-9`),
     /// * any weight is negative or non-finite,
     /// * `labels` is empty or longer than the vertex count,
     /// * any label is non-finite.
     ///
-    /// With the `strict-checks` cargo feature enabled, non-finite weights
-    /// or labels are instead reported as [`Error::NonFiniteValue`], which
-    /// pinpoints the first offending element.
-    pub fn new(weights: Matrix, labels: Vec<f64>) -> Result<Self> {
+    /// With the `strict-checks` cargo feature enabled, non-finite dense
+    /// weights or labels are instead reported as [`Error::NonFiniteValue`],
+    /// which pinpoints the first offending element.
+    pub fn new(weights: impl Into<Weights>, labels: Vec<f64>) -> Result<Self> {
+        let weights = weights.into();
         strict::check_finite("Problem::new labels", &labels)?;
-        strict::check_finite_matrix("Problem::new weights", &weights)?;
-        if !weights.is_square() {
-            return Err(Error::InvalidProblem {
-                message: format!(
-                    "similarity matrix must be square, got {}x{}",
-                    weights.rows(),
-                    weights.cols()
-                ),
-            });
+        if let Some(dense) = weights.as_dense() {
+            strict::check_finite_matrix("Problem::new weights", dense)?;
         }
+        weights.validate(Self::SYMMETRY_TOL)?;
         if labels.is_empty() {
             return Err(Error::InvalidProblem {
                 message: "at least one labeled point is required".to_owned(),
@@ -82,20 +86,6 @@ impl Problem {
         if labels.iter().any(|y| !y.is_finite()) {
             return Err(Error::InvalidProblem {
                 message: "labels must be finite".to_owned(),
-            });
-        }
-        if weights
-            .as_slice()
-            .iter()
-            .any(|w| !w.is_finite() || *w < 0.0)
-        {
-            return Err(Error::InvalidProblem {
-                message: "weights must be finite and nonnegative".to_owned(),
-            });
-        }
-        if !weights.is_symmetric(Self::SYMMETRY_TOL) {
-            return Err(Error::InvalidProblem {
-                message: "similarity matrix must be symmetric".to_owned(),
             });
         }
         Ok(Problem { weights, labels })
@@ -138,10 +128,28 @@ impl Problem {
         self.weights.rows() == 0
     }
 
-    /// Borrows the similarity matrix `W`.
-    /// shape: (total, total)
-    pub fn weights(&self) -> &Matrix {
+    /// Borrows the similarity matrix `W` in whichever representation the
+    /// problem holds.
+    pub fn weights(&self) -> &Weights {
         &self.weights
+    }
+
+    /// Borrows the dense similarity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProblem`] when the problem holds a sparse
+    /// graph — dense-only algorithms (LLGC, p-Laplacian, self-training,
+    /// the theory diagnostics) require an explicitly densified problem.
+    /// shape: (total, total)
+    pub fn dense_weights(&self) -> Result<&Matrix> {
+        self.weights
+            .as_dense()
+            .ok_or_else(|| Error::InvalidProblem {
+                message: "this operation requires dense weights; rebuild the problem from \
+                      Weights::to_dense() to densify explicitly"
+                    .to_owned(),
+            })
     }
 
     /// Borrows the observed labels `Y₁, …, Y_n`.
@@ -158,7 +166,7 @@ impl Problem {
     /// Degree vector `d_i = Σ_j w_ij` over the full graph.
     /// shape: (total,)
     pub fn degrees(&self) -> Vector {
-        self.weights.row_sums()
+        self.weights.degrees()
     }
 
     /// Splits `W` into the 2×2 labeled/unlabeled block structure used by
@@ -166,30 +174,113 @@ impl Problem {
     ///
     /// # Errors
     ///
-    /// Never fails for a constructed problem; errors are propagated from
-    /// the underlying partition for completeness.
+    /// Returns [`Error::InvalidProblem`] when the problem holds sparse
+    /// weights (the dense block partition would densify implicitly).
     pub fn weight_blocks(&self) -> Result<BlockPartition> {
-        Ok(BlockPartition::split(&self.weights, self.n_labeled())?)
+        Ok(BlockPartition::split(
+            self.dense_weights()?,
+            self.n_labeled(),
+        )?)
     }
 
     /// The hard-criterion system matrix `D₂₂ − W₂₂` (degrees taken over
-    /// the *full* graph, as in the paper).
+    /// the *full* graph, as in the paper), assembled dense from either
+    /// representation.
     ///
     /// # Errors
     ///
     /// Propagates partition errors (none for a constructed problem).
     /// shape: (m, m)
     pub fn unlabeled_system(&self) -> Result<Matrix> {
-        let blocks = self.weight_blocks()?;
-        strict::check_symmetric("unlabeled system block W22", &blocks.a22, 1e-9)?;
-        let degrees = self.degrees();
         let n = self.n_labeled();
         let m = self.n_unlabeled();
-        let mut system = blocks.a22.map(|x| -x);
-        for a in 0..m {
-            system.set(a, a, degrees[n + a] - blocks.a22.get(a, a));
+        let degrees = self.degrees();
+        match &self.weights {
+            Weights::Dense(w) => {
+                let blocks = BlockPartition::split(w, n)?;
+                strict::check_symmetric("unlabeled system block W22", &blocks.a22, 1e-9)?;
+                let mut system = blocks.a22.map(|x| -x);
+                for a in 0..m {
+                    system.set(a, a, degrees[n + a] - blocks.a22.get(a, a));
+                }
+                Ok(system)
+            }
+            Weights::Sparse(w) => {
+                let mut system = Matrix::zeros(m, m);
+                for a in 0..m {
+                    let i = n + a;
+                    let mut diag = degrees[i];
+                    for (j, v) in w.row_iter(i) {
+                        if j == i {
+                            diag -= v;
+                        } else if j >= n {
+                            system.set(a, j - n, -v);
+                        }
+                    }
+                    system.set(a, a, diag);
+                }
+                Ok(system)
+            }
         }
-        Ok(system)
+    }
+
+    /// The hard-criterion system `D₂₂ − W₂₂` in CSR form — the input the
+    /// iterative sparse backend factors without densifying anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinate errors (none for a constructed problem).
+    /// shape: (m, m)
+    pub fn unlabeled_system_csr(&self) -> Result<CsrMatrix> {
+        let n = self.n_labeled();
+        let m = self.n_unlabeled();
+        let degrees = self.degrees();
+        let mut triplets = Vec::new();
+        for a in 0..m {
+            let i = n + a;
+            let mut diag = degrees[i];
+            for (j, v) in self.weights.row_entries(i) {
+                if j == i {
+                    diag -= v;
+                } else if j >= n {
+                    triplets.push((a, j - n, -v));
+                }
+            }
+            triplets.push((a, a, diag));
+        }
+        Ok(CsrMatrix::from_triplets(m, m, &triplets)?)
+    }
+
+    /// The soft-criterion full system `V + λL` (Eq. 3) in CSR form, where
+    /// `V = diag(1 labeled, 0 unlabeled)` and `L = D − W`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `lambda` is negative or
+    /// not finite.
+    /// shape: (total, total)
+    pub fn soft_system_csr(&self, lambda: f64) -> Result<CsrMatrix> {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(Error::InvalidParameter {
+                message: format!("lambda must be finite and nonnegative, got {lambda}"),
+            });
+        }
+        let n = self.n_labeled();
+        let total = self.len();
+        let degrees = self.degrees();
+        let mut triplets = Vec::new();
+        for i in 0..total {
+            let mut diag = lambda * degrees[i] + if i < n { 1.0 } else { 0.0 };
+            for (j, v) in self.weights.row_entries(i) {
+                if j == i {
+                    diag -= lambda * v;
+                } else {
+                    triplets.push((i, j, -lambda * v));
+                }
+            }
+            triplets.push((i, i, diag));
+        }
+        Ok(CsrMatrix::from_triplets(total, total, &triplets)?)
     }
 
     /// The hard-criterion right-hand side `W₂₁ Y_n`.
@@ -199,38 +290,52 @@ impl Problem {
     /// Propagates partition errors (none for a constructed problem).
     /// shape: (m,)
     pub fn unlabeled_rhs(&self) -> Result<Vector> {
-        let blocks = self.weight_blocks()?;
-        Ok(blocks.a21.matvec(&self.labels_vector())?)
+        let n = self.n_labeled();
+        let m = self.n_unlabeled();
+        let mut rhs = Vector::zeros(m);
+        for a in 0..m {
+            let mut sum = 0.0;
+            for (j, v) in self.weights.row_entries(n + a) {
+                if j < n {
+                    sum += v * self.labels[j];
+                }
+            }
+            rhs[a] = sum;
+        }
+        Ok(rhs)
     }
 
     /// Checks that every unlabeled vertex is connected (through edges of
     /// weight `> threshold`) to some labeled vertex — the condition under
     /// which `D₂₂ − W₂₂` is nonsingular and the hard criterion well posed.
+    /// One BFS over whichever representation the problem holds.
     ///
     /// # Errors
     ///
     /// Returns [`Error::UnanchoredUnlabeled`] naming the first stranded
     /// vertex.
     pub fn require_anchored(&self, threshold: f64) -> Result<()> {
-        if unlabeled_anchored(&self.weights, self.n_labeled(), threshold)? {
-            return Ok(());
+        let total = self.len();
+        let n = self.n_labeled();
+        let mut reached = vec![false; total];
+        let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
+        for flag in reached.iter_mut().take(n) {
+            *flag = true;
         }
-        // Identify a stranded vertex for the error message.
-        let labels = gssl_graph::components::connected_components(&self.weights, threshold)?;
-        let anchored: std::collections::HashSet<usize> =
-            labels[..self.n_labeled()].iter().copied().collect();
-        let stranded = match labels[self.n_labeled()..]
-            .iter()
-            .position(|l| !anchored.contains(l))
-        {
-            Some(index) => index,
-            // The cheap check and the component analysis disagree (e.g.
-            // borderline thresholds); treat the precise answer as anchored.
-            None => return Ok(()),
-        };
-        Err(Error::UnanchoredUnlabeled {
-            unlabeled_index: stranded,
-        })
+        while let Some(v) = queue.pop_front() {
+            for (j, w) in self.weights.row_entries(v) {
+                if w > threshold && !reached[j] {
+                    reached[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        match reached[n..].iter().position(|&r| !r) {
+            None => Ok(()),
+            Some(index) => Err(Error::UnanchoredUnlabeled {
+                unlabeled_index: index,
+            }),
+        }
     }
 }
 
@@ -289,6 +394,10 @@ mod tests {
         Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 1.0], &[0.0, 1.0, 1.0]]).unwrap()
     }
 
+    fn chain_csr() -> CsrMatrix {
+        CsrMatrix::from_dense(&chain_weights(), 0.0)
+    }
+
     #[test]
     fn construction_and_accessors() {
         let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
@@ -298,6 +407,57 @@ mod tests {
         assert!(!p.is_empty());
         assert_eq!(p.labels(), &[1.0]);
         assert_eq!(p.degrees().as_slice(), &[2.0, 3.0, 2.0]);
+        assert!(p.dense_weights().is_ok());
+    }
+
+    #[test]
+    fn sparse_construction_matches_dense() {
+        let dense = Problem::new(chain_weights(), vec![1.0]).unwrap();
+        let sparse = Problem::new(chain_csr(), vec![1.0]).unwrap();
+        assert_eq!(sparse.n_labeled(), 1);
+        assert_eq!(sparse.n_unlabeled(), 2);
+        assert_eq!(dense.degrees().as_slice(), sparse.degrees().as_slice());
+        assert!(sparse.weights().is_sparse());
+        assert!(sparse.dense_weights().is_err());
+        assert!(sparse.weight_blocks().is_err());
+        let ds = dense.unlabeled_system().unwrap();
+        let ss = sparse.unlabeled_system().unwrap();
+        assert!(ds.approx_eq(&ss, 1e-15));
+        assert_eq!(
+            dense.unlabeled_rhs().unwrap().as_slice(),
+            sparse.unlabeled_rhs().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn csr_systems_match_dense_assembly() {
+        for problem in [
+            Problem::new(chain_weights(), vec![1.0]).unwrap(),
+            Problem::new(chain_csr(), vec![1.0]).unwrap(),
+        ] {
+            let dense_system = problem.unlabeled_system().unwrap();
+            let csr_system = problem.unlabeled_system_csr().unwrap();
+            assert!(csr_system.to_dense().approx_eq(&dense_system, 1e-15));
+            // Soft full system at λ = 0.7 cross-checked entrywise.
+            let lambda = 0.7;
+            let soft = problem.soft_system_csr(lambda).unwrap().to_dense();
+            let degrees = problem.degrees();
+            let n = problem.n_labeled();
+            for i in 0..problem.len() {
+                for j in 0..problem.len() {
+                    let w = problem.weights().get(i, j);
+                    let expected = if i == j {
+                        lambda * (degrees[i] - w) + if i < n { 1.0 } else { 0.0 }
+                    } else {
+                        -lambda * w
+                    };
+                    assert!((soft.get(i, j) - expected).abs() < 1e-14);
+                }
+            }
+        }
+        let p = Problem::new(chain_weights(), vec![1.0]).unwrap();
+        assert!(p.soft_system_csr(-1.0).is_err());
+        assert!(p.soft_system_csr(f64::NAN).is_err());
     }
 
     #[test]
@@ -313,6 +473,12 @@ mod tests {
         negative.set(0, 1, -0.5);
         negative.set(1, 0, -0.5);
         assert!(Problem::new(negative, vec![1.0]).is_err());
+        // The same rules hold for sparse inputs.
+        assert!(Problem::new(CsrMatrix::zeros(2, 3), vec![1.0]).is_err());
+        assert!(Problem::new(chain_csr(), vec![]).is_err());
+        assert!(Problem::new(chain_csr(), vec![1.0; 4]).is_err());
+        let sparse_asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(Problem::new(sparse_asym, vec![1.0]).is_err());
     }
 
     #[test]
@@ -341,11 +507,21 @@ mod tests {
         assert!(p.require_anchored(0.0).is_ok());
         // Disconnect vertex 2 entirely.
         let w = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
-        let stranded = Problem::new(w, vec![1.0]).unwrap();
+        let stranded = Problem::new(w.clone(), vec![1.0]).unwrap();
         assert_eq!(
             stranded.require_anchored(0.0),
             Err(Error::UnanchoredUnlabeled { unlabeled_index: 1 })
         );
+        // Identical verdicts on the sparse representation.
+        let sparse = Problem::new(CsrMatrix::from_dense(&w, 0.0), vec![1.0]).unwrap();
+        assert_eq!(
+            sparse.require_anchored(0.0),
+            Err(Error::UnanchoredUnlabeled { unlabeled_index: 1 })
+        );
+        assert!(Problem::new(chain_csr(), vec![1.0])
+            .unwrap()
+            .require_anchored(0.0)
+            .is_ok());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::error::{Error, Result};
 use crate::problem::{Problem, Scores};
 use crate::traits::TransductiveModel;
 use gssl_linalg::stationary::{gauss_seidel, jacobi, IterationOptions};
+use gssl_linalg::CsrMatrix;
 
 /// Which sweep order the propagation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -88,6 +89,9 @@ impl LabelPropagation {
         if problem.n_unlabeled() == 0 {
             return Ok((Scores::from_parts(problem.labels(), &[]), 0));
         }
+        if let Some(w) = problem.weights().as_sparse() {
+            return self.fit_sparse(problem, w);
+        }
         let system = problem.unlabeled_system()?;
         let rhs = problem.unlabeled_rhs()?;
         let outcome = match self.sweep {
@@ -99,6 +103,65 @@ impl LabelPropagation {
             Scores::from_parts(problem.labels(), outcome.solution.as_slice()),
             outcome.iterations,
         ))
+    }
+
+    /// Matrix-free sweeps over the CSR structure: the `m × m` system is
+    /// never assembled, each sweep walks the stored edges of the unlabeled
+    /// rows directly.
+    fn fit_sparse(&self, problem: &Problem, w: &CsrMatrix) -> Result<(Scores, usize)> {
+        let n = problem.n_labeled();
+        let m = problem.n_unlabeled();
+        let degrees = problem.degrees();
+        let rhs = problem.unlabeled_rhs()?;
+        let budget = if self.options.max_iterations == 0 {
+            (100 * m).clamp(1000, 100_000)
+        } else {
+            self.options.max_iterations
+        };
+        let mut f = vec![0.0; m];
+        let mut next = vec![0.0; m];
+        for sweep in 1..=budget {
+            let mut change = 0.0f64;
+            for a in 0..m {
+                let i = n + a;
+                let mut numerator = rhs[a];
+                let mut diagonal = degrees[i];
+                for (j, v) in w.row_iter(i) {
+                    if j == i {
+                        diagonal -= v;
+                    } else if j >= n {
+                        let current = match self.sweep {
+                            SweepKind::Simultaneous => f[j - n],
+                            // Gauss–Seidel reads already-updated scores.
+                            SweepKind::InPlace => {
+                                if j - n < a {
+                                    next[j - n]
+                                } else {
+                                    f[j - n]
+                                }
+                            }
+                        };
+                        numerator += v * current;
+                    }
+                }
+                if !(diagonal > 0.0) {
+                    // Defensive: anchoring was checked above, but a zero
+                    // diagonal would divide to infinity.
+                    return Err(Error::UnanchoredUnlabeled { unlabeled_index: a });
+                }
+                let value = numerator / diagonal;
+                change = change.max((value - f[a]).abs());
+                next[a] = value;
+            }
+            std::mem::swap(&mut f, &mut next);
+            if change <= self.options.tolerance {
+                return Ok((Scores::from_parts(problem.labels(), &f), sweep));
+            }
+        }
+        Err(Error::Linalg(gssl_linalg::Error::NotConverged {
+            iterations: budget,
+            residual: f64::NAN,
+        }))
     }
 }
 
@@ -198,6 +261,20 @@ mod tests {
         let (scores, iterations) = LabelPropagation::new().fit_with_iterations(&p).unwrap();
         assert_eq!(iterations, 0);
         assert!(scores.unlabeled().is_empty());
+    }
+
+    #[test]
+    fn sparse_representation_matches_dense() {
+        let dense = chain_problem();
+        let csr = gssl_linalg::CsrMatrix::from_dense(dense.dense_weights().unwrap(), 0.0);
+        let sparse = Problem::new(csr, dense.labels().to_vec()).unwrap();
+        for sweep in [SweepKind::Simultaneous, SweepKind::InPlace] {
+            let a = LabelPropagation::new().sweep(sweep).fit(&dense).unwrap();
+            let b = LabelPropagation::new().sweep(sweep).fit(&sparse).unwrap();
+            for (x, y) in a.unlabeled().iter().zip(b.unlabeled()) {
+                assert!((x - y).abs() < 1e-7, "{sweep:?}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl<M: TransductiveModel> TransductiveModel for SelfTraining<M> {
 
 /// Symmetric permutation of a weight matrix: entry `(i, j)` of the result
 /// is `w[order[i], order[j]]`.
-fn permute_weights(weights: &Matrix, order: &[usize]) -> Matrix {
+fn permute_weights(weights: &crate::weights::Weights, order: &[usize]) -> Matrix {
     let k = order.len();
     let mut out = Matrix::zeros(k, k);
     for (i, &oi) in order.iter().enumerate() {

@@ -17,15 +17,19 @@
 //! Eq. 5 — Proposition II.1. Proposition II.2 shows the criterion is
 //! *inconsistent* for large `λ` (at `λ = ∞` it predicts the constant
 //! `mean(Y_n)` everywhere on a connected graph).
+//!
+//! Every linear solve goes through the [`gssl_linalg::Factorization`]
+//! backend layer: `A` and the Schur system are symmetric positive definite
+//! (strict diagonal dominance), so [`SolverPolicy::factor_spd`] routes them
+//! to Cholesky — half the work of the LU factorization earlier revisions
+//! hardcoded — and sparse problems solve the CSR-assembled Eq. 3 system
+//! without densifying.
 
 use crate::error::{Error, Result};
 use crate::problem::{Problem, Scores};
 use crate::traits::TransductiveModel;
-use gssl_graph::{laplacian, LaplacianKind};
 use gssl_linalg::float::is_exactly_zero;
-#[cfg(test)]
-use gssl_linalg::Matrix;
-use gssl_linalg::{strict, Lu, Vector};
+use gssl_linalg::{strict, Factorization, SolverPolicy, Vector};
 
 /// The soft criterion solver with tuning parameter `λ ≥ 0`.
 ///
@@ -49,10 +53,11 @@ use gssl_linalg::{strict, Lu, Vector};
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoftCriterion {
     lambda: f64,
+    policy: SolverPolicy,
 }
 
 impl SoftCriterion {
-    /// Creates a soft-criterion solver.
+    /// Creates a soft-criterion solver with the default backend policy.
     ///
     /// # Errors
     ///
@@ -64,7 +69,10 @@ impl SoftCriterion {
                 message: format!("lambda must be finite and nonnegative, got {lambda}"),
             });
         }
-        Ok(SoftCriterion { lambda })
+        Ok(SoftCriterion {
+            lambda,
+            policy: SolverPolicy::default(),
+        })
     }
 
     /// The tuning parameter λ.
@@ -72,7 +80,20 @@ impl SoftCriterion {
         self.lambda
     }
 
-    /// Solves the criterion via the paper's block form (Eq. 4). Works for
+    /// Overrides the backend-selection policy (e.g. to tune the CG budget
+    /// used on large sparse problems).
+    pub fn policy(mut self, policy: SolverPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Borrows the active backend-selection policy.
+    pub fn solver_policy(&self) -> &SolverPolicy {
+        &self.policy
+    }
+
+    /// Solves the criterion: the paper's block form (Eq. 4) on dense
+    /// problems, the CSR-assembled full system on sparse ones. Works for
     /// every `λ ≥ 0`, including `λ = 0` where it reproduces the hard
     /// criterion (Proposition II.1).
     ///
@@ -92,11 +113,14 @@ impl SoftCriterion {
             let f_l = self.labeled_only_scores(problem, &y)?;
             return Ok(Scores::from_parts(f_l.as_slice(), &[]));
         }
+        if problem.weights().is_sparse() {
+            return self.fit_sparse(problem);
+        }
 
         let blocks = problem.weight_blocks()?;
         let degrees = problem.degrees();
 
-        // A = I_n + λ D₁₁ − λ W₁₁.
+        // A = I_n + λ D₁₁ − λ W₁₁ — SPD by strict diagonal dominance.
         let mut a = blocks.a11.map(|x| -self.lambda * x);
         for i in 0..n {
             a.set(
@@ -105,28 +129,53 @@ impl SoftCriterion {
                 1.0 + self.lambda * degrees[i] - self.lambda * blocks.a11.get(i, i),
             );
         }
-        let a_lu = Lu::factor(&a)?;
+        let a_fact = self.policy.factor_spd(&a)?;
 
         // A⁻¹ Y and A⁻¹ W₁₂.
-        let a_inv_y = a_lu.solve(&y)?;
-        let a_inv_w12 = a_lu.solve_matrix(&blocks.a12)?;
+        let a_inv_y = a_fact.solve(&y)?;
+        let a_inv_w12 = a_fact.solve_matrix(&blocks.a12)?;
 
-        // System: D₂₂ − W₂₂ − λ W₂₁ A⁻¹ W₁₂.
+        // Schur system: D₂₂ − W₂₂ − λ W₂₁ A⁻¹ W₁₂ — SPD on anchored graphs.
         let base = problem.unlabeled_system()?;
         let correction = blocks.a21.matmul(&a_inv_w12)?;
         let system = &base - &(&correction * self.lambda);
         let rhs = blocks.a21.matvec(&a_inv_y)?;
-        let f_u = Lu::factor(&system)?.solve(&rhs)?;
+        let f_u = self.policy.factor_spd(&system)?.solve(&rhs)?;
 
         // Labeled block: f_L = A⁻¹ (Y + λ W₁₂ f_U).
         let w12_fu = blocks.a12.matvec(&f_u)?;
         let mut rhs_l = y.clone();
         rhs_l.axpy(self.lambda, &w12_fu)?;
-        let f_l = a_lu.solve(&rhs_l)?;
+        let f_l = a_fact.solve(&rhs_l)?;
 
         strict::check_finite("soft criterion labeled output", f_l.as_slice())?;
         strict::check_finite("soft criterion unlabeled output", f_u.as_slice())?;
         Ok(Scores::from_parts(f_l.as_slice(), f_u.as_slice()))
+    }
+
+    /// Sparse-representation path. At `λ = 0` the criterion *is* the hard
+    /// criterion (Proposition II.1), so the CSR-assembled `D₂₂ − W₂₂`
+    /// system is solved directly; at `λ > 0` the full Eq. 3 system
+    /// `V + λL` is assembled in CSR and routed through the policy, which
+    /// keeps large sparse graphs iterative instead of densifying them.
+    fn fit_sparse(&self, problem: &Problem) -> Result<Scores> {
+        let n = problem.n_labeled();
+        if is_exactly_zero(self.lambda) {
+            let backend = self
+                .policy
+                .factor_sparse(&problem.unlabeled_system_csr()?)?;
+            let f_u = backend.solve(&problem.unlabeled_rhs()?)?;
+            strict::check_finite("soft criterion unlabeled output", f_u.as_slice())?;
+            return Ok(Scores::from_parts(problem.labels(), f_u.as_slice()));
+        }
+        let system = problem.soft_system_csr(self.lambda)?;
+        let mut rhs = Vector::zeros(problem.len());
+        for (i, &yi) in problem.labels().iter().enumerate() {
+            rhs[i] = yi;
+        }
+        let f = self.policy.factor_sparse(&system)?.solve(&rhs)?;
+        strict::check_finite("soft criterion output", f.as_slice())?;
+        Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
 
     /// Solves the criterion by assembling the full `(n+m) × (n+m)` system
@@ -149,32 +198,25 @@ impl SoftCriterion {
             });
         }
         let n = problem.n_labeled();
-        let total = problem.len();
-        let l = laplacian(problem.weights(), LaplacianKind::Unnormalized)?;
-        let mut system = l.map(|x| self.lambda * x);
-        for i in 0..n {
-            system.set(i, i, system.get(i, i) + 1.0);
-        }
-        let mut rhs = Vector::zeros(total);
+        let system = problem.soft_system_csr(self.lambda)?;
+        let mut rhs = Vector::zeros(problem.len());
         for (i, &yi) in problem.labels().iter().enumerate() {
             rhs[i] = yi;
         }
-        let f = Lu::factor(&system)?.solve(&rhs)?;
+        let f = self.policy.factor_sparse(&system)?.solve(&rhs)?;
         strict::check_finite("soft criterion full-system output", f.as_slice())?;
         Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
 
-    /// Scores when every vertex is labeled: `(I + λL) f = Y`.
+    /// Scores when every vertex is labeled: `(I + λL) f = Y`. With `V = I`
+    /// the CSR assembly of Eq. 3 is exactly that system, on either
+    /// representation.
     fn labeled_only_scores(&self, problem: &Problem, y: &Vector) -> Result<Vector> {
         if is_exactly_zero(self.lambda) {
             return Ok(y.clone());
         }
-        let l = laplacian(problem.weights(), LaplacianKind::Unnormalized)?;
-        let mut system = l.map(|x| self.lambda * x);
-        for i in 0..problem.len() {
-            system.set(i, i, system.get(i, i) + 1.0);
-        }
-        Ok(Lu::factor(&system)?.solve(y)?)
+        let system = problem.soft_system_csr(self.lambda)?;
+        Ok(self.policy.factor_sparse(&system)?.solve(y)?)
     }
 
     /// The objective value of Eq. 2 at a given score vector — useful for
@@ -200,7 +242,7 @@ impl SoftCriterion {
             .zip(scores)
             .map(|(y, f)| (y - f) * (y - f))
             .sum();
-        let energy = gssl_graph::dirichlet_energy(problem.weights(), &Vector::from(scores))?;
+        let energy = problem.weights().dirichlet_energy(&Vector::from(scores))?;
         Ok(loss + 0.5 * self.lambda * energy)
     }
 }
@@ -219,6 +261,7 @@ impl TransductiveModel for SoftCriterion {
 mod tests {
     use super::*;
     use crate::hard::HardCriterion;
+    use gssl_linalg::{CsrMatrix, Lu, Matrix};
 
     fn sample_problem() -> Problem {
         let w = Matrix::from_rows(&[
@@ -260,6 +303,64 @@ mod tests {
             let full = soft.fit_full_system(&p).unwrap();
             for (a, b) in block.all().iter().zip(full.all()) {
                 assert!((a - b).abs() < 1e-9, "lambda {lambda}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_route_matches_legacy_lu_path() {
+        // Earlier revisions factored both A and the Schur system with LU;
+        // the policy now routes these SPD systems to Cholesky. Pin the new
+        // path to a verbatim reproduction of the old one at 1e-10.
+        let p = sample_problem();
+        for &lambda in &[0.0, 0.05, 0.5, 2.0] {
+            let scores = SoftCriterion::new(lambda).unwrap().fit(&p).unwrap();
+
+            let n = p.n_labeled();
+            let blocks = p.weight_blocks().unwrap();
+            let degrees = p.degrees();
+            let y = p.labels_vector();
+            let mut a = blocks.a11.map(|x| -lambda * x);
+            for i in 0..n {
+                a.set(
+                    i,
+                    i,
+                    1.0 + lambda * degrees[i] - lambda * blocks.a11.get(i, i),
+                );
+            }
+            let a_lu = Lu::factor(&a).unwrap();
+            let a_inv_y = a_lu.solve(&y).unwrap();
+            let a_inv_w12 = a_lu.solve_matrix(&blocks.a12).unwrap();
+            let base = p.unlabeled_system().unwrap();
+            let correction = blocks.a21.matmul(&a_inv_w12).unwrap();
+            let system = &base - &(&correction * lambda);
+            let rhs = blocks.a21.matvec(&a_inv_y).unwrap();
+            let f_u = Lu::factor(&system).unwrap().solve(&rhs).unwrap();
+            let w12_fu = blocks.a12.matvec(&f_u).unwrap();
+            let mut rhs_l = y.clone();
+            rhs_l.axpy(lambda, &w12_fu).unwrap();
+            let f_l = a_lu.solve(&rhs_l).unwrap();
+
+            for (new, old) in scores.unlabeled().iter().zip(f_u.as_slice()) {
+                assert!((new - old).abs() < 1e-10, "lambda {lambda}: {new} vs {old}");
+            }
+            for (new, old) in scores.labeled().iter().zip(f_l.as_slice()) {
+                assert!((new - old).abs() < 1e-10, "lambda {lambda}: {new} vs {old}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_representation_matches_dense() {
+        let dense = sample_problem();
+        let csr = CsrMatrix::from_dense(dense.dense_weights().unwrap(), 0.0);
+        let sparse = Problem::new(csr, dense.labels().to_vec()).unwrap();
+        for &lambda in &[0.0, 0.1, 1.0] {
+            let soft = SoftCriterion::new(lambda).unwrap();
+            let d = soft.fit(&dense).unwrap();
+            let s = soft.fit(&sparse).unwrap();
+            for (a, b) in d.all().iter().zip(s.all()) {
+                assert!((a - b).abs() < 1e-8, "lambda {lambda}: {a} vs {b}");
             }
         }
     }

@@ -1,21 +1,32 @@
-//! Matrix-free hard criterion on sparse (CSR) graphs.
+//! Deprecated compatibility wrapper over the unified [`Problem`] API.
 //!
-//! Dense `Problem`s store `(n+m)²` weights and factor an `m × m` system;
-//! for kNN or ε-graphs with `O(k(n+m))` edges this module solves the same
-//! harmonic system without densifying anything: the operator
-//! `x ↦ (D₂₂ − W₂₂) x` is applied row-by-row from the CSR structure and
-//! handed to conjugate gradient. This is the path a production deployment
-//! takes once `n + m` reaches tens of thousands.
+//! Sparse graphs used to live in a parallel `SparseProblem` type with its
+//! own matrix-free solvers. That split is gone: [`Problem::new`] accepts a
+//! [`CsrMatrix`] directly (via [`crate::Weights`]), and the criteria route
+//! sparse systems through the shared [`gssl_linalg::Factorization`]
+//! backend layer. This module keeps the old surface alive — every method
+//! delegates to the unified path — so downstream code migrates on its own
+//! schedule.
+
+#![allow(deprecated)]
 
 use crate::error::{Error, Result};
-use crate::problem::Scores;
-use gssl_linalg::{conjugate_gradient, CgOptions, CsrMatrix, LinearOperator, Vector};
+use crate::hard::{HardCriterion, HardSolver};
+use crate::problem::{Problem, Scores};
+use crate::propagation::LabelPropagation;
+use crate::soft::SoftCriterion;
+use gssl_linalg::{CgOptions, CsrMatrix, SolverPolicy};
 
 /// A transductive problem over a sparse symmetric affinity graph.
+///
+/// Deprecated: construct a [`Problem`] from the [`CsrMatrix`] instead and
+/// fit any criterion on it — the solvers pick sparse-aware backends
+/// automatically.
 ///
 /// ```
 /// use gssl::SparseProblem;
 /// use gssl_linalg::CsrMatrix;
+/// # #[allow(deprecated)]
 /// # fn main() -> Result<(), gssl::Error> {
 /// // Chain 0 - 1 - 2 with unit weights; vertex 0 labeled 1.
 /// let w = CsrMatrix::from_triplets(3, 3, &[
@@ -28,11 +39,13 @@ use gssl_linalg::{conjugate_gradient, CgOptions, CsrMatrix, LinearOperator, Vect
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.5.0",
+    note = "construct `Problem::new(csr_matrix, labels)` and fit criteria directly; the unified solver stack handles sparse graphs"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseProblem {
-    weights: CsrMatrix,
-    labels: Vec<f64>,
-    degrees: Vec<f64>,
+    inner: Problem,
 }
 
 impl SparseProblem {
@@ -44,70 +57,43 @@ impl SparseProblem {
     /// not symmetric, weights are negative/non-finite, or the label count
     /// is empty or exceeds the vertex count.
     pub fn new(weights: CsrMatrix, labels: Vec<f64>) -> Result<Self> {
-        if weights.rows() != weights.cols() {
-            return Err(Error::InvalidProblem {
-                message: format!(
-                    "affinity matrix must be square, got {}x{}",
-                    weights.rows(),
-                    weights.cols()
-                ),
-            });
-        }
-        if labels.is_empty() || labels.len() > weights.rows() {
-            return Err(Error::InvalidProblem {
-                message: format!(
-                    "label count {} invalid for {} vertices",
-                    labels.len(),
-                    weights.rows()
-                ),
-            });
-        }
-        if labels.iter().any(|y| !y.is_finite()) {
-            return Err(Error::InvalidProblem {
-                message: "labels must be finite".to_owned(),
-            });
-        }
-        for i in 0..weights.rows() {
-            for (_, v) in weights.row_iter(i) {
-                if !v.is_finite() || v < 0.0 {
-                    return Err(Error::InvalidProblem {
-                        message: "weights must be finite and nonnegative".to_owned(),
-                    });
-                }
-            }
-        }
-        if !weights.is_symmetric(1e-9) {
-            return Err(Error::InvalidProblem {
-                message: "affinity matrix must be symmetric".to_owned(),
-            });
-        }
-        let degrees = weights.row_sums();
         Ok(SparseProblem {
-            weights,
-            labels,
-            degrees,
+            inner: Problem::new(weights, labels)?,
         })
     }
 
     /// Number of labeled vertices `n`.
     pub fn n_labeled(&self) -> usize {
-        self.labels.len()
+        self.inner.n_labeled()
     }
 
     /// Number of unlabeled vertices `m`.
     pub fn n_unlabeled(&self) -> usize {
-        self.weights.rows() - self.labels.len()
+        self.inner.n_unlabeled()
     }
 
     /// Borrows the sparse affinity matrix.
     /// shape: (total, total)
     pub fn weights(&self) -> &CsrMatrix {
-        &self.weights
+        self.inner
+            .weights()
+            .as_sparse()
+            .expect("SparseProblem always holds CSR weights") // lint: allow(no_panic)
     }
 
     /// Borrows the observed labels.
     pub fn labels(&self) -> &[f64] {
-        &self.labels
+        self.inner.labels()
+    }
+
+    /// Borrows the unified problem this wrapper delegates to.
+    pub fn as_problem(&self) -> &Problem {
+        &self.inner
+    }
+
+    /// Unwraps into the unified [`Problem`] — the migration exit.
+    pub fn into_problem(self) -> Problem {
+        self.inner
     }
 
     /// Checks that every unlabeled vertex reaches a labeled vertex through
@@ -118,66 +104,24 @@ impl SparseProblem {
     /// Returns [`Error::UnanchoredUnlabeled`] naming the first stranded
     /// vertex.
     pub fn require_anchored(&self) -> Result<()> {
-        let total = self.weights.rows();
-        let n = self.n_labeled();
-        let mut reached = vec![false; total];
-        let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
-        for v in 0..n {
-            reached[v] = true;
-        }
-        while let Some(v) = queue.pop_front() {
-            for (j, w) in self.weights.row_iter(v) {
-                if w > 0.0 && !reached[j] {
-                    reached[j] = true;
-                    queue.push_back(j);
-                }
-            }
-        }
-        match reached[n..].iter().position(|&r| !r) {
-            None => Ok(()),
-            Some(a) => Err(Error::UnanchoredUnlabeled { unlabeled_index: a }),
-        }
+        self.inner.require_anchored(0.0)
     }
 
-    /// Right-hand side `W₂₁ Y` of the hard system.
-    fn unlabeled_rhs(&self) -> Vector {
-        let n = self.n_labeled();
-        let m = self.n_unlabeled();
-        let mut rhs = Vector::zeros(m);
-        for a in 0..m {
-            let mut sum = 0.0;
-            for (j, w) in self.weights.row_iter(n + a) {
-                if j < n {
-                    sum += w * self.labels[j];
-                }
-            }
-            rhs[a] = sum;
-        }
-        rhs
-    }
-
-    /// Solves the hard criterion matrix-free with conjugate gradient.
+    /// Solves the hard criterion with the iterative sparse backend
+    /// (Jacobi-preconditioned conjugate gradient on the CSR system).
     ///
     /// # Errors
     ///
     /// * [`Error::UnanchoredUnlabeled`] when the system is singular.
     /// * [`Error::Linalg`] when CG exhausts its budget.
     pub fn solve_hard(&self, options: &CgOptions) -> Result<Scores> {
-        self.require_anchored()?;
-        if self.n_unlabeled() == 0 {
-            return Ok(Scores::from_parts(&self.labels, &[]));
-        }
-        let operator = UnlabeledSystem { problem: self };
-        let rhs = self.unlabeled_rhs();
-        let outcome = conjugate_gradient(&operator, &rhs, options)?;
-        Ok(Scores::from_parts(
-            &self.labels,
-            outcome.solution.as_slice(),
-        ))
+        HardCriterion::new()
+            .solver(HardSolver::ConjugateGradient(options.clone()))
+            .fit(&self.inner)
     }
 
-    /// Solves the **soft criterion** `(V + λL) f = (Y; 0)` matrix-free
-    /// with conjugate gradient (`λ > 0`; use [`SparseProblem::solve_hard`]
+    /// Solves the **soft criterion** `(V + λL) f = (Y; 0)` with the
+    /// iterative sparse backend (`λ > 0`; use [`SparseProblem::solve_hard`]
     /// for the λ = 0 limit).
     ///
     /// `V + λL` is symmetric positive definite exactly when every
@@ -198,20 +142,9 @@ impl SparseProblem {
                 ),
             });
         }
-        self.require_anchored()?;
-        let n = self.n_labeled();
-        let total = self.weights.rows();
-        let operator = SoftSystem {
-            problem: self,
-            lambda,
-        };
-        let mut rhs = Vector::zeros(total);
-        for (i, &y) in self.labels.iter().enumerate() {
-            rhs[i] = y;
-        }
-        let outcome = conjugate_gradient(&operator, &rhs, options)?;
-        let f = outcome.solution;
-        Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
+        SoftCriterion::new(lambda)?
+            .policy(SolverPolicy::with_cg(options.clone()))
+            .fit(&self.inner)
     }
 
     /// Solves the hard criterion by Jacobi label propagation over the
@@ -222,93 +155,12 @@ impl SparseProblem {
     /// * [`Error::UnanchoredUnlabeled`] when the system is singular.
     /// * [`Error::Linalg`] wrapping `NotConverged` on budget exhaustion.
     pub fn propagate(&self, max_sweeps: usize, tolerance: f64) -> Result<(Scores, usize)> {
-        self.require_anchored()?;
-        let n = self.n_labeled();
-        let m = self.n_unlabeled();
-        if m == 0 {
-            return Ok((Scores::from_parts(&self.labels, &[]), 0));
-        }
-        let rhs = self.unlabeled_rhs();
-        let mut f = vec![0.0; m];
-        let mut next = vec![0.0; m];
+        // Preserve the historical default budget (0 meant 100 000 sweeps).
         let budget = if max_sweeps == 0 { 100_000 } else { max_sweeps };
-        for sweep in 1..=budget {
-            let mut change = 0.0f64;
-            for a in 0..m {
-                let mut numerator = rhs[a];
-                let mut diagonal = self.degrees[n + a];
-                for (j, w) in self.weights.row_iter(n + a) {
-                    if j == n + a {
-                        diagonal -= w;
-                    } else if j >= n {
-                        numerator += w * f[j - n];
-                    }
-                }
-                if diagonal <= 0.0 {
-                    return Err(Error::UnanchoredUnlabeled { unlabeled_index: a });
-                }
-                let value = numerator / diagonal;
-                change = change.max((value - f[a]).abs());
-                next[a] = value;
-            }
-            std::mem::swap(&mut f, &mut next);
-            if change <= tolerance {
-                return Ok((Scores::from_parts(&self.labels, &f), sweep));
-            }
-        }
-        Err(Error::Linalg(gssl_linalg::Error::NotConverged {
-            iterations: budget,
-            residual: f64::NAN,
-        }))
-    }
-}
-
-/// Matrix-free `x ↦ (V + λL) x = V x + λ(D − W) x` over the full graph.
-struct SoftSystem<'a> {
-    problem: &'a SparseProblem,
-    lambda: f64,
-}
-
-impl LinearOperator for SoftSystem<'_> {
-    fn dim(&self) -> usize {
-        self.problem.weights.rows()
-    }
-
-    fn apply(&self, x: &[f64], out: &mut [f64]) {
-        let n = self.problem.n_labeled();
-        for (i, o) in out.iter_mut().enumerate() {
-            let v_term = if i < n { x[i] } else { 0.0 };
-            let mut wx = 0.0;
-            for (j, w) in self.problem.weights.row_iter(i) {
-                wx += w * x[j];
-            }
-            *o = v_term + self.lambda * (self.problem.degrees[i] * x[i] - wx);
-        }
-    }
-}
-
-/// Matrix-free `x ↦ (D₂₂ − W₂₂) x` over the sparse graph.
-struct UnlabeledSystem<'a> {
-    problem: &'a SparseProblem,
-}
-
-impl LinearOperator for UnlabeledSystem<'_> {
-    fn dim(&self) -> usize {
-        self.problem.n_unlabeled()
-    }
-
-    fn apply(&self, x: &[f64], out: &mut [f64]) {
-        let n = self.problem.n_labeled();
-        for (a, o) in out.iter_mut().enumerate() {
-            let global = n + a;
-            let mut sum = self.problem.degrees[global] * x[a];
-            for (j, w) in self.problem.weights.row_iter(global) {
-                if j >= n {
-                    sum -= w * x[j - n];
-                }
-            }
-            *o = sum;
-        }
+        LabelPropagation::new()
+            .max_iterations(budget)
+            .tolerance(tolerance)
+            .fit_with_iterations(&self.inner)
     }
 }
 
@@ -479,6 +331,8 @@ mod tests {
         assert_eq!(p.n_unlabeled(), 7);
         assert_eq!(p.labels(), &[1.0, 0.0, 1.0]);
         assert_eq!(p.weights().nnz(), w.nnz());
+        assert!(p.as_problem().weights().is_sparse());
+        assert!(p.clone().into_problem().weights().is_sparse());
     }
 
     #[test]

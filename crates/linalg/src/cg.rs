@@ -150,6 +150,126 @@ pub fn conjugate_gradient(
     }
 }
 
+/// Solves `A x = b` by the preconditioned conjugate-gradient method with a
+/// diagonal (Jacobi) preconditioner `M⁻¹ = diag(inv_diag)`.
+///
+/// `A` must be symmetric positive definite and `inv_diag` must hold the
+/// elementwise inverse of a positive approximation of `diag(A)`; neither is
+/// checked here (the [`crate::JacobiCg`] backend validates the diagonal at
+/// factor time). Convergence is measured on the *true* residual
+/// `‖b − A x‖₂ / ‖b‖₂`, the same criterion as [`conjugate_gradient`].
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] when `b.len() != op.dim()` or
+///   `inv_diag.len() != op.dim()`.
+/// * [`Error::InvalidArgument`] when the tolerance is not positive.
+/// * [`Error::NotConverged`] when the iteration budget is exhausted or a
+///   direction of non-positive curvature is met.
+/// * [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
+///   side or the computed solution is non-finite.
+pub fn preconditioned_conjugate_gradient(
+    op: &(impl LinearOperator + ?Sized),
+    b: &Vector,
+    inv_diag: &[f64],
+    options: &CgOptions,
+) -> Result<CgOutcome> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(Error::DimensionMismatch {
+            operation: "preconditioned_conjugate_gradient",
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    if inv_diag.len() != n {
+        return Err(Error::DimensionMismatch {
+            operation: "preconditioned_conjugate_gradient preconditioner",
+            left: (n, n),
+            right: (inv_diag.len(), 1),
+        });
+    }
+    if !(options.tolerance > 0.0) {
+        return Err(Error::InvalidArgument {
+            message: format!("tolerance must be positive, got {}", options.tolerance),
+        });
+    }
+    strict::check_finite("preconditioned_conjugate_gradient rhs", b.as_slice())?;
+    let max_iterations = if options.max_iterations == 0 {
+        (2 * n).max(50)
+    } else {
+        options.max_iterations
+    };
+
+    let b_norm = b.norm_l2();
+    if is_exactly_zero(b_norm) {
+        return Ok(CgOutcome {
+            solution: Vector::zeros(n),
+            iterations: 0,
+            residual_norm: 0.0,
+        });
+    }
+    let threshold = options.tolerance * b_norm;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.as_slice().to_vec();
+    let mut z: Vec<f64> = r.iter().zip(inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut ap = vec![0.0; n];
+    let mut rz_old = dot_slices(&r, &z);
+    let mut r_norm2 = dot_slices(&r, &r);
+
+    for k in 0..max_iterations {
+        if r_norm2.sqrt() <= threshold {
+            strict::check_finite("preconditioned_conjugate_gradient output", &x)?;
+            return Ok(CgOutcome {
+                solution: Vector::from(x),
+                iterations: k,
+                residual_norm: r_norm2.sqrt(),
+            });
+        }
+        op.apply(&p, &mut ap);
+        let p_ap = dot_slices(&p, &ap);
+        if p_ap <= 0.0 || !p_ap.is_finite() || rz_old <= 0.0 {
+            // Non-positive curvature or an indefinite preconditioned system:
+            // A (or M) is not SPD, or we hit numerical breakdown.
+            return Err(Error::NotConverged {
+                iterations: k,
+                residual: r_norm2.sqrt(),
+            });
+        }
+        let alpha = rz_old / p_ap;
+        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+        }
+        for ((zi, ri), di) in z.iter_mut().zip(&r).zip(inv_diag) {
+            *zi = ri * di;
+        }
+        let rz_new = dot_slices(&r, &z);
+        let beta = rz_new / rz_old;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+        rz_old = rz_new;
+        r_norm2 = dot_slices(&r, &r);
+    }
+
+    if r_norm2.sqrt() <= threshold {
+        strict::check_finite("preconditioned_conjugate_gradient output", &x)?;
+        Ok(CgOutcome {
+            solution: Vector::from(x),
+            iterations: max_iterations,
+            residual_norm: r_norm2.sqrt(),
+        })
+    } else {
+        Err(Error::NotConverged {
+            iterations: max_iterations,
+            residual: r_norm2.sqrt(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +345,65 @@ mod tests {
         let dense = &l + &Matrix::identity(3);
         let exact = crate::lu::solve(&dense, &b).unwrap();
         assert!(out.solution.approx_eq(&exact, 1e-8));
+    }
+
+    #[test]
+    fn preconditioned_matches_plain_cg() {
+        // Badly scaled SPD diagonal-dominant matrix: Jacobi preconditioning
+        // should converge in no more iterations than plain CG.
+        let n = 40;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0 + 100.0 * (i as f64)
+            } else if i.abs_diff(j) == 1 {
+                -0.5
+            } else {
+                0.0
+            }
+        });
+        let b = Vector::from_fn(n, |i| ((i + 1) as f64).cos());
+        let inv_diag: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let plain = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let pcg =
+            preconditioned_conjugate_gradient(&a, &b, &inv_diag, &CgOptions::default()).unwrap();
+        assert!(pcg.solution.approx_eq(&plain.solution, 1e-7));
+        assert!(pcg.iterations <= plain.iterations);
+    }
+
+    #[test]
+    fn preconditioned_zero_rhs_short_circuits() {
+        let a = Matrix::identity(3);
+        let out = preconditioned_conjugate_gradient(
+            &a,
+            &Vector::zeros(3),
+            &[1.0; 3],
+            &CgOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.solution, Vector::zeros(3));
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn preconditioned_rejects_bad_preconditioner_len() {
+        let a = Matrix::identity(3);
+        let err = preconditioned_conjugate_gradient(
+            &a,
+            &Vector::ones(3),
+            &[1.0; 2],
+            &CgOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn preconditioned_detects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let b = Vector::from(vec![0.0, 1.0]);
+        assert!(
+            preconditioned_conjugate_gradient(&a, &b, &[1.0, 1.0], &CgOptions::default()).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,827 @@
+//! The unified factorization backend layer.
+//!
+//! Every solver in the workspace — the hard criterion's `D₂₂ − W₂₂`, the
+//! soft criterion's `V + λL`, and the serving engine's cached systems —
+//! reduces to "factor once, solve many". [`Factorization`] captures that
+//! contract behind one object-safe trait, implemented by the dense direct
+//! backends ([`Cholesky`], [`Lu`]) and by [`JacobiCg`], a Jacobi-
+//! preconditioned conjugate-gradient backend that keeps sparse systems in
+//! CSR form and never forms a factor at all. [`SolverPolicy`] picks among
+//! them from size, symmetry, and nonzero density, so callers can stay
+//! representation-agnostic.
+
+use crate::cg::{preconditioned_conjugate_gradient, CgOptions};
+use crate::cholesky::Cholesky;
+use crate::error::{Error, Result};
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+use crate::ops::LinearOperator;
+use crate::sparse::CsrMatrix;
+use crate::strict;
+use crate::vector::Vector;
+
+/// A factored (or factor-free iterative) linear system `A x = b`, ready to
+/// solve against many right-hand sides.
+///
+/// The trait is object-safe: downstream layers can hold a
+/// `Box<dyn Factorization>` when the backend is chosen at runtime, though
+/// most callers use the concrete [`SolverBackend`] enum.
+pub trait Factorization {
+    /// Dimension of the factored system.
+    fn dim(&self) -> usize;
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `b.len() != dim()`, and
+    /// backend-specific errors (e.g. [`Error::NotConverged`] from the
+    /// iterative backend).
+    /// shape: (b.len,)
+    fn solve(&self, b: &Vector) -> Result<Vector>;
+
+    /// Solves `A X = B` column by column against the same factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `b.rows() != dim()`, plus
+    /// any per-column error from [`Factorization::solve`].
+    /// shape: (b.rows, b.cols)
+    fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "factorization solve_matrix",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the *original* operator: computes `A x` from the stored
+    /// factors (direct backends reconstruct it as `L(Lᵀx)` / `Pᵀ(L(Ux))`;
+    /// the iterative backend applies the stored system exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `x.len() != dim()`.
+    /// shape: (x.len,)
+    fn apply(&self, x: &Vector) -> Result<Vector>;
+
+    /// Residual report `‖A x − b‖∞` for a candidate solution, computed
+    /// through [`Factorization::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when lengths disagree with
+    /// `dim()`.
+    fn residual(&self, x: &Vector, b: &Vector) -> Result<f64> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "factorization residual",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let ax = self.apply(x)?;
+        let mut worst = 0.0f64;
+        for (ai, bi) in ax.as_slice().iter().zip(b.as_slice()) {
+            worst = worst.max((ai - bi).abs());
+        }
+        Ok(worst)
+    }
+
+    /// Inverse of the factored matrix, formed column by column.
+    ///
+    /// Direct backends pay `n` extra solves; the iterative backend pays `n`
+    /// full CG runs — prefer [`Factorization::solve`] whenever only
+    /// `A⁻¹ b` is needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the underlying solves.
+    /// shape: (n, n)
+    fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Which concrete backend is behind this factorization.
+    fn kind(&self) -> BackendKind;
+
+    /// Structured summary of the factorization for logs and diagnostics.
+    fn report(&self) -> FactorReport {
+        FactorReport {
+            backend: self.kind(),
+            dim: self.dim(),
+        }
+    }
+}
+
+/// The concrete backend a [`SolverPolicy`] selected (or a caller forced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dense Cholesky (`A = LLᵀ`); symmetric positive-definite systems.
+    DenseCholesky,
+    /// Dense LU with partial pivoting; general nonsingular systems.
+    DenseLu,
+    /// Jacobi-preconditioned conjugate gradient over a (usually sparse)
+    /// operator; SPD systems too large or too sparse to factor densely.
+    SparseCg,
+}
+
+impl BackendKind {
+    /// Stable lowercase identifier (used by JSON diagnostics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::DenseCholesky => "dense-cholesky",
+            BackendKind::DenseLu => "dense-lu",
+            BackendKind::SparseCg => "sparse-cg",
+        }
+    }
+
+    /// Whether the backend solves iteratively (no stored factor).
+    pub fn is_iterative(self) -> bool {
+        matches!(self, BackendKind::SparseCg)
+    }
+}
+
+/// Summary of a factorization, as returned by [`Factorization::report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorReport {
+    /// The backend that produced the factorization.
+    pub backend: BackendKind,
+    /// Dimension of the factored system.
+    pub dim: usize,
+}
+
+impl Factorization for Cholesky {
+    fn dim(&self) -> usize {
+        Cholesky::dim(self)
+    }
+
+    /// shape: (b.len,)
+    fn solve(&self, b: &Vector) -> Result<Vector> {
+        Cholesky::solve(self, b)
+    }
+
+    /// shape: (b.rows, b.cols)
+    fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        Cholesky::solve_matrix(self, b)
+    }
+
+    /// Computes `A x = L (Lᵀ x)` from the stored factor.
+    /// shape: (x.len,)
+    fn apply(&self, x: &Vector) -> Result<Vector> {
+        let n = Cholesky::dim(self);
+        if x.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "cholesky apply",
+                left: (n, n),
+                right: (x.len(), 1),
+            });
+        }
+        let l = self.lower();
+        // y = Lᵀ x (upper-triangular product), then out = L y.
+        let mut y = vec![0.0; n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for j in i..n {
+                sum += l.get(j, i) * x[j];
+            }
+            *yi = sum;
+        }
+        let mut out = vec![0.0; n];
+        for (i, oi) in out.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (j, yj) in y.iter().enumerate().take(i + 1) {
+                sum += l.get(i, j) * yj;
+            }
+            *oi = sum;
+        }
+        Ok(Vector::from(out))
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::DenseCholesky
+    }
+}
+
+impl Factorization for Lu {
+    fn dim(&self) -> usize {
+        Lu::dim(self)
+    }
+
+    /// shape: (b.len,)
+    fn solve(&self, b: &Vector) -> Result<Vector> {
+        Lu::solve(self, b)
+    }
+
+    /// shape: (b.rows, b.cols)
+    fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        Lu::solve_matrix(self, b)
+    }
+
+    /// Computes `A x = Pᵀ (L (U x))` from the packed factors.
+    /// shape: (x.len,)
+    fn apply(&self, x: &Vector) -> Result<Vector> {
+        let n = Lu::dim(self);
+        if x.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "lu apply",
+                left: (n, n),
+                right: (x.len(), 1),
+            });
+        }
+        let f = self.factors();
+        // y = U x (upper triangle, including the diagonal).
+        let mut y = vec![0.0; n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for j in i..n {
+                sum += f.get(i, j) * x[j];
+            }
+            *yi = sum;
+        }
+        // z = L y (unit lower triangle).
+        let mut z = vec![0.0; n];
+        for (i, zi) in z.iter_mut().enumerate() {
+            let mut sum = y[i];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum += f.get(i, j) * yj;
+            }
+            *zi = sum;
+        }
+        // Undo the row permutation: (P A) x = L U x, so (A x)[perm[i]] = z[i].
+        let mut out = vec![0.0; n];
+        for (i, &p) in self.perm().iter().enumerate() {
+            out[p] = z[i];
+        }
+        Ok(Vector::from(out))
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::DenseLu
+    }
+}
+
+/// The system held by the iterative backend: dense or CSR, applied as a
+/// [`LinearOperator`] without ever factoring.
+#[derive(Debug, Clone)]
+pub enum CgSystem {
+    /// Dense system matrix.
+    Dense(Matrix),
+    /// Sparse CSR system matrix.
+    Sparse(CsrMatrix),
+}
+
+impl LinearOperator for CgSystem {
+    fn dim(&self) -> usize {
+        match self {
+            CgSystem::Dense(a) => a.rows(),
+            CgSystem::Sparse(a) => a.rows(),
+        }
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        match self {
+            CgSystem::Dense(a) => a.apply(x, out),
+            CgSystem::Sparse(a) => a.apply(x, out),
+        }
+    }
+}
+
+/// Jacobi-preconditioned conjugate-gradient backend.
+///
+/// "Factoring" just validates the system and extracts the inverse diagonal
+/// (the Jacobi preconditioner); every [`JacobiCg::solve`] call then runs
+/// [`preconditioned_conjugate_gradient`] against the stored operator. The
+/// system must be symmetric positive definite — CG reports
+/// [`Error::NotConverged`] otherwise.
+#[derive(Debug, Clone)]
+pub struct JacobiCg {
+    system: CgSystem,
+    inv_diag: Vec<f64>,
+    options: CgOptions,
+}
+
+impl JacobiCg {
+    /// Builds the iterative backend around a dense system.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] when a diagonal entry is `<= 0` or
+    ///   non-finite (an SPD matrix has a strictly positive diagonal).
+    pub fn factor_dense(a: &Matrix, options: CgOptions) -> Result<Self> {
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        strict::check_finite_matrix("jacobi_cg.factor input", a)?;
+        let inv_diag = inverse_diagonal((0..a.rows()).map(|i| a.get(i, i)))?;
+        Ok(JacobiCg {
+            system: CgSystem::Dense(a.clone()),
+            inv_diag,
+            options,
+        })
+    }
+
+    /// Builds the iterative backend around a CSR system.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] when a diagonal entry is `<= 0` or
+    ///   non-finite.
+    pub fn factor_sparse(a: &CsrMatrix, options: CgOptions) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::NotSquare {
+                shape: (a.rows(), a.cols()),
+            });
+        }
+        let inv_diag = inverse_diagonal((0..a.rows()).map(|i| a.get(i, i)))?;
+        Ok(JacobiCg {
+            system: CgSystem::Sparse(a.clone()),
+            inv_diag,
+            options,
+        })
+    }
+
+    /// Borrows the stored system operator.
+    pub fn system(&self) -> &CgSystem {
+        &self.system
+    }
+
+    /// The CG options every solve runs with.
+    pub fn options(&self) -> &CgOptions {
+        &self.options
+    }
+}
+
+/// Inverts a diagonal for the Jacobi preconditioner, rejecting non-positive
+/// pivots (an SPD matrix cannot have them).
+fn inverse_diagonal(diag: impl Iterator<Item = f64>) -> Result<Vec<f64>> {
+    let mut inv = Vec::new();
+    for (i, d) in diag.enumerate() {
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(Error::NotPositiveDefinite { pivot: i });
+        }
+        inv.push(1.0 / d);
+    }
+    Ok(inv)
+}
+
+impl Factorization for JacobiCg {
+    fn dim(&self) -> usize {
+        LinearOperator::dim(&self.system)
+    }
+
+    /// shape: (b.len,)
+    fn solve(&self, b: &Vector) -> Result<Vector> {
+        let out =
+            preconditioned_conjugate_gradient(&self.system, b, &self.inv_diag, &self.options)?;
+        Ok(out.solution)
+    }
+
+    /// Applies the stored system exactly.
+    /// shape: (x.len,)
+    fn apply(&self, x: &Vector) -> Result<Vector> {
+        let n = Factorization::dim(self);
+        if x.len() != n {
+            return Err(Error::DimensionMismatch {
+                operation: "jacobi_cg apply",
+                left: (n, n),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; n];
+        LinearOperator::apply(&self.system, x.as_slice(), &mut out);
+        Ok(Vector::from(out))
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::SparseCg
+    }
+}
+
+/// One factored system behind a single concrete type: what
+/// [`SolverPolicy`] hands back, and what downstream layers cache.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SolverBackend {
+    /// Dense Cholesky factorization.
+    Cholesky(Cholesky),
+    /// Dense LU factorization.
+    Lu(Lu),
+    /// Jacobi-preconditioned CG (no stored factor).
+    Cg(JacobiCg),
+}
+
+impl Factorization for SolverBackend {
+    fn dim(&self) -> usize {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::dim(f),
+            SolverBackend::Lu(f) => Factorization::dim(f),
+            SolverBackend::Cg(f) => Factorization::dim(f),
+        }
+    }
+
+    /// shape: (b.len,)
+    fn solve(&self, b: &Vector) -> Result<Vector> {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::solve(f, b),
+            SolverBackend::Lu(f) => Factorization::solve(f, b),
+            SolverBackend::Cg(f) => Factorization::solve(f, b),
+        }
+    }
+
+    /// shape: (b.rows, b.cols)
+    fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::solve_matrix(f, b),
+            SolverBackend::Lu(f) => Factorization::solve_matrix(f, b),
+            SolverBackend::Cg(f) => Factorization::solve_matrix(f, b),
+        }
+    }
+
+    /// shape: (x.len,)
+    fn apply(&self, x: &Vector) -> Result<Vector> {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::apply(f, x),
+            SolverBackend::Lu(f) => Factorization::apply(f, x),
+            SolverBackend::Cg(f) => Factorization::apply(f, x),
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::kind(f),
+            SolverBackend::Lu(f) => Factorization::kind(f),
+            SolverBackend::Cg(f) => Factorization::kind(f),
+        }
+    }
+}
+
+/// Auto-selection policy: dense Cholesky vs dense LU vs sparse CG, decided
+/// from system size, symmetry, and nonzero density.
+///
+/// The decision rule (see [`SolverPolicy::select_dense`] /
+/// [`SolverPolicy::select_sparse`]): systems with at least
+/// `direct_dim_cutoff` rows whose density is at or below
+/// `density_threshold` go to the iterative CSR backend; everything else is
+/// factored directly — Cholesky when symmetric within
+/// `symmetry_tolerance`, LU otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverPolicy {
+    /// Systems smaller than this are always factored directly, regardless
+    /// of sparsity (direct factorization is cheap at small dimensions).
+    pub direct_dim_cutoff: usize,
+    /// Fraction of nonzero entries (`nnz / n²`) at or below which a large
+    /// system is routed to the iterative sparse backend.
+    pub density_threshold: f64,
+    /// Absolute entrywise tolerance used to classify a system as symmetric
+    /// (and hence Cholesky-eligible).
+    pub symmetry_tolerance: f64,
+    /// Options for the iterative backend's CG runs.
+    pub cg: CgOptions,
+}
+
+impl Default for SolverPolicy {
+    fn default() -> Self {
+        SolverPolicy {
+            direct_dim_cutoff: 128,
+            density_threshold: 0.25,
+            symmetry_tolerance: 1e-9,
+            cg: CgOptions::default(),
+        }
+    }
+}
+
+/// Counts entries of a dense matrix with magnitude above zero.
+fn dense_nnz(a: &Matrix) -> usize {
+    let mut nnz = 0;
+    for i in 0..a.rows() {
+        for v in a.row(i) {
+            if v.abs() > 0.0 {
+                nnz += 1;
+            }
+        }
+    }
+    nnz
+}
+
+/// Fraction of stored entries relative to a full `rows × cols` matrix
+/// (defined as 1.0 for empty shapes).
+fn density(nnz: usize, rows: usize, cols: usize) -> f64 {
+    if rows == 0 || cols == 0 {
+        return 1.0;
+    }
+    nnz as f64 / (rows as f64 * cols as f64)
+}
+
+impl SolverPolicy {
+    /// Policy with a custom CG configuration for the iterative backend.
+    pub fn with_cg(cg: CgOptions) -> Self {
+        SolverPolicy {
+            cg,
+            ..SolverPolicy::default()
+        }
+    }
+
+    /// Which backend [`SolverPolicy::factor_dense`] would pick for `a`.
+    pub fn select_dense(&self, a: &Matrix) -> BackendKind {
+        if a.rows() >= self.direct_dim_cutoff
+            && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold
+        {
+            return BackendKind::SparseCg;
+        }
+        if a.is_symmetric(self.symmetry_tolerance) {
+            BackendKind::DenseCholesky
+        } else {
+            BackendKind::DenseLu
+        }
+    }
+
+    /// Which backend [`SolverPolicy::factor_sparse`] would pick for `a`.
+    pub fn select_sparse(&self, a: &CsrMatrix) -> BackendKind {
+        if a.rows() >= self.direct_dim_cutoff
+            && density(a.nnz(), a.rows(), a.cols()) <= self.density_threshold
+        {
+            return BackendKind::SparseCg;
+        }
+        if a.is_symmetric(self.symmetry_tolerance) {
+            BackendKind::DenseCholesky
+        } else {
+            BackendKind::DenseLu
+        }
+    }
+
+    /// Factors a dense system with the auto-selected backend.
+    ///
+    /// A symmetric system that turns out not to be positive definite falls
+    /// back from Cholesky to LU instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::Singular`] when the (LU-factored) system is singular.
+    /// * [`Error::NotPositiveDefinite`] when the iterative backend sees a
+    ///   non-positive diagonal.
+    pub fn factor_dense(&self, a: &Matrix) -> Result<SolverBackend> {
+        match self.select_dense(a) {
+            BackendKind::SparseCg => {
+                let csr = CsrMatrix::from_dense(a, 0.0);
+                Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
+                    &csr,
+                    self.cg.clone(),
+                )?))
+            }
+            BackendKind::DenseCholesky => match Cholesky::factor(a) {
+                Ok(f) => Ok(SolverBackend::Cholesky(f)),
+                Err(Error::NotPositiveDefinite { .. }) => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+                Err(e) => Err(e),
+            },
+            BackendKind::DenseLu => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+        }
+    }
+
+    /// Factors a CSR system with the auto-selected backend (densifying
+    /// first when the system is small or dense enough for direct methods).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolverPolicy::factor_dense`].
+    pub fn factor_sparse(&self, a: &CsrMatrix) -> Result<SolverBackend> {
+        match self.select_sparse(a) {
+            BackendKind::SparseCg => Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
+                a,
+                self.cg.clone(),
+            )?)),
+            _ => self.factor_dense(&a.to_dense()),
+        }
+    }
+
+    /// Factors a dense system *known* to be symmetric positive definite
+    /// (e.g. the soft criterion's `V + λL`): Cholesky first, LU as a
+    /// robustness fallback when rounding pushed a pivot non-positive, CG
+    /// when the system qualifies as large and sparse.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolverPolicy::factor_dense`].
+    pub fn factor_spd(&self, a: &Matrix) -> Result<SolverBackend> {
+        if a.rows() >= self.direct_dim_cutoff
+            && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold
+        {
+            let csr = CsrMatrix::from_dense(a, 0.0);
+            return Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
+                &csr,
+                self.cg.clone(),
+            )?));
+        }
+        match Cholesky::factor(a) {
+            Ok(f) => Ok(SolverBackend::Cholesky(f)),
+            Err(Error::NotPositiveDefinite { .. }) => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_sample(n: usize) -> Matrix {
+        // Diagonally dominant symmetric tridiagonal: SPD at every size.
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0 + (i as f64) * 0.1
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn rhs(n: usize) -> Vector {
+        Vector::from_fn(n, |i| ((i as f64) * 0.7).sin() + 0.2)
+    }
+
+    #[test]
+    fn all_backends_solve_the_same_system() {
+        let a = spd_sample(12);
+        let b = rhs(12);
+        let reference = crate::lu::solve(&a, &b).unwrap();
+
+        let chol = Cholesky::factor(&a).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let cg = JacobiCg::factor_dense(&a, CgOptions::default()).unwrap();
+        for backend in [
+            SolverBackend::Cholesky(chol),
+            SolverBackend::Lu(lu),
+            SolverBackend::Cg(cg),
+        ] {
+            let x = backend.solve(&b).unwrap();
+            assert!(
+                x.approx_eq(&reference, 1e-8),
+                "{:?} disagrees",
+                backend.kind()
+            );
+            assert!(backend.residual(&x, &b).unwrap() < 1e-8);
+            assert_eq!(Factorization::dim(&backend), 12);
+        }
+    }
+
+    #[test]
+    fn apply_reconstructs_operator_for_every_backend() {
+        // Use an asymmetric matrix for LU to exercise the permutation path.
+        let asym =
+            Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 1.0, 0.5], &[1.0, -1.0, 4.0]]).unwrap();
+        let x = Vector::from(vec![1.0, -2.0, 0.5]);
+        let lu = Lu::factor(&asym).unwrap();
+        let ax = Factorization::apply(&lu, &x).unwrap();
+        assert!(ax.approx_eq(&asym.matvec(&x).unwrap(), 1e-12));
+
+        let spd = spd_sample(5);
+        let x5 = rhs(5);
+        let chol = Cholesky::factor(&spd).unwrap();
+        let ax = Factorization::apply(&chol, &x5).unwrap();
+        assert!(ax.approx_eq(&spd.matvec(&x5).unwrap(), 1e-12));
+
+        let cg = JacobiCg::factor_dense(&spd, CgOptions::default()).unwrap();
+        let ax = Factorization::apply(&cg, &x5).unwrap();
+        assert!(ax.approx_eq(&spd.matvec(&x5).unwrap(), 1e-14));
+    }
+
+    #[test]
+    fn solve_matrix_and_inverse_agree_across_backends() {
+        let a = spd_sample(6);
+        let id = Matrix::identity(6);
+        for backend in [
+            SolverPolicy::default().factor_dense(&a).unwrap(),
+            SolverBackend::Cg(JacobiCg::factor_dense(&a, CgOptions::default()).unwrap()),
+        ] {
+            let inv = backend.inverse().unwrap();
+            assert!(a.matmul(&inv).unwrap().approx_eq(&id, 1e-7));
+        }
+    }
+
+    #[test]
+    fn jacobi_cg_rejects_nonpositive_diagonal() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            JacobiCg::factor_dense(&a, CgOptions::default()),
+            Err(Error::NotPositiveDefinite { pivot: 1 })
+        ));
+        let csr = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            JacobiCg::factor_sparse(&csr, CgOptions::default()),
+            Err(Error::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn jacobi_cg_rejects_non_square() {
+        assert!(matches!(
+            JacobiCg::factor_dense(&Matrix::zeros(2, 3), CgOptions::default()),
+            Err(Error::NotSquare { .. })
+        ));
+        assert!(matches!(
+            JacobiCg::factor_sparse(&CsrMatrix::zeros(2, 3), CgOptions::default()),
+            Err(Error::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_picks_cholesky_for_small_symmetric() {
+        let a = spd_sample(10);
+        let policy = SolverPolicy::default();
+        assert_eq!(policy.select_dense(&a), BackendKind::DenseCholesky);
+        assert!(matches!(
+            policy.factor_dense(&a).unwrap(),
+            SolverBackend::Cholesky(_)
+        ));
+    }
+
+    #[test]
+    fn policy_picks_lu_for_asymmetric() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        let policy = SolverPolicy::default();
+        assert_eq!(policy.select_dense(&a), BackendKind::DenseLu);
+        assert!(matches!(
+            policy.factor_dense(&a).unwrap(),
+            SolverBackend::Lu(_)
+        ));
+    }
+
+    #[test]
+    fn policy_picks_cg_for_large_sparse() {
+        let n = 200;
+        let a = spd_sample(n); // tridiagonal: density ~ 3/n << 0.25
+        let policy = SolverPolicy::default();
+        assert_eq!(policy.select_dense(&a), BackendKind::SparseCg);
+        let backend = policy.factor_dense(&a).unwrap();
+        assert!(matches!(backend, SolverBackend::Cg(_)));
+        let b = rhs(n);
+        let x = backend.solve(&b).unwrap();
+        assert!(backend.residual(&x, &b).unwrap() < 1e-7);
+
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        assert_eq!(policy.select_sparse(&csr), BackendKind::SparseCg);
+        let sparse_backend = policy.factor_sparse(&csr).unwrap();
+        let xs = sparse_backend.solve(&b).unwrap();
+        assert!(xs.approx_eq(&x, 1e-8));
+    }
+
+    #[test]
+    fn policy_densifies_small_sparse_systems() {
+        let a = spd_sample(8);
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        let policy = SolverPolicy::default();
+        assert_eq!(policy.select_sparse(&csr), BackendKind::DenseCholesky);
+        let backend = policy.factor_sparse(&csr).unwrap();
+        assert!(matches!(backend, SolverBackend::Cholesky(_)));
+    }
+
+    #[test]
+    fn spd_route_falls_back_to_lu_on_indefinite() {
+        // Symmetric but indefinite: Cholesky fails, LU must take over.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let policy = SolverPolicy::default();
+        let backend = policy.factor_spd(&a).unwrap();
+        assert!(matches!(backend, SolverBackend::Lu(_)));
+        let b = Vector::from(vec![1.0, 0.0]);
+        let x = backend.solve(&b).unwrap();
+        assert!(backend.residual(&x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn report_names_the_backend() {
+        let a = spd_sample(4);
+        let backend = SolverPolicy::default().factor_dense(&a).unwrap();
+        let report = backend.report();
+        assert_eq!(report.backend, BackendKind::DenseCholesky);
+        assert_eq!(report.dim, 4);
+        assert_eq!(report.backend.as_str(), "dense-cholesky");
+        assert!(!report.backend.is_iterative());
+        assert!(BackendKind::SparseCg.is_iterative());
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let a = spd_sample(5);
+        let b = rhs(5);
+        let boxed: Box<dyn Factorization> = Box::new(Cholesky::factor(&a).unwrap());
+        let x = boxed.solve(&b).unwrap();
+        assert!(boxed.residual(&x, &b).unwrap() < 1e-10);
+    }
+}

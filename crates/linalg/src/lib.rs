@@ -15,6 +15,9 @@
 //! * [`conjugate_gradient`] and the stationary solvers in [`stationary`] —
 //!   matrix-free backends behind the [`LinearOperator`] trait.
 //! * [`CsrMatrix`] — compressed sparse rows for kNN / ε-threshold graphs.
+//! * [`Factorization`] / [`SolverPolicy`] — the unified backend layer:
+//!   factor once (Cholesky, LU, or Jacobi-preconditioned CG), solve many,
+//!   with auto-selection from size, symmetry, and nonzero density.
 //! * [`BlockPartition`] — the labeled/unlabeled 2×2 split the paper's
 //!   derivation is written in.
 //!
@@ -42,6 +45,7 @@ mod cg;
 mod cholesky;
 mod eigen;
 mod error;
+mod factor;
 /// Named helpers for the rare exact floating-point comparisons.
 pub mod float;
 mod iterative;
@@ -54,10 +58,13 @@ pub mod strict;
 mod vector;
 
 pub use blocks::BlockPartition;
-pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
+pub use cg::{conjugate_gradient, preconditioned_conjugate_gradient, CgOptions, CgOutcome};
 pub use cholesky::{is_positive_definite, Cholesky};
 pub use eigen::{symmetric_eigen, EigenOptions, SymmetricEigen};
 pub use error::{Error, Result};
+pub use factor::{
+    BackendKind, CgSystem, FactorReport, Factorization, JacobiCg, SolverBackend, SolverPolicy,
+};
 pub use lu::{inverse, solve, solve_matrix, Lu};
 pub use matrix::Matrix;
 pub use ops::{DiagonalOperator, LinearOperator, ShiftedOperator, SumOperator};

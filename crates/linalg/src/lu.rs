@@ -99,6 +99,19 @@ impl Lu {
         self.factors.rows()
     }
 
+    /// Borrows the packed factors: unit-lower `L` below the diagonal,
+    /// `U` on and above it.
+    /// shape: (n, n)
+    pub fn factors(&self) -> &Matrix {
+        &self.factors
+    }
+
+    /// Row permutation applied by pivoting: `perm[i]` is the original row
+    /// now in position `i`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Errors

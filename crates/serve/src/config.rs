@@ -3,6 +3,7 @@
 
 use crate::error::{Error, Result};
 use gssl_graph::Kernel;
+use gssl_linalg::SolverPolicy;
 
 /// Which of the paper's criteria the engine caches a factorization of.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +24,24 @@ pub enum ServeCriterion {
         /// Proposition II.1).
         lambda: f64,
     },
+}
+
+/// How the engine factors its cached criterion system.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum EngineSolver {
+    /// The legacy direct route: Cholesky for the hard system, LU for the
+    /// soft full system, always with an explicit cached inverse so label
+    /// arrivals stay exact rank-1 updates.
+    #[default]
+    Direct,
+    /// Route every factorization through a [`SolverPolicy`], which picks
+    /// dense Cholesky, dense LU, or Jacobi-preconditioned CG from the
+    /// system's size and sparsity. When the policy selects the iterative
+    /// backend no explicit inverse is formed — label arrivals re-solve
+    /// the exactly-maintained cached system instead of updating an
+    /// inverse, trading per-update cost for `O(nnz)` memory.
+    Auto(SolverPolicy),
 }
 
 /// Configuration for [`crate::ServingEngine::fit`].
@@ -54,6 +73,8 @@ pub struct EngineConfig {
     pub residual_tolerance: f64,
     /// Thread-pool width for `predict_batch` (`0` = host parallelism).
     pub workers: usize,
+    /// Factorization backend selection for the cached system.
+    pub solver: EngineSolver,
 }
 
 impl EngineConfig {
@@ -68,6 +89,7 @@ impl EngineConfig {
             refactor_every: 64,
             residual_tolerance: 1e-8,
             workers: 0,
+            solver: EngineSolver::Direct,
         }
     }
 
@@ -92,6 +114,12 @@ impl EngineConfig {
     /// Sets the thread-pool width (`0` = host parallelism).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Selects the factorization backend route.
+    pub fn solver(mut self, solver: EngineSolver) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -154,6 +182,15 @@ mod tests {
         assert_eq!(c.refactor_every, 7);
         assert_eq!(c.residual_tolerance, 1e-6);
         assert_eq!(c.workers, 3);
+    }
+
+    #[test]
+    fn solver_route_defaults_direct_and_is_selectable() {
+        let c = EngineConfig::new(Kernel::Gaussian, 1.0);
+        assert_eq!(c.solver, EngineSolver::Direct);
+        let auto = c.solver(EngineSolver::Auto(SolverPolicy::default()));
+        assert_eq!(auto.solver, EngineSolver::Auto(SolverPolicy::default()));
+        assert!(auto.validate().is_ok());
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! The fit-once, query-many serving engine.
 //!
-//! `fit` pays the cubic factorization cost of the chosen criterion once
-//! and caches both the factor's explicit inverse and the assembled system.
-//! After that:
+//! `fit` pays the factorization cost of the chosen criterion once —
+//! through the [`gssl_linalg::Factorization`] backend layer, either the
+//! legacy direct route ([`EngineSolver::Direct`]: Cholesky/LU plus an
+//! explicit cached inverse) or a [`gssl_linalg::SolverPolicy`] route
+//! ([`EngineSolver::Auto`]) that may pick the iterative CG backend and
+//! skip the inverse entirely — and caches the assembled system. After
+//! that:
 //!
 //! * `predict_batch` answers out-of-sample queries with the paper's
 //!   Nadaraya–Watson extension (Theorem II.1 / Eq. 6) in `O(N·d)` per
@@ -41,15 +45,17 @@
 //!
 //! Both identities are exact in real arithmetic; floating-point drift
 //! across many updates is what the residual guard `‖A f − b‖∞ ≤ tol`
-//! catches.
+//! catches. Because the rank-1 bookkeeping maintains the cached system
+//! and right-hand side *exactly*, the guard's fallback re-factors the
+//! cached system in place instead of reassembling it from the graph.
 
-use crate::config::{EngineConfig, ServeCriterion};
+use crate::config::{EngineConfig, EngineSolver, ServeCriterion};
 use crate::error::{Error, Result};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::pool::ThreadPool;
 use gssl::Problem;
 use gssl_graph::{laplacian, KernelGraph, LaplacianKind};
-use gssl_linalg::{strict, Cholesky, Lu, Matrix};
+use gssl_linalg::{strict, Cholesky, Factorization, Lu, Matrix, SolverBackend};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -136,10 +142,14 @@ pub struct ServingEngine {
     targets: Matrix,
     /// Global indices of the still-unlabeled nodes, in cached-system order.
     unlabeled: Vec<usize>,
-    /// The cached criterion system (hard: `m × m`; soft: `N × N`).
+    /// The cached criterion system (hard: `m × m`; soft: `N × N`). The
+    /// rank-1 update paths maintain it *exactly* (deletion / diagonal
+    /// bump), so a guarded refactor can re-factor it without reassembly.
     system: Matrix,
     /// Explicit inverse of `system`, maintained by rank-1 updates.
-    inverse: Matrix,
+    /// `None` when the configured solver route selected an iterative
+    /// backend (no factor to invert) or the system is empty.
+    inverse: Option<Matrix>,
     /// Right-hand side matching `system`, one column per class.
     rhs: Matrix,
     /// Current fitted scores for all `N` nodes, one column per class.
@@ -270,14 +280,14 @@ impl ServingEngine {
             targets,
             unlabeled: (n..total).collect(),
             system: Matrix::zeros(0, 0),
-            inverse: Matrix::zeros(0, 0),
+            inverse: None,
             rhs: Matrix::zeros(0, k),
             scores: Matrix::zeros(total, k),
             pool,
             updates_since_refactor: 0,
             metrics: Mutex::new(ServeMetrics::default()),
         };
-        engine.refactor()?;
+        engine.rebuild()?;
         engine.lock_metrics().record_factorization();
         Ok(engine)
     }
@@ -460,7 +470,10 @@ impl ServingEngine {
         let periodic = self.config.refactor_every > 0
             && self.updates_since_refactor >= self.config.refactor_every;
         if periodic || self.current_residual()? > self.config.residual_tolerance {
-            self.refactor()?;
+            // Only the factorization has drifted: the rank-1 bookkeeping
+            // above kept `system` and `rhs` exact, so skip reassembly and
+            // go straight to factoring the cached system.
+            self.refactor_cached()?;
             self.lock_metrics().record_guarded_refactor();
         }
         strict::check_finite_matrix("serve.observe_label scores", &self.scores)?;
@@ -491,35 +504,12 @@ impl ServingEngine {
             // Last unlabeled node: the cached system becomes empty.
             self.unlabeled.clear();
             self.system = Matrix::zeros(0, 0);
-            self.inverse = Matrix::zeros(0, 0);
+            self.inverse = None;
             self.rhs = Matrix::zeros(0, k);
             return Ok(());
         }
 
-        let bjj = self.inverse.get(j, j);
-        if !(bjj.abs() > f64::MIN_POSITIVE) {
-            // Defensive: an SPD system cannot produce a zero diagonal in
-            // its inverse, but fall back to a guarded refit rather than
-            // dividing by (near-)zero.
-            self.unlabeled.remove(j);
-            self.refactor()?;
-            self.lock_metrics().record_guarded_refactor();
-            return Ok(());
-        }
-
         let keep: Vec<usize> = (0..m).filter(|&a| a != j).collect();
-        // B' = B_SS − B_Sj B_jS / B_jj over the surviving rows/columns.
-        let mut new_inverse = Matrix::zeros(m - 1, m - 1);
-        for (a2, &a) in keep.iter().enumerate() {
-            let baj = self.inverse.get(a, j);
-            for (b2, &b) in keep.iter().enumerate() {
-                new_inverse.set(
-                    a2,
-                    b2,
-                    self.inverse.get(a, b) - baj * self.inverse.get(j, b) / bjj,
-                );
-            }
-        }
         // The freshly labeled node now pulls every surviving unlabeled row
         // through its edge weight: b'_a = b_a + w(x_a, x_node) · y.
         let mut new_rhs = Matrix::zeros(m - 1, k);
@@ -530,12 +520,43 @@ impl ServingEngine {
             }
         }
         // The shrunk system is the old one minus row/column j — degrees
-        // are full-graph sums and unaffected by labeling. Kept only for
-        // the residual guard.
+        // are full-graph sums and unaffected by labeling. Maintained
+        // exactly so guarded refactors can skip reassembly.
         let mut new_system = Matrix::zeros(m - 1, m - 1);
         for (a2, &a) in keep.iter().enumerate() {
             for (b2, &b) in keep.iter().enumerate() {
                 new_system.set(a2, b2, self.system.get(a, b));
+            }
+        }
+
+        let Some(inverse) = &self.inverse else {
+            // Iterative backend: there is no explicit inverse to update.
+            // The shrunk system above is exact, so re-solve it directly.
+            self.unlabeled.remove(j);
+            self.system = new_system;
+            self.rhs = new_rhs;
+            self.refactor_cached()?;
+            self.lock_metrics().record_factorization();
+            return Ok(());
+        };
+
+        let bjj = inverse.get(j, j);
+        if !(bjj.abs() > f64::MIN_POSITIVE) {
+            // Defensive: an SPD system cannot produce a zero diagonal in
+            // its inverse, but fall back to a guarded refit rather than
+            // dividing by (near-)zero.
+            self.unlabeled.remove(j);
+            self.rebuild()?;
+            self.lock_metrics().record_guarded_refactor();
+            return Ok(());
+        }
+
+        // B' = B_SS − B_Sj B_jS / B_jj over the surviving rows/columns.
+        let mut new_inverse = Matrix::zeros(m - 1, m - 1);
+        for (a2, &a) in keep.iter().enumerate() {
+            let baj = inverse.get(a, j);
+            for (b2, &b) in keep.iter().enumerate() {
+                new_inverse.set(a2, b2, inverse.get(a, b) - baj * inverse.get(j, b) / bjj);
             }
         }
 
@@ -547,7 +568,7 @@ impl ServingEngine {
             }
         }
         self.system = new_system;
-        self.inverse = new_inverse;
+        self.inverse = Some(new_inverse);
         self.rhs = new_rhs;
         Ok(())
     }
@@ -576,32 +597,43 @@ impl ServingEngine {
             self.unlabeled.remove(pos);
         }
 
-        let denom = 1.0 + self.inverse.get(node, node);
-        if !(denom.abs() > f64::MIN_POSITIVE) {
-            // Defensive: for the SPD system V + λL the denominator is
-            // strictly greater than 1; never divide by (near-)zero.
-            self.refactor()?;
-            self.lock_metrics().record_guarded_refactor();
-            return Ok(());
-        }
-
-        // B' = B − (B e)(eᵀ B) / (1 + B_nn).
-        let b_col = self.inverse.col(node);
-        let b_row: Vec<f64> = self.inverse.row(node).to_vec();
-        let mut new_inverse = Matrix::zeros(total, total);
-        for a in 0..total {
-            let ba = b_col[a];
-            for b in 0..total {
-                new_inverse.set(a, b, self.inverse.get(a, b) - ba * b_row[b] / denom);
-            }
-        }
-        self.inverse = new_inverse;
+        // The system/rhs updates are exact regardless of backend: V gains
+        // e_node e_nodeᵀ and the right-hand side gains the target row.
         self.system
             .set(node, node, self.system.get(node, node) + 1.0);
         for (c, &t) in target.iter().enumerate() {
             self.rhs.set(node, c, self.rhs.get(node, c) + t);
         }
-        self.scores = self.inverse.matmul(&self.rhs)?;
+
+        let Some(inverse) = &self.inverse else {
+            // Iterative backend: no explicit inverse — re-solve the
+            // exactly-updated cached system directly.
+            self.refactor_cached()?;
+            self.lock_metrics().record_factorization();
+            return Ok(());
+        };
+
+        let denom = 1.0 + inverse.get(node, node);
+        if !(denom.abs() > f64::MIN_POSITIVE) {
+            // Defensive: for the SPD system V + λL the denominator is
+            // strictly greater than 1; never divide by (near-)zero.
+            self.rebuild()?;
+            self.lock_metrics().record_guarded_refactor();
+            return Ok(());
+        }
+
+        // B' = B − (B e)(eᵀ B) / (1 + B_nn).
+        let b_col = inverse.col(node);
+        let b_row: Vec<f64> = inverse.row(node).to_vec();
+        let mut new_inverse = Matrix::zeros(total, total);
+        for a in 0..total {
+            let ba = b_col[a];
+            for b in 0..total {
+                new_inverse.set(a, b, inverse.get(a, b) - ba * b_row[b] / denom);
+            }
+        }
+        self.scores = new_inverse.matmul(&self.rhs)?;
+        self.inverse = Some(new_inverse);
         Ok(())
     }
 
@@ -618,22 +650,84 @@ impl ServingEngine {
     /// Returns [`Error::Linalg`] when the rebuilt system cannot be
     /// factored.
     pub fn refit(&mut self) -> Result<()> {
-        self.refactor()?;
+        self.rebuild()?;
         self.lock_metrics().record_factorization();
         Ok(())
     }
 
-    fn refactor(&mut self) -> Result<()> {
+    /// Factors a criterion system through the configured solver route.
+    fn factor_system(&self, system: &Matrix) -> Result<SolverBackend> {
+        match (&self.config.solver, self.config.criterion) {
+            // Legacy direct route: Cholesky for the SPD hard block, LU for
+            // the soft full system, byte-for-byte the historical behavior.
+            (EngineSolver::Direct, ServeCriterion::Hard) => {
+                Ok(SolverBackend::Cholesky(Cholesky::factor(system)?))
+            }
+            (EngineSolver::Direct, ServeCriterion::Soft { .. }) => {
+                Ok(SolverBackend::Lu(Lu::factor(system)?))
+            }
+            // Both criterion systems are SPD (the hard block by anchored
+            // diagonal dominance, V + λL by construction), so the policy's
+            // SPD route applies to either.
+            (EngineSolver::Auto(policy), _) => Ok(policy.factor_spd(system)?),
+        }
+    }
+
+    /// Full rebuild: reassemble the criterion system and right-hand side
+    /// from the graph for the current labeled set, then factor and solve.
+    fn rebuild(&mut self) -> Result<()> {
         match self.config.criterion {
-            ServeCriterion::Hard => self.refactor_hard()?,
-            ServeCriterion::Soft { lambda } => self.refactor_soft(lambda)?,
+            ServeCriterion::Hard => self.assemble_hard(),
+            ServeCriterion::Soft { lambda } => self.assemble_soft(lambda)?,
+        }
+        self.refactor_cached()
+    }
+
+    /// Factors the *already assembled* cached system and re-solves the
+    /// cached right-hand side, refreshing scores and (for direct backends)
+    /// the explicit inverse. This is the guarded-fallback path: rank-1
+    /// bookkeeping keeps `system`/`rhs` exact, so when only the
+    /// factorization has drifted there is nothing to reassemble.
+    fn refactor_cached(&mut self) -> Result<()> {
+        let k = self.targets.cols();
+        match self.config.criterion {
+            ServeCriterion::Hard => {
+                let m = self.unlabeled.len();
+                if m == 0 {
+                    self.inverse = None;
+                } else {
+                    let backend = self.factor_system(&self.system)?;
+                    let solution = backend.solve_matrix(&self.rhs)?;
+                    self.inverse = if backend.kind().is_iterative() {
+                        None
+                    } else {
+                        Some(backend.inverse()?)
+                    };
+                    for (a, &ia) in self.unlabeled.iter().enumerate() {
+                        for c in 0..k {
+                            self.scores.set(ia, c, solution.get(a, c));
+                        }
+                    }
+                }
+            }
+            ServeCriterion::Soft { .. } => {
+                let backend = self.factor_system(&self.system)?;
+                self.scores = backend.solve_matrix(&self.rhs)?;
+                self.inverse = if backend.kind().is_iterative() {
+                    None
+                } else {
+                    Some(backend.inverse()?)
+                };
+            }
         }
         self.updates_since_refactor = 0;
         strict::check_finite_matrix("serve cached scores", &self.scores)?;
         Ok(())
     }
 
-    fn refactor_hard(&mut self) -> Result<()> {
+    /// Assembles the hard system `A = D₂₂ − W₂₂` and its right-hand side
+    /// over the current unlabeled set into the cache (no factorization).
+    fn assemble_hard(&mut self) {
         let k = self.targets.cols();
         let m = self.unlabeled.len();
         let total = self.n_nodes();
@@ -646,8 +740,7 @@ impl ServingEngine {
             }
         }
 
-        // A = D₂₂ − W₂₂ over the current unlabeled set, with full-graph
-        // degrees on the diagonal.
+        // Full-graph degrees on the diagonal.
         let mut system = Matrix::zeros(m, m);
         for (a, &ia) in self.unlabeled.iter().enumerate() {
             for (b, &ib) in self.unlabeled.iter().enumerate() {
@@ -666,32 +759,17 @@ impl ServingEngine {
                 }
             }
         }
-
-        if m == 0 {
-            self.system = system;
-            self.inverse = Matrix::zeros(0, 0);
-            self.rhs = rhs;
-            return Ok(());
-        }
-        let factor = Cholesky::factor(&system)?;
-        let solution = factor.solve_matrix(&rhs)?;
-        self.inverse = factor.inverse()?;
-        for (a, &ia) in self.unlabeled.iter().enumerate() {
-            for c in 0..k {
-                self.scores.set(ia, c, solution.get(a, c));
-            }
-        }
         self.system = system;
         self.rhs = rhs;
-        Ok(())
     }
 
-    fn refactor_soft(&mut self, lambda: f64) -> Result<()> {
+    /// Assembles the soft full system `A = V + λL` (the literal Eq. 3
+    /// matrix, matching `SoftCriterion::fit_full_system`) and its
+    /// right-hand side into the cache (no factorization).
+    fn assemble_soft(&mut self, lambda: f64) -> Result<()> {
         let k = self.targets.cols();
         let total = self.n_nodes();
 
-        // A = V + λL, the literal Eq. 3 system (matches
-        // SoftCriterion::fit_full_system).
         let l = laplacian(&self.weights, LaplacianKind::Unnormalized)?;
         let mut system = l.map(|x| lambda * x);
         let mut rhs = Matrix::zeros(total, k);
@@ -703,9 +781,6 @@ impl ServingEngine {
                 }
             }
         }
-        let factor = Lu::factor(&system)?;
-        self.scores = factor.solve_matrix(&rhs)?;
-        self.inverse = factor.inverse()?;
         self.system = system;
         self.rhs = rhs;
         Ok(())
@@ -1046,6 +1121,92 @@ mod tests {
             engine.observe_label(4, 1.0),
             Err(Error::InvalidLabel { .. })
         ));
+    }
+
+    #[test]
+    fn auto_solver_matches_direct_route() {
+        // Small dense Gaussian graph: the policy picks Cholesky for the
+        // hard criterion, so Auto and Direct must agree to rounding.
+        let points = line_points(8);
+        let labels = [0.0, 1.0, 1.0];
+        let direct = ServingEngine::fit(&points, &labels, hard_config()).unwrap();
+        let auto_cfg =
+            hard_config().solver(EngineSolver::Auto(gssl_linalg::SolverPolicy::default()));
+        let mut auto = ServingEngine::fit(&points, &labels, auto_cfg).unwrap();
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-10));
+
+        let mut direct = direct;
+        direct.observe_label(4, 1.0).unwrap();
+        auto.observe_label(4, 1.0).unwrap();
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-10));
+    }
+
+    #[test]
+    fn auto_solver_matches_direct_route_soft() {
+        let points = line_points(8);
+        let labels = [0.0, 1.0, 1.0];
+        let soft = |solver: EngineSolver| {
+            EngineConfig::new(Kernel::Gaussian, 0.8)
+                .workers(1)
+                .criterion(ServeCriterion::Soft { lambda: 0.3 })
+                .solver(solver)
+        };
+        let mut direct = ServingEngine::fit(&points, &labels, soft(EngineSolver::Direct)).unwrap();
+        let mut auto = ServingEngine::fit(
+            &points,
+            &labels,
+            soft(EngineSolver::Auto(gssl_linalg::SolverPolicy::default())),
+        )
+        .unwrap();
+        // Direct uses LU, Auto routes the SPD system through Cholesky.
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-8));
+        direct.observe_label(5, 0.0).unwrap();
+        auto.observe_label(5, 0.0).unwrap();
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-8));
+    }
+
+    #[test]
+    fn auto_solver_iterative_backend_serves_sparse_graphs() {
+        // A boxcar kernel on a long line yields a banded (sparse) hard
+        // system: 134 unlabeled nodes at density « 25% routes the policy
+        // to the CG backend, which keeps no explicit inverse.
+        let total = 140;
+        let points = line_points(total);
+        let labels: Vec<f64> = (0..6).map(|i| (i % 2) as f64).collect();
+        let config = EngineConfig::new(Kernel::Boxcar, 0.35).workers(1);
+        let direct = ServingEngine::fit(&points, &labels, config.clone()).unwrap();
+        let auto_cfg = config.solver(EngineSolver::Auto(gssl_linalg::SolverPolicy::default()));
+        let mut auto = ServingEngine::fit(&points, &labels, auto_cfg).unwrap();
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-6));
+
+        // Label arrival without an inverse: the exactly-maintained system
+        // is re-solved and stays consistent with the direct twin.
+        let mut direct = direct;
+        direct.observe_label(70, 1.0).unwrap();
+        auto.observe_label(70, 1.0).unwrap();
+        assert!(auto.scores().approx_eq(direct.scores(), 1e-6));
+        assert!(auto.residual().unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn guarded_refactor_reuses_cached_system() {
+        // refactor_every(1) forces the guarded fallback after every
+        // update; the fallback factors the rank-1-maintained cached
+        // system without reassembly, so it must agree with an explicitly
+        // refitted twin to tight tolerance.
+        let mut engine = ServingEngine::fit(
+            &line_points(7),
+            &[0.0, 1.0],
+            hard_config().refactor_every(1),
+        )
+        .unwrap();
+        let mut twin = ServingEngine::fit(&line_points(7), &[0.0, 1.0], hard_config()).unwrap();
+        for (node, y) in [(3, 1.0), (5, 0.0)] {
+            engine.observe_label(node, y).unwrap();
+            twin.observe_label(node, y).unwrap();
+            twin.refit().unwrap();
+            assert!(engine.scores().approx_eq(twin.scores(), 1e-10));
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod pool;
 #[cfg(feature = "strict-checks")]
 pub mod sim;
 
-pub use config::{EngineConfig, ServeCriterion};
+pub use config::{EngineConfig, EngineSolver, ServeCriterion};
 pub use engine::{Prediction, QueryPoint, ServingEngine};
 pub use error::{Error, Result};
 pub use metrics::MetricsSnapshot;

@@ -155,3 +155,35 @@ fn interleaved_observe_and_predict_match_serial_refit_twin() {
     let final_engine = shared.into_inner().expect("into_inner");
     assert_eq!(final_engine.n_labeled(), n_labeled + ROUNDS);
 }
+
+/// The guarded-refactor fallback re-factors the rank-1-maintained cached
+/// system without reassembling it from the graph. Forcing that path on
+/// every update (`refactor_every(1)`) must still track a serial twin that
+/// does a full rebuild-from-scratch refit after each label, to 1e-10 —
+/// i.e. the cached system/rhs stay exactly equal to a fresh assembly.
+#[test]
+fn guarded_refactor_matches_full_refit_twin() {
+    let ssl = moons(40, 8, 13);
+    let n_labeled = ssl.n_labeled();
+    let queries = query_grid();
+    let updates: Vec<(usize, f64)> = (0..ROUNDS)
+        .map(|r| (n_labeled + r, ssl.hidden_targets[r]))
+        .collect();
+
+    let base = EngineConfig::new(Kernel::Gaussian, BANDWIDTH).workers(1);
+    let mut guarded = ServingEngine::fit(&ssl.inputs, &ssl.labels, base.clone().refactor_every(1))
+        .expect("guarded fit");
+    let mut twin =
+        ServingEngine::fit(&ssl.inputs, &ssl.labels, base.refactor_every(0)).expect("twin fit");
+
+    for (round, &(node, y)) in updates.iter().enumerate() {
+        guarded.observe_label(node, y).expect("guarded observe");
+        twin.observe_label(node, y).expect("twin observe");
+        twin.refit().expect("twin refit");
+        let got = guarded.predict_batch(&queries).expect("guarded predict");
+        let want = twin.predict_batch(&queries).expect("twin predict");
+        assert_close(round, &got, &want);
+    }
+    // Every update triggered the periodic guard exactly once.
+    assert_eq!(guarded.metrics().guarded_refactors, ROUNDS);
+}

@@ -322,6 +322,27 @@ fn has_doc_above(source: &SourceFile, item_line: usize) -> bool {
         if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
             continue; // attribute between doc and item
         }
+        // rustfmt splits long attributes across lines; a closing `)]` is
+        // the tail of one. Hop to the `#[` opener and keep walking.
+        if trimmed.ends_with(")]") || trimmed == "]" {
+            let mut j = i;
+            let mut opener = None;
+            while j > 0 {
+                j -= 1;
+                let above = source.lines[j].code.trim();
+                if above.starts_with("#[") || above.starts_with("#![") {
+                    opener = Some(j);
+                    break;
+                }
+                if above.is_empty() || source.lines[j].is_doc {
+                    break;
+                }
+            }
+            if let Some(j) = opener {
+                i = j + 1; // the loop's decrement lands on the opener
+                continue;
+            }
+        }
         return line.is_doc;
     }
     false
@@ -568,6 +589,24 @@ mod tests {
     fn doc_through_attributes() {
         let out = run_all("x.rs", "/// doc\n#[derive(Debug)]\npub struct S;");
         assert!(out.violations.iter().all(|v| v.rule != Rule::MissingDoc));
+    }
+
+    #[test]
+    fn doc_through_multiline_attribute() {
+        let src = "/// doc\n#[deprecated(\n    since = \"0.5.0\",\n    \
+                   note = \"use the other one\"\n)]\n#[derive(Debug)]\npub struct S;";
+        let out = run_all("x.rs", src);
+        assert!(out.violations.iter().all(|v| v.rule != Rule::MissingDoc));
+        let undocumented = "#[deprecated(\n    since = \"0.5.0\",\n    \
+                            note = \"use the other one\"\n)]\npub struct S;";
+        let out = run_all("x.rs", undocumented);
+        assert_eq!(
+            out.violations
+                .iter()
+                .filter(|v| v.rule == Rule::MissingDoc)
+                .count(),
+            1
+        );
     }
 
     #[test]

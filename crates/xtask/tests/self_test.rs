@@ -112,8 +112,8 @@ fn analyze_real_workspace_is_baseline_clean() {
     // Every committed baseline entry must still be live — the ratchet
     // reports both regressions (counts up) and staleness (counts down).
     assert_eq!(
-        report.suppressed, 9,
-        "baseline drifted from the committed 9 entries"
+        report.suppressed, 8,
+        "baseline drifted from the committed 8 entries"
     );
 }
 

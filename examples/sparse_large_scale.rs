@@ -7,7 +7,7 @@
 //! cargo run --release --example sparse_large_scale
 //! ```
 
-use gssl::SparseProblem;
+use gssl::{HardCriterion, HardSolver, LabelPropagation, Problem};
 use gssl_datasets::synthetic::two_moons;
 use gssl_graph::{knn_graph, Kernel, Symmetrization};
 use gssl_linalg::CgOptions;
@@ -38,18 +38,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * graph.nnz() as f64 / (total * total) as f64
     );
 
-    let problem = SparseProblem::new(graph, ssl.labels.clone())?;
+    // The unified Problem holds the CSR graph directly; every criterion
+    // below runs matrix-free on it.
+    let problem = Problem::new(graph, ssl.labels.clone())?;
     let truth = ssl.hidden_targets_binary();
 
     let t1 = Instant::now();
-    let cg_scores = problem.solve_hard(&CgOptions::default())?;
+    let cg_scores = HardCriterion::new()
+        .solver(HardSolver::ConjugateGradient(CgOptions::default()))
+        .fit(&problem)?;
     let cg_time = t1.elapsed();
 
     // Jacobi sweeps converge slowly on long chain-like manifolds (the
     // spectral gap is tiny), so this takes thousands of sweeps where CG
     // needs a few hundred matvecs — which is the point of the comparison.
     let t2 = Instant::now();
-    let (prop_scores, sweeps) = problem.propagate(200_000, 1e-8)?;
+    let (prop_scores, sweeps) = LabelPropagation::new()
+        .max_iterations(200_000)
+        .tolerance(1e-8)
+        .fit_with_iterations(&problem)?;
     let prop_time = t2.elapsed();
 
     let accuracy = |scores: &gssl::Scores| {

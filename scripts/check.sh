@@ -33,4 +33,9 @@ cargo test -q --features strict-checks
 echo "== serve_demo smoke run"
 cargo run --release -q -p gssl-bench --bin serve_demo >/dev/null
 
+echo "== policy_demo smoke run"
+# Exercises the SolverPolicy selector end to end; the binary exits
+# nonzero when any backend's solve residual exceeds its threshold.
+cargo run --release -q -p gssl-bench --bin policy_demo -- --json >/dev/null
+
 echo "All checks passed."

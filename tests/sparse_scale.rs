@@ -1,14 +1,15 @@
 //! Integration tests of the sparse, matrix-free solver path at sizes
-//! where the dense path would allocate hundreds of MB.
+//! where the dense path would allocate hundreds of MB — now expressed
+//! through the unified `Problem` holding CSR weights.
 
-use gssl::{Problem, SparseProblem};
+use gssl::{HardCriterion, HardSolver, LabelPropagation, Problem};
 use gssl_datasets::synthetic::two_moons;
 use gssl_graph::{knn_graph, Kernel, Symmetrization};
 use gssl_linalg::CgOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn moons_sparse(total: usize, k: usize) -> (SparseProblem, Vec<bool>) {
+fn moons_sparse(total: usize, k: usize) -> (Problem, Vec<bool>) {
     let mut rng = StdRng::seed_from_u64(77);
     let ds = two_moons(total, 0.05, &mut rng).expect("generation");
     let ssl = ds.arrange(&[total / 4, 3 * total / 4]).expect("labels");
@@ -16,15 +17,21 @@ fn moons_sparse(total: usize, k: usize) -> (SparseProblem, Vec<bool>) {
         knn_graph(&ssl.inputs, k, Kernel::Gaussian, 0.2, Symmetrization::Union).expect("knn graph");
     let truth = ssl.hidden_targets_binary();
     (
-        SparseProblem::new(graph, ssl.labels.clone()).expect("valid problem"),
+        Problem::new(graph, ssl.labels.clone()).expect("valid problem"),
         truth,
     )
+}
+
+fn cg_solver(options: CgOptions) -> HardCriterion {
+    HardCriterion::new().solver(HardSolver::ConjugateGradient(options))
 }
 
 #[test]
 fn sparse_cg_solves_large_two_moons() {
     let (problem, truth) = moons_sparse(2000, 10);
-    let scores = problem.solve_hard(&CgOptions::default()).expect("cg solve");
+    let scores = cg_solver(CgOptions::default())
+        .fit(&problem)
+        .expect("cg solve");
     let accuracy = scores
         .unlabeled_predictions(0.5)
         .iter()
@@ -38,13 +45,17 @@ fn sparse_cg_solves_large_two_moons() {
 #[test]
 fn sparse_propagation_agrees_with_cg_at_scale() {
     let (problem, _) = moons_sparse(1500, 10);
-    let cg = problem
-        .solve_hard(&CgOptions {
-            tolerance: 1e-11,
-            ..CgOptions::default()
-        })
-        .expect("cg solve");
-    let (prop, sweeps) = problem.propagate(0, 1e-11).expect("propagation");
+    let cg = cg_solver(CgOptions {
+        tolerance: 1e-11,
+        ..CgOptions::default()
+    })
+    .fit(&problem)
+    .expect("cg solve");
+    let (prop, sweeps) = LabelPropagation::new()
+        .max_iterations(100_000)
+        .tolerance(1e-11)
+        .fit_with_iterations(&problem)
+        .expect("propagation");
     assert!(sweeps > 1);
     let gap = cg
         .unlabeled()
@@ -63,15 +74,15 @@ fn sparse_and_dense_paths_agree_on_moderate_graph() {
         sparse_problem.labels().to_vec(),
     )
     .expect("dense problem");
-    let dense = gssl::HardCriterion::new()
+    let dense = HardCriterion::new()
         .fit(&dense_problem)
         .expect("dense solve");
-    let sparse = sparse_problem
-        .solve_hard(&CgOptions {
-            tolerance: 1e-12,
-            ..CgOptions::default()
-        })
-        .expect("sparse solve");
+    let sparse = cg_solver(CgOptions {
+        tolerance: 1e-12,
+        ..CgOptions::default()
+    })
+    .fit(&sparse_problem)
+    .expect("sparse solve");
     let gap = dense
         .unlabeled()
         .iter()
@@ -84,7 +95,9 @@ fn sparse_and_dense_paths_agree_on_moderate_graph() {
 #[test]
 fn sparse_scores_obey_maximum_principle() {
     let (problem, _) = moons_sparse(800, 12);
-    let scores = problem.solve_hard(&CgOptions::default()).expect("solve");
+    let scores = cg_solver(CgOptions::default())
+        .fit(&problem)
+        .expect("solve");
     for &s in scores.unlabeled() {
         assert!((-1e-8..=1.0 + 1e-8).contains(&s), "score {s} out of range");
     }
