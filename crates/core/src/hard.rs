@@ -68,6 +68,7 @@ pub enum HardSolver {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HardCriterion {
     solver: HardSolver,
+    executor: gssl_runtime::Executor,
 }
 
 impl HardCriterion {
@@ -83,9 +84,23 @@ impl HardCriterion {
         self
     }
 
+    /// Runs the factorization (and, for CG, the solves' matvecs) on
+    /// `executor`. Scores stay bit-identical to the sequential fit at any
+    /// worker count.
+    #[must_use]
+    pub fn with_executor(mut self, executor: gssl_runtime::Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// Borrows the configured backend.
     pub fn solver_kind(&self) -> &HardSolver {
         &self.solver
+    }
+
+    /// Borrows the executor the factorization runs on.
+    pub fn executor(&self) -> &gssl_runtime::Executor {
+        &self.executor
     }
 
     /// Resolves the configured solver to a factored backend for this
@@ -95,17 +110,33 @@ impl HardCriterion {
     /// holds.
     fn factor_for(&self, problem: &Problem) -> Result<SolverBackend> {
         match &self.solver {
-            HardSolver::Cholesky => Ok(SolverBackend::Cholesky(Cholesky::factor(
+            HardSolver::Cholesky => Ok(SolverBackend::Cholesky(Cholesky::factor_with(
                 &problem.unlabeled_system()?,
+                &self.executor,
             )?)),
-            HardSolver::Lu => Ok(SolverBackend::Lu(Lu::factor(&problem.unlabeled_system()?)?)),
+            HardSolver::Lu => Ok(SolverBackend::Lu(Lu::factor_with(
+                &problem.unlabeled_system()?,
+                &self.executor,
+            )?)),
             HardSolver::ConjugateGradient(options) => Ok(SolverBackend::Cg(
-                JacobiCg::factor_sparse(&problem.unlabeled_system_csr()?, options.clone())?,
+                JacobiCg::factor_sparse(&problem.unlabeled_system_csr()?, options.clone())?
+                    .with_executor(self.executor.clone()),
             )),
-            HardSolver::Auto(policy) => match problem.weights() {
-                Weights::Dense(_) => Ok(policy.factor_dense(&problem.unlabeled_system()?)?),
-                Weights::Sparse(_) => Ok(policy.factor_sparse(&problem.unlabeled_system_csr()?)?),
-            },
+            HardSolver::Auto(policy) => {
+                // The criterion's executor wins when one was set; otherwise
+                // the policy keeps whatever executor it was built with.
+                let policy = if self.executor.is_sequential() {
+                    policy.clone()
+                } else {
+                    policy.clone().with_executor(self.executor.clone())
+                };
+                match problem.weights() {
+                    Weights::Dense(_) => Ok(policy.factor_dense(&problem.unlabeled_system()?)?),
+                    Weights::Sparse(_) => {
+                        Ok(policy.factor_sparse(&problem.unlabeled_system_csr()?)?)
+                    }
+                }
+            }
             HardSolver::Propagation(_) => Err(Error::InvalidParameter {
                 message: "the propagation backend solves iteratively and has no factorization"
                     .to_owned(),
@@ -359,6 +390,43 @@ mod tests {
                     (inv.get(a, b) - expected).abs() < 1e-12,
                     "inverse entry ({a},{b}) = {} != {expected}",
                     inv.get(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executor_leaves_fit_bit_identical() {
+        // A dense anchored problem large enough to cross the LU/Cholesky
+        // panel width, so the parallel trailing updates actually run.
+        let size = 72;
+        let n = 12;
+        let w = Matrix::from_fn(size, size, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                (-(((i as f64) - (j as f64)) / 10.0).powi(2)).exp()
+            }
+        });
+        let labels: Vec<f64> = (0..n).map(|i| f64::from(i as u8 % 2)).collect();
+        let p = Problem::new(w, labels).unwrap();
+        for solver in [
+            HardSolver::Cholesky,
+            HardSolver::Lu,
+            HardSolver::ConjugateGradient(CgOptions::default()),
+            HardSolver::Auto(SolverPolicy::default()),
+        ] {
+            let reference = HardCriterion::new().solver(solver.clone()).fit(&p).unwrap();
+            for workers in [1, 2, 4] {
+                let scores = HardCriterion::new()
+                    .solver(solver.clone())
+                    .with_executor(gssl_runtime::Executor::with_workers(workers))
+                    .fit(&p)
+                    .unwrap();
+                assert_eq!(
+                    scores.unlabeled(),
+                    reference.unlabeled(),
+                    "{solver:?} at {workers} workers diverged"
                 );
             }
         }

@@ -62,6 +62,7 @@ impl MulticlassScores {
 pub struct OneVsRest<M> {
     model: M,
     class_count: usize,
+    executor: gssl_runtime::Executor,
 }
 
 impl<M: TransductiveModel> OneVsRest<M> {
@@ -76,15 +77,32 @@ impl<M: TransductiveModel> OneVsRest<M> {
                 message: format!("multiclass needs >= 2 classes, got {class_count}"),
             });
         }
-        Ok(OneVsRest { model, class_count })
+        Ok(OneVsRest {
+            model,
+            class_count,
+            executor: gssl_runtime::Executor::default(),
+        })
     }
 
     /// Borrows the wrapped binary model.
     pub fn model(&self) -> &M {
         &self.model
     }
+}
 
-    /// Fits one indicator problem per class.
+impl<M: TransductiveModel + Sync> OneVsRest<M> {
+    /// Fits classes as parallel tasks on `executor` — one indicator
+    /// problem per task. Scores are bit-identical to the sequential fit:
+    /// every class is solved by exactly one worker with the sequential
+    /// code, and columns are assembled in class order.
+    #[must_use]
+    pub fn with_executor(mut self, executor: gssl_runtime::Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Fits one indicator problem per class (in parallel when an executor
+    /// was attached with [`OneVsRest::with_executor`]).
     ///
     /// `class_labels[i]` is the class of labeled vertex `i` and must be
     /// `< class_count`.
@@ -93,7 +111,9 @@ impl<M: TransductiveModel> OneVsRest<M> {
     ///
     /// * [`Error::InvalidProblem`] when labels are out of range or counts
     ///   mismatch the weight matrix.
-    /// * Propagates per-class fitting errors from the wrapped model.
+    /// * Propagates per-class fitting errors from the wrapped model (the
+    ///   lowest-class error wins under parallel execution, matching the
+    ///   sequential loop's first failure).
     pub fn fit(&self, weights: &Matrix, class_labels: &[usize]) -> Result<MulticlassScores> {
         if let Some(&bad) = class_labels.iter().find(|&&c| c >= self.class_count) {
             return Err(Error::InvalidProblem {
@@ -105,15 +125,18 @@ impl<M: TransductiveModel> OneVsRest<M> {
         }
         let n = class_labels.len();
         let total = weights.rows();
-        let mut scores = Matrix::zeros(total, self.class_count);
-        for class in 0..self.class_count {
+        let classes: Vec<usize> = (0..self.class_count).collect();
+        let columns: Vec<Vec<f64>> = self.executor.map(&classes, |_, &class| {
             let indicator: Vec<f64> = class_labels
                 .iter()
                 .map(|&c| if c == class { 1.0 } else { 0.0 })
                 .collect();
             let problem = Problem::new(weights.clone(), indicator)?;
-            let class_scores = self.model.fit(&problem)?;
-            for (i, &s) in class_scores.all().iter().enumerate() {
+            Ok::<_, Error>(self.model.fit(&problem)?.all().to_vec())
+        })?;
+        let mut scores = Matrix::zeros(total, self.class_count);
+        for (class, column) in columns.iter().enumerate() {
+            for (i, &s) in column.iter().enumerate() {
                 scores.set(i, class, s);
             }
         }
@@ -251,6 +274,28 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_one_vs_rest_is_bit_identical_to_sequential() {
+        let (w, labels) = three_cluster_weights();
+        let sequential = OneVsRest::new(HardCriterion::new(), 3)
+            .unwrap()
+            .fit(&w, &labels)
+            .unwrap();
+        for workers in [1, 2, 4] {
+            let parallel = OneVsRest::new(HardCriterion::new(), 3)
+                .unwrap()
+                .with_executor(gssl_runtime::Executor::with_workers(workers))
+                .fit(&w, &labels)
+                .unwrap();
+            assert_eq!(
+                parallel.scores().as_slice(),
+                sequential.scores().as_slice(),
+                "{workers} workers diverged"
+            );
+            assert_eq!(parallel.predictions(), sequential.predictions());
         }
     }
 

@@ -5,6 +5,13 @@ use crate::bandwidth::{squared_distance, Bandwidth};
 use crate::error::{Error, Result};
 use crate::kernel::Kernel;
 use gssl_linalg::Matrix;
+use gssl_runtime::Executor;
+
+/// Row-block width used by the parallel assembly paths: a few blocks per
+/// worker so stragglers even out without shredding cache locality.
+fn row_block(rows: usize, executor: &Executor) -> usize {
+    rows.div_ceil(executor.workers().saturating_mul(4)).max(1)
+}
 
 /// Pairwise squared-distance matrix of a point set (rows are points).
 ///
@@ -42,6 +49,50 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
     Ok(out)
 }
 
+/// [`pairwise_squared_distances`] with the row loop sharded across
+/// `executor`, producing a matrix **bit-identical** to the sequential one.
+///
+/// Each worker computes the strict upper-triangle tail of a block of rows
+/// — every `d²(i, j)` by the same `squared_distance` call as the
+/// sequential path — and the tails are mirrored into the matrix in row
+/// order afterwards, so worker count never changes a single bit.
+///
+/// # Errors
+///
+/// Same as [`pairwise_squared_distances`].
+/// shape: (points.rows, points.rows)
+pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> Result<Matrix> {
+    if executor.is_sequential() {
+        return pairwise_squared_distances(points);
+    }
+    let n = points.rows();
+    if n == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one point",
+        });
+    }
+    let tails: Vec<Vec<f64>> = executor.map_chunks(n, row_block(n, executor), |range| {
+        let mut rows = Vec::with_capacity(range.len());
+        for i in range {
+            let mut tail = Vec::with_capacity(n - i - 1);
+            for j in (i + 1)..n {
+                tail.push(squared_distance(points.row(i), points.row(j)));
+            }
+            rows.push(tail);
+        }
+        Ok::<_, Error>(rows)
+    })?;
+    let mut out = Matrix::zeros(n, n);
+    for (i, tail) in tails.iter().enumerate() {
+        for (offset, &d2) in tail.iter().enumerate() {
+            let j = i + 1 + offset;
+            out.set(i, j, d2);
+            out.set(j, i, d2);
+        }
+    }
+    Ok(out)
+}
+
 /// Builds the dense affinity matrix `W` for `points` (rows are points)
 /// using `kernel` at a concrete `bandwidth`.
 ///
@@ -60,6 +111,26 @@ pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Resul
     }
     let d2 = pairwise_squared_distances(points)?;
     affinity_from_distances(&d2, kernel, bandwidth)
+}
+
+/// [`affinity_matrix`] with both the distance and kernel passes sharded
+/// across `executor`; output bit-identical to the sequential one.
+///
+/// # Errors
+///
+/// Same as [`affinity_matrix`].
+/// shape: (points.rows, points.rows)
+pub fn affinity_matrix_with(
+    points: &Matrix,
+    kernel: Kernel,
+    bandwidth: f64,
+    executor: &Executor,
+) -> Result<Matrix> {
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
+    let d2 = pairwise_squared_distances_with(points, executor)?;
+    affinity_from_distances_with(&d2, kernel, bandwidth, executor)
 }
 
 /// Builds the affinity matrix from a precomputed squared-distance matrix.
@@ -93,6 +164,61 @@ pub fn affinity_from_distances(
         w.set(i, i, kernel.weight(0.0, bandwidth)?);
         for j in (i + 1)..n {
             let weight = kernel.weight(squared_distances.get(i, j), bandwidth)?;
+            w.set(i, j, weight);
+            w.set(j, i, weight);
+        }
+    }
+    Ok(w)
+}
+
+/// [`affinity_from_distances`] with the kernel evaluation sharded across
+/// `executor`; output bit-identical to the sequential one.
+///
+/// Each worker evaluates `kernel.weight` over the upper-triangle tail of a
+/// block of rows (plus the row's diagonal `K(0)`), in the same order as
+/// the sequential double loop; the tails are then mirrored in row order.
+///
+/// # Errors
+///
+/// Same as [`affinity_from_distances`].
+/// shape: (squared_distances.rows, squared_distances.cols)
+pub fn affinity_from_distances_with(
+    squared_distances: &Matrix,
+    kernel: Kernel,
+    bandwidth: f64,
+    executor: &Executor,
+) -> Result<Matrix> {
+    if executor.is_sequential() {
+        return affinity_from_distances(squared_distances, kernel, bandwidth);
+    }
+    if !squared_distances.is_square() {
+        return Err(Error::InvalidArgument {
+            message: format!(
+                "squared-distance matrix must be square, got {}x{}",
+                squared_distances.rows(),
+                squared_distances.cols()
+            ),
+        });
+    }
+    let n = squared_distances.rows();
+    // Per row: the diagonal weight K(0) followed by the strict upper tail.
+    let tails: Vec<Vec<f64>> = executor.map_chunks(n, row_block(n, executor), |range| {
+        let mut rows = Vec::with_capacity(range.len());
+        for i in range {
+            let mut tail = Vec::with_capacity(n - i);
+            tail.push(kernel.weight(0.0, bandwidth)?);
+            for j in (i + 1)..n {
+                tail.push(kernel.weight(squared_distances.get(i, j), bandwidth)?);
+            }
+            rows.push(tail);
+        }
+        Ok::<_, Error>(rows)
+    })?;
+    let mut w = Matrix::zeros(n, n);
+    for (i, tail) in tails.iter().enumerate() {
+        w.set(i, i, tail[0]);
+        for (offset, &weight) in tail[1..].iter().enumerate() {
+            let j = i + 1 + offset;
             w.set(i, j, weight);
             w.set(j, i, weight);
         }
@@ -193,6 +319,46 @@ mod tests {
         let w_direct = affinity_matrix(&pts, Kernel::Epanechnikov, 2.0).unwrap();
         let w_cached = affinity_from_distances(&d2, Kernel::Epanechnikov, 2.0).unwrap();
         assert!(w_direct.approx_eq(&w_cached, 0.0));
+    }
+
+    #[test]
+    fn parallel_assembly_is_bit_identical_to_sequential() {
+        use gssl_runtime::Executor;
+        // Enough rows for several chunks per worker.
+        let pts = Matrix::from_fn(60, 3, |i, j| ((i * 7 + j * 3) as f64 * 0.31).sin());
+        let d2 = pairwise_squared_distances(&pts).unwrap();
+        let w = affinity_matrix(&pts, Kernel::Gaussian, 0.7).unwrap();
+        for workers in [1, 2, 3, 4] {
+            let executor = Executor::with_workers(workers);
+            let d2_par = pairwise_squared_distances_with(&pts, &executor).unwrap();
+            assert_eq!(d2_par.as_slice(), d2.as_slice(), "d2 at {workers} workers");
+            let w_par = affinity_matrix_with(&pts, Kernel::Gaussian, 0.7, &executor).unwrap();
+            assert_eq!(w_par.as_slice(), w.as_slice(), "W at {workers} workers");
+            let w_cached =
+                affinity_from_distances_with(&d2, Kernel::Gaussian, 0.7, &executor).unwrap();
+            assert_eq!(w_cached.as_slice(), w.as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_assembly_propagates_validation_errors() {
+        use gssl_runtime::Executor;
+        let executor = Executor::with_workers(2);
+        assert!(matches!(
+            affinity_matrix_with(&triangle(), Kernel::Gaussian, 0.0, &executor),
+            Err(Error::InvalidBandwidth { .. })
+        ));
+        assert!(matches!(
+            pairwise_squared_distances_with(&Matrix::zeros(0, 2), &executor),
+            Err(Error::EmptyInput { .. })
+        ));
+        assert!(affinity_from_distances_with(
+            &Matrix::zeros(2, 3),
+            Kernel::Gaussian,
+            1.0,
+            &executor
+        )
+        .is_err());
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl From<gssl_linalg::Error> for Error {
     }
 }
 
+impl From<gssl_runtime::Error> for Error {
+    fn from(inner: gssl_runtime::Error) -> Self {
+        // Runtime failures (zero chunk width, a lost batch slot) are
+        // configuration/protocol problems, not graph-construction ones.
+        Error::InvalidArgument {
+            message: inner.to_string(),
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 

@@ -9,7 +9,7 @@
 //! w(x, x_N)]` evaluated with the same kernel and bandwidth the graph was
 //! fitted with — that is what [`KernelGraph::kernel_row`] provides.
 
-use crate::affinity::affinity_matrix;
+use crate::affinity::{affinity_matrix, affinity_matrix_with};
 use crate::error::{Error, Result};
 use crate::kernel::Kernel;
 use gssl_linalg::{Matrix, Vector};
@@ -116,6 +116,18 @@ impl KernelGraph {
     /// shape: (n, n)
     pub fn weights(&self) -> Result<Matrix> {
         affinity_matrix(&self.points, self.kernel, self.bandwidth)
+    }
+
+    /// [`KernelGraph::weights`] assembled on `executor`: row blocks of the
+    /// affinity matrix are computed in parallel, with output bit-identical
+    /// to the sequential path at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelGraph::weights`].
+    /// shape: (n, n)
+    pub fn weights_with(&self, executor: &gssl_runtime::Executor) -> Result<Matrix> {
+        affinity_matrix_with(&self.points, self.kernel, self.bandwidth, executor)
     }
 
     /// The kernel row of a new point `x`: `[w(x, x₁), …, w(x, x_N)]`,
@@ -238,6 +250,18 @@ mod tests {
             graph.kernel_row(&[1.0, f64::INFINITY]),
             Err(Error::InvalidArgument { .. })
         ));
+    }
+
+    #[test]
+    fn weights_with_matches_sequential_weights() {
+        let pts = Matrix::from_fn(40, 2, |i, j| ((i * 9 + j * 4) as f64 * 0.23).sin());
+        let graph = KernelGraph::fit(pts, Kernel::Gaussian, 0.6).unwrap();
+        let w = graph.weights().unwrap();
+        for workers in [1, 2, 4] {
+            let executor = gssl_runtime::Executor::with_workers(workers);
+            let w_par = graph.weights_with(&executor).unwrap();
+            assert_eq!(w_par.as_slice(), w.as_slice(), "{workers} workers");
+        }
     }
 
     #[test]

@@ -67,9 +67,76 @@ pub fn knn_graph(
         neighbors.push(dists[..k].iter().map(|&(j, _)| j).collect());
     }
 
+    symmetrize_knn(points, &neighbors, kernel, bandwidth, symmetrization)
+}
+
+/// [`knn_graph`] with the neighbour search sharded across `executor`,
+/// producing a graph **bit-identical** to the sequential one.
+///
+/// Only the `O(n² d + n² log n)` per-row distance-sort is parallel: each
+/// worker resolves the k nearest of a block of rows with exactly the
+/// sequential code (the total-order sort is deterministic), and the
+/// symmetrization walks the directed lists in row order afterwards.
+///
+/// # Errors
+///
+/// Same as [`knn_graph`].
+/// shape: (points.rows, points.rows)
+pub fn knn_graph_with(
+    points: &Matrix,
+    k: usize,
+    kernel: Kernel,
+    bandwidth: f64,
+    symmetrization: Symmetrization,
+    executor: &gssl_runtime::Executor,
+) -> Result<CsrMatrix> {
+    if executor.is_sequential() {
+        return knn_graph(points, k, kernel, bandwidth, symmetrization);
+    }
+    let n = points.rows();
+    if n == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one point",
+        });
+    }
+    if k == 0 || k >= n {
+        return Err(Error::InvalidArgument {
+            message: format!("k must satisfy 1 <= k < n (= {n}), got {k}"),
+        });
+    }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
+
+    let block = n.div_ceil(executor.workers().saturating_mul(4)).max(1);
+    let neighbors: Vec<Vec<usize>> = executor.map_chunks(n, block, |range| {
+        let mut rows = Vec::with_capacity(range.len());
+        for i in range {
+            let mut dists: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, squared_distance(points.row(i), points.row(j))))
+                .collect();
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+            rows.push(dists[..k].iter().map(|&(j, _)| j).collect());
+        }
+        Ok::<_, Error>(rows)
+    })?;
+    symmetrize_knn(points, &neighbors, kernel, bandwidth, symmetrization)
+}
+
+/// Shared tail of the kNN builders: turns the directed neighbour relation
+/// into a symmetric weighted CSR graph (sequentially, in row order).
+fn symmetrize_knn(
+    points: &Matrix,
+    neighbors: &[Vec<usize>],
+    kernel: Kernel,
+    bandwidth: f64,
+    symmetrization: Symmetrization,
+) -> Result<CsrMatrix> {
+    let n = neighbors.len();
     let mut triplets = Vec::new();
-    for i in 0..n {
-        for &j in &neighbors[i] {
+    for (i, nbrs) in neighbors.iter().enumerate() {
+        for &j in nbrs {
             let keep = match symmetrization {
                 Symmetrization::Union => true,
                 Symmetrization::Mutual => neighbors[j].contains(&i),
@@ -264,6 +331,45 @@ mod tests {
         assert!(epsilon_graph(&pts, 0.0, Kernel::Gaussian, 1.0).is_err());
         assert!(epsilon_graph(&pts, 1.0, Kernel::Gaussian, -1.0).is_err());
         assert!(epsilon_graph(&Matrix::zeros(0, 1), 1.0, Kernel::Gaussian, 1.0).is_err());
+    }
+
+    #[test]
+    fn parallel_knn_is_bit_identical_to_sequential() {
+        use gssl_runtime::Executor;
+        let pts = Matrix::from_fn(48, 2, |i, j| ((i * 13 + j * 5) as f64 * 0.47).cos());
+        for symmetrization in [Symmetrization::Union, Symmetrization::Mutual] {
+            let sequential = knn_graph(&pts, 4, Kernel::Gaussian, 0.9, symmetrization).unwrap();
+            for workers in [1, 2, 4] {
+                let executor = Executor::with_workers(workers);
+                let parallel =
+                    knn_graph_with(&pts, 4, Kernel::Gaussian, 0.9, symmetrization, &executor)
+                        .unwrap();
+                assert_eq!(parallel.nnz(), sequential.nnz());
+                assert_eq!(
+                    parallel.to_dense().as_slice(),
+                    sequential.to_dense().as_slice(),
+                    "kNN graph differs at {workers} workers ({symmetrization:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_knn_validates_arguments() {
+        use gssl_runtime::Executor;
+        let pts = line_points();
+        let executor = Executor::with_workers(2);
+        for bad_k in [0, 5] {
+            assert!(knn_graph_with(
+                &pts,
+                bad_k,
+                Kernel::Gaussian,
+                1.0,
+                Symmetrization::Union,
+                &executor
+            )
+            .is_err());
+        }
     }
 
     #[test]

@@ -77,6 +77,117 @@ impl Cholesky {
         Ok(Cholesky { lower: l })
     }
 
+    /// Factorizes a symmetric positive-definite matrix with trailing-block
+    /// updates parallelized across `executor`, producing a factor
+    /// **bit-identical** to [`Cholesky::factor`].
+    ///
+    /// The algorithm is a right-looking blocked factorization over a
+    /// working copy of `a`: each panel of [`Self::PANEL_WIDTH`] columns is
+    /// factored sequentially, then every trailing row subtracts the
+    /// panel's outer products independently — one worker per row block,
+    /// reading a snapshot of the panel's `L` columns so no worker reads a
+    /// row another is writing. Bit-identity holds because each element's
+    /// value sees exactly the left-looking sequence of operations: the
+    /// subtractions `l[i][k] · l[j][k]` in globally increasing `k`, then
+    /// one division by the pivot (or one square root on the diagonal).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::factor`].
+    pub fn factor_with(a: &Matrix, executor: &gssl_runtime::Executor) -> Result<Self> {
+        if executor.is_sequential() {
+            return Cholesky::factor(a);
+        }
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        strict::check_finite_matrix("cholesky.factor input", a)?;
+        strict::check_symmetric("cholesky.factor input", a, STRICT_SYMMETRY_TOL)?;
+        let n = a.rows();
+        // Working copy: the lower triangle turns into L panel by panel;
+        // the upper triangle is never read and is zeroed at the end.
+        let mut w = a.clone();
+
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + Self::PANEL_WIDTH).min(n);
+            // Panel factorization: columns j0..j1 sequentially. Entries in
+            // these columns already carry the subtractions for k < j0 from
+            // earlier trailing updates, so only the within-panel k remain.
+            for j in j0..j1 {
+                let mut diag = w.get(j, j);
+                for k in j0..j {
+                    let v = w.get(j, k);
+                    diag -= v * v;
+                }
+                if !(diag > 0.0) || !diag.is_finite() {
+                    return Err(Error::NotPositiveDefinite { pivot: j });
+                }
+                let diag_sqrt = diag.sqrt();
+                w.set(j, j, diag_sqrt);
+                for i in (j + 1)..n {
+                    let mut sum = w.get(i, j);
+                    for k in j0..j {
+                        sum -= w.get(i, k) * w.get(j, k);
+                    }
+                    w.set(i, j, sum / diag_sqrt);
+                }
+            }
+            if j1 == n {
+                break;
+            }
+            // Snapshot the finished panel columns of the trailing rows
+            // (`L21`): trailing row i reads rows j >= j1 of this block
+            // while their owners write other columns of the same rows, so
+            // the read side must not alias the write side.
+            let pw = j1 - j0;
+            let mut l21 = vec![0.0; (n - j1) * pw];
+            for i in j1..n {
+                for k in j0..j1 {
+                    l21[(i - j1) * pw + (k - j0)] = w.get(i, k);
+                }
+            }
+            // Trailing update, parallel by row block: lower-triangle entry
+            // (i, j) with j >= j1 subtracts l[i][k] * l[j][k] for the
+            // panel's k in increasing order — the same operations, on the
+            // same running value, as the left-looking inner loop.
+            let trailing_rows = n - j1;
+            let block_rows = trailing_rows
+                .div_ceil(executor.workers().saturating_mul(4))
+                .max(1);
+            let data = w.as_mut_slice();
+            let tail = &mut data[j1 * n..];
+            let l21 = &l21[..];
+            executor.for_each_chunk_mut(tail, block_rows * n, |start, chunk| {
+                let first_row = j1 + start / n;
+                for (local, row) in chunk.chunks_mut(n).enumerate() {
+                    let i = first_row + local;
+                    let li = &l21[(i - j1) * pw..(i - j1 + 1) * pw];
+                    for (k_off, &lik) in li.iter().enumerate() {
+                        for (j, value) in row.iter_mut().enumerate().take(i + 1).skip(j1) {
+                            *value -= lik * l21[(j - j1) * pw + k_off];
+                        }
+                    }
+                }
+            })?;
+            j0 = j1;
+        }
+
+        // The sequential factor writes into a zero matrix; mirror that by
+        // clearing the never-read upper triangle of the working copy.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                w.set(i, j, 0.0);
+            }
+        }
+        Ok(Cholesky { lower: w })
+    }
+
+    /// Panel width of the blocked [`Cholesky::factor_with`] algorithm:
+    /// wide enough to amortize the sequential panel work, narrow enough
+    /// that trailing updates dominate and parallelize.
+    const PANEL_WIDTH: usize = 32;
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.lower.rows()
@@ -262,6 +373,43 @@ mod tests {
         assert!(matches!(
             Cholesky::factor(&Matrix::zeros(2, 2)),
             Err(Error::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn factor_with_is_bit_identical_to_sequential() {
+        // Larger than one 32-wide panel so the blocked path exercises both
+        // the panel loop and the parallel trailing update.
+        let n = 83;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) as f64 * 0.37).sin());
+        let mut a = b.transpose().matmul(&b).unwrap();
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64);
+        }
+        let sequential = Cholesky::factor(&a).unwrap();
+        for workers in [1, 2, 3, 4] {
+            let executor = gssl_runtime::Executor::with_workers(workers);
+            let parallel = Cholesky::factor_with(&a, &executor).unwrap();
+            assert_eq!(
+                parallel.lower().as_slice(),
+                sequential.lower().as_slice(),
+                "cholesky factor differs from sequential at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_with_propagates_indefiniteness() {
+        // Indefinite past the first panel: identity with one flipped
+        // diagonal entry deep in the matrix.
+        let n = 48;
+        let pivot = 40;
+        let mut a = Matrix::identity(n);
+        a.set(pivot, pivot, -1.0);
+        let executor = gssl_runtime::Executor::with_workers(3);
+        assert!(matches!(
+            Cholesky::factor_with(&a, &executor),
+            Err(Error::NotPositiveDefinite { pivot: p }) if p == pivot
         ));
     }
 

@@ -112,6 +112,16 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<gssl_runtime::Error> for Error {
+    fn from(inner: gssl_runtime::Error) -> Self {
+        // Runtime failures (zero chunk width, a lost batch slot) are
+        // configuration/protocol problems, not numerical ones.
+        Error::InvalidArgument {
+            message: inner.to_string(),
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -173,6 +183,16 @@ mod tests {
     fn error_is_std_error() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(Error::Singular { pivot: 0 });
+    }
+
+    #[test]
+    fn runtime_errors_convert_to_invalid_argument() {
+        let e: Error = gssl_runtime::Error::InvalidConfig {
+            message: "chunk width must be at least one item".into(),
+        }
+        .into();
+        assert!(matches!(e, Error::InvalidArgument { .. }));
+        assert!(e.to_string().contains("chunk width"));
     }
 
     #[test]

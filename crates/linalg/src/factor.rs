@@ -18,7 +18,8 @@ use crate::matrix::Matrix;
 use crate::ops::LinearOperator;
 use crate::sparse::CsrMatrix;
 use crate::strict;
-use crate::vector::Vector;
+use crate::vector::{dot_slices, Vector};
+use gssl_runtime::Executor;
 
 /// A factored (or factor-free iterative) linear system `A x = b`, ready to
 /// solve against many right-hand sides.
@@ -299,6 +300,53 @@ impl LinearOperator for CgSystem {
     }
 }
 
+/// A [`CgSystem`] whose matvec is sharded across an [`Executor`].
+///
+/// Each output element is one row's dot product, computed by exactly one
+/// worker with the same operations as the sequential
+/// `LinearOperator::apply` — so CG sees bit-identical iterates regardless
+/// of worker count.
+struct ShardedCgSystem<'a> {
+    system: &'a CgSystem,
+    executor: &'a Executor,
+}
+
+impl LinearOperator for ShardedCgSystem<'_> {
+    fn dim(&self) -> usize {
+        LinearOperator::dim(self.system)
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let rows = out.len();
+        let block = rows
+            .div_ceil(self.executor.workers().saturating_mul(4))
+            .max(1);
+        let sharded = self
+            .executor
+            .for_each_chunk_mut(out, block, |start, chunk| {
+                for (local, o) in chunk.iter_mut().enumerate() {
+                    let i = start + local;
+                    *o = match self.system {
+                        CgSystem::Dense(a) => dot_slices(a.row(i), x),
+                        CgSystem::Sparse(a) => {
+                            let mut sum = 0.0;
+                            for (j, v) in a.row_iter(i) {
+                                sum += v * x[j];
+                            }
+                            sum
+                        }
+                    };
+                }
+            });
+        if sharded.is_err() {
+            // `LinearOperator::apply` is infallible and the chunk width is
+            // always >= 1, so this arm is unreachable in practice; recompute
+            // sequentially rather than panic if it ever fires.
+            self.system.apply(x, out);
+        }
+    }
+}
+
 /// Jacobi-preconditioned conjugate-gradient backend.
 ///
 /// "Factoring" just validates the system and extracts the inverse diagonal
@@ -311,6 +359,7 @@ pub struct JacobiCg {
     system: CgSystem,
     inv_diag: Vec<f64>,
     options: CgOptions,
+    executor: Executor,
 }
 
 impl JacobiCg {
@@ -331,6 +380,7 @@ impl JacobiCg {
             system: CgSystem::Dense(a.clone()),
             inv_diag,
             options,
+            executor: Executor::default(),
         })
     }
 
@@ -352,12 +402,26 @@ impl JacobiCg {
             system: CgSystem::Sparse(a.clone()),
             inv_diag,
             options,
+            executor: Executor::default(),
         })
+    }
+
+    /// Runs every solve's matvecs on `executor` (row-sharded, with output
+    /// bit-identical to the sequential backend at any worker count).
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Borrows the stored system operator.
     pub fn system(&self) -> &CgSystem {
         &self.system
+    }
+
+    /// The executor the matvecs of every solve run on.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// The CG options every solve runs with.
@@ -386,8 +450,16 @@ impl Factorization for JacobiCg {
 
     /// shape: (b.len,)
     fn solve(&self, b: &Vector) -> Result<Vector> {
-        let out =
-            preconditioned_conjugate_gradient(&self.system, b, &self.inv_diag, &self.options)?;
+        if self.executor.is_sequential() {
+            let out =
+                preconditioned_conjugate_gradient(&self.system, b, &self.inv_diag, &self.options)?;
+            return Ok(out.solution);
+        }
+        let sharded = ShardedCgSystem {
+            system: &self.system,
+            executor: &self.executor,
+        };
+        let out = preconditioned_conjugate_gradient(&sharded, b, &self.inv_diag, &self.options)?;
         Ok(out.solution)
     }
 
@@ -492,6 +564,9 @@ pub struct SolverPolicy {
     pub symmetry_tolerance: f64,
     /// Options for the iterative backend's CG runs.
     pub cg: CgOptions,
+    /// Executor every selected backend factors (and, for CG, solves) on.
+    /// Sequential by default; parallel executors leave results bit-identical.
+    pub executor: Executor,
 }
 
 impl Default for SolverPolicy {
@@ -501,6 +576,7 @@ impl Default for SolverPolicy {
             density_threshold: 0.25,
             symmetry_tolerance: 1e-9,
             cg: CgOptions::default(),
+            executor: Executor::default(),
         }
     }
 }
@@ -534,6 +610,17 @@ impl SolverPolicy {
             cg,
             ..SolverPolicy::default()
         }
+    }
+
+    /// Runs every factorization this policy selects on `executor`.
+    ///
+    /// Backend choice is unaffected — only how the chosen backend computes.
+    /// Parallel executors keep factors and solves bit-identical to the
+    /// sequential ones.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Which backend [`SolverPolicy::factor_dense`] would pick for `a`.
@@ -579,17 +666,19 @@ impl SolverPolicy {
         match self.select_dense(a) {
             BackendKind::SparseCg => {
                 let csr = CsrMatrix::from_dense(a, 0.0);
-                Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
-                    &csr,
-                    self.cg.clone(),
-                )?))
+                Ok(SolverBackend::Cg(
+                    JacobiCg::factor_sparse(&csr, self.cg.clone())?
+                        .with_executor(self.executor.clone()),
+                ))
             }
-            BackendKind::DenseCholesky => match Cholesky::factor(a) {
+            BackendKind::DenseCholesky => match Cholesky::factor_with(a, &self.executor) {
                 Ok(f) => Ok(SolverBackend::Cholesky(f)),
-                Err(Error::NotPositiveDefinite { .. }) => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+                Err(Error::NotPositiveDefinite { .. }) => {
+                    Ok(SolverBackend::Lu(Lu::factor_with(a, &self.executor)?))
+                }
                 Err(e) => Err(e),
             },
-            BackendKind::DenseLu => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+            BackendKind::DenseLu => Ok(SolverBackend::Lu(Lu::factor_with(a, &self.executor)?)),
         }
     }
 
@@ -601,10 +690,9 @@ impl SolverPolicy {
     /// Same as [`SolverPolicy::factor_dense`].
     pub fn factor_sparse(&self, a: &CsrMatrix) -> Result<SolverBackend> {
         match self.select_sparse(a) {
-            BackendKind::SparseCg => Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
-                a,
-                self.cg.clone(),
-            )?)),
+            BackendKind::SparseCg => Ok(SolverBackend::Cg(
+                JacobiCg::factor_sparse(a, self.cg.clone())?.with_executor(self.executor.clone()),
+            )),
             _ => self.factor_dense(&a.to_dense()),
         }
     }
@@ -622,14 +710,16 @@ impl SolverPolicy {
             && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold
         {
             let csr = CsrMatrix::from_dense(a, 0.0);
-            return Ok(SolverBackend::Cg(JacobiCg::factor_sparse(
-                &csr,
-                self.cg.clone(),
-            )?));
+            return Ok(SolverBackend::Cg(
+                JacobiCg::factor_sparse(&csr, self.cg.clone())?
+                    .with_executor(self.executor.clone()),
+            ));
         }
-        match Cholesky::factor(a) {
+        match Cholesky::factor_with(a, &self.executor) {
             Ok(f) => Ok(SolverBackend::Cholesky(f)),
-            Err(Error::NotPositiveDefinite { .. }) => Ok(SolverBackend::Lu(Lu::factor(a)?)),
+            Err(Error::NotPositiveDefinite { .. }) => {
+                Ok(SolverBackend::Lu(Lu::factor_with(a, &self.executor)?))
+            }
             Err(e) => Err(e),
         }
     }
@@ -802,6 +892,51 @@ mod tests {
         let b = Vector::from(vec![1.0, 0.0]);
         let x = backend.solve(&b).unwrap();
         assert!(backend.residual(&x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn policy_with_executor_is_bit_identical_across_worker_counts() {
+        // Small dense SPD (Cholesky route) and large sparse (CG route):
+        // both must produce byte-for-byte the sequential solution.
+        for n in [40, 200] {
+            let a = spd_sample(n);
+            let b = rhs(n);
+            let sequential = SolverPolicy::default()
+                .factor_dense(&a)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            for workers in [1, 2, 4] {
+                let policy = SolverPolicy::default().with_executor(Executor::with_workers(workers));
+                let backend = policy.factor_dense(&a).unwrap();
+                // The executor must not change which backend is selected.
+                assert_eq!(backend.kind(), SolverPolicy::default().select_dense(&a));
+                let x = backend.solve(&b).unwrap();
+                assert_eq!(
+                    x.as_slice(),
+                    sequential.as_slice(),
+                    "n={n} workers={workers} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_cg_with_executor_matches_sequential_matvec_path() {
+        let a = spd_sample(64);
+        let b = rhs(64);
+        let sequential = JacobiCg::factor_dense(&a, CgOptions::default())
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let parallel = JacobiCg::factor_dense(&a, CgOptions::default())
+            .unwrap()
+            .with_executor(Executor::with_workers(3));
+        assert_eq!(parallel.executor().workers(), 3);
+        assert_eq!(
+            parallel.solve(&b).unwrap().as_slice(),
+            sequential.as_slice()
+        );
     }
 
     #[test]

@@ -212,6 +212,14 @@ impl Matrix {
         &self.data
     }
 
+    /// Borrows the row-major storage mutably (`rows * cols` elements,
+    /// row `i` at `i * cols .. (i + 1) * cols`). This is the hook the
+    /// execution layer uses to hand disjoint row blocks to workers via
+    /// `split_at_mut` / `chunks_mut`.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning its row-major storage.
     pub fn into_inner(self) -> Vec<f64> {
         self.data
@@ -268,6 +276,53 @@ impl Matrix {
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs`, row-blocked across `executor`.
+    ///
+    /// Each worker computes a contiguous block of whole output rows with
+    /// exactly the i-k-j accumulation order of [`Matrix::matmul`], so the
+    /// result is bit-identical to the sequential product for any worker
+    /// count (each output row is owned by one worker; reassembly is by row
+    /// position, not completion order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `self.cols() != rhs.rows()`.
+    /// shape: (self.rows, rhs.cols)
+    pub fn matmul_with(&self, rhs: &Matrix, executor: &gssl_runtime::Executor) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                operation: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        if executor.is_sequential() || self.rows <= 1 || rhs.cols == 0 {
+            return self.matmul(rhs);
+        }
+        let cols = rhs.cols;
+        let block_rows = self
+            .rows
+            .div_ceil(executor.workers().saturating_mul(4))
+            .max(1);
+        let mut out = Matrix::zeros(self.rows, cols);
+        executor.for_each_chunk_mut(out.as_mut_slice(), block_rows * cols, |start, chunk| {
+            let first_row = start / cols;
+            for (local, out_row) in chunk.chunks_mut(cols).enumerate() {
+                let i = first_row + local;
+                for k in 0..self.cols {
+                    let a_ik = self.get(i, k);
+                    if crate::float::is_exactly_zero(a_ik) {
+                        continue;
+                    }
+                    for (o, r) in out_row.iter_mut().zip(rhs.row(k)) {
+                        *o += a_ik * r;
+                    }
+                }
+            }
+        })?;
         Ok(out)
     }
 
@@ -579,6 +634,29 @@ mod tests {
 
     fn sample() -> Matrix {
         Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_with_is_bit_identical_to_sequential() {
+        let a = Matrix::from_fn(37, 23, |i, j| ((i * 31 + j * 7) as f64 * 0.37).sin());
+        let b = Matrix::from_fn(23, 29, |i, j| ((i * 13 + j * 17) as f64 * 0.73).cos());
+        let reference = a.matmul(&b).unwrap();
+        for workers in [1, 2, 3, 4] {
+            let executor = gssl_runtime::Executor::with_workers(workers);
+            let parallel = a.matmul_with(&b, &executor).unwrap();
+            assert_eq!(parallel, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn matmul_with_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let executor = gssl_runtime::Executor::with_workers(2);
+        assert!(matches!(
+            a.matmul_with(&b, &executor),
+            Err(Error::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Error type for the execution layer.
+
+use std::fmt;
+
+/// Errors returned by the runtime's pool and executor primitives.
+///
+/// Downstream crates embed these through a `From<gssl_runtime::Error>`
+/// conversion on their own error enums, so the generic map primitives can
+/// surface runtime failures (a zero-width chunk, a lost batch slot) through
+/// whatever error type the mapped closure uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The executor or pool configuration is invalid (e.g. zero workers or
+    /// a zero chunk width).
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// An internal invariant of the chunk-claim protocol was violated —
+    /// always a bug in this crate, never caller error.
+    Internal {
+        /// Description of the broken invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { message } => write!(f, "invalid executor config: {message}"),
+            Error::Internal { message } => write!(f, "internal runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias: runtime operations default to the runtime [`Error`],
+/// while the generic map primitives substitute the caller's error type.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::InvalidConfig {
+            message: "zero workers".into()
+        }
+        .to_string()
+        .contains("zero workers"));
+        assert!(Error::Internal {
+            message: "slot missing".into()
+        }
+        .to_string()
+        .contains("slot missing"));
+    }
+}

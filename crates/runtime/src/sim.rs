@@ -1,14 +1,15 @@
 //! Deterministic interleaving harness for the chunk-claim protocol of
-//! [`crate::ThreadPool`] (mini-loom, `strict-checks` only).
+//! [`crate::ThreadPool`] (mini-loom).
 //!
-//! `ThreadPool::map` coordinates its workers through exactly two shared
-//! objects: an atomic cursor advanced by one `fetch_add` per claim, and a
-//! mutex-protected slot vector written once per claimed chunk. Every
-//! observable behaviour of the protocol is therefore a sequence of
-//! *atomic steps* — claims and publishes — and for a bounded batch the
-//! set of such sequences is finite. [`enumerate_schedules`] walks **all**
-//! of them by depth-first search with backtracking, executing the
-//! production claim code ([`crate::pool::claim`] at the width chosen by
+//! `ThreadPool::map` and `ThreadPool::map_chunks` coordinate their workers
+//! through exactly two shared objects: an atomic cursor advanced by one
+//! `fetch_add` per claim, and a mutex-protected slot vector written once
+//! per claimed chunk. Every observable behaviour of the protocol is
+//! therefore a sequence of *atomic steps* — claims and publishes — and for
+//! a bounded batch the set of such sequences is finite.
+//! [`enumerate_schedules`] walks **all** of them by depth-first search
+//! with backtracking, executing the production claim code
+//! ([`crate::pool::claim`] at the width chosen by
 //! [`crate::pool::chunk_size`]) at every claim step, and checks three
 //! safety properties in every schedule:
 //!
@@ -18,6 +19,10 @@
 //! * **termination** — each worker halts at its first failed claim and is
 //!   never scheduled again.
 //!
+//! [`enumerate_schedules_with_width`] runs the identical search at a
+//! caller-chosen chunk width, covering the `map_chunks` protocol where
+//! the width is picked by the caller rather than by `chunk_size`.
+//!
 //! `Ordering::Relaxed` on the cursor is sound precisely because the
 //! modification order of a single atomic object is total regardless of
 //! ordering strength: the schedules enumerated here cover every order in
@@ -25,8 +30,9 @@
 //! flows through the cursor (results are published under the slots mutex
 //! and fenced by the `thread::scope` join). This module is the proof
 //! referenced by the `relaxed_ordering` entry in
-//! `crates/xtask/analyze.baseline`; `tests/interleavings.rs` runs it
-//! exhaustively over a grid of batch shapes.
+//! `crates/xtask/analyze.baseline`; `gssl-serve`'s
+//! `tests/interleavings.rs` runs it exhaustively over a grid of batch
+//! shapes.
 
 use crate::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,10 +100,14 @@ struct Sim {
 
 impl Sim {
     fn new(len: usize, workers: usize) -> Self {
+        Sim::with_width(len, workers, pool::chunk_size(len, workers))
+    }
+
+    fn with_width(len: usize, workers: usize, width: usize) -> Self {
         let threads = workers.min(len).max(1);
         Sim {
             len,
-            chunk: pool::chunk_size(len, workers),
+            chunk: width,
             cursor: AtomicUsize::new(0),
             workers: vec![Worker::Claiming; threads],
             claimed: vec![None; len],
@@ -227,7 +237,8 @@ impl Sim {
 }
 
 /// Exhaustively enumerates every interleaving of claim/publish steps for a
-/// batch of `len` items on a pool of `workers` threads, checking the
+/// batch of `len` items on a pool of `workers` threads at the production
+/// [`ThreadPool::map`](crate::ThreadPool::map) chunk width, checking the
 /// protocol invariants in each one. Returns coverage statistics, or a
 /// description of the first violated invariant (including the offending
 /// schedule as a sequence of worker indices).
@@ -245,14 +256,40 @@ pub fn enumerate_schedules(len: usize, workers: usize) -> Result<ScheduleReport,
     if workers == 0 {
         return Err("enumerate_schedules requires at least one worker".to_owned());
     }
-    let mut sim = Sim::new(len, workers);
+    run(Sim::new(len, workers))
+}
+
+/// Same exhaustive search as [`enumerate_schedules`], but at a
+/// caller-chosen chunk `width` — the configuration exercised by
+/// [`ThreadPool::map_chunks`](crate::ThreadPool::map_chunks), where the
+/// caller (not `chunk_size`) picks the claim stride.
+///
+/// # Errors
+///
+/// Returns a human-readable message when `workers` or `width` is zero, an
+/// invariant is violated, or the schedule space exceeds the safety cap.
+pub fn enumerate_schedules_with_width(
+    len: usize,
+    workers: usize,
+    width: usize,
+) -> Result<ScheduleReport, String> {
+    if workers == 0 {
+        return Err("enumerate_schedules_with_width requires at least one worker".to_owned());
+    }
+    if width == 0 {
+        return Err("enumerate_schedules_with_width requires a nonzero chunk width".to_owned());
+    }
+    run(Sim::with_width(len, workers, width))
+}
+
+fn run(mut sim: Sim) -> Result<ScheduleReport, String> {
     let mut report = ScheduleReport {
         schedules: 0,
         longest: 0,
         chunks: if sim.chunk == 0 {
             0
         } else {
-            len.div_ceil(sim.chunk)
+            sim.len.div_ceil(sim.chunk)
         },
     };
     let mut trace = Vec::new();
@@ -322,6 +359,12 @@ mod tests {
     #[test]
     fn zero_workers_is_an_error() {
         assert!(enumerate_schedules(3, 0).is_err());
+        assert!(enumerate_schedules_with_width(3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn zero_width_is_an_error() {
+        assert!(enumerate_schedules_with_width(3, 2, 0).is_err());
     }
 
     #[test]
@@ -329,6 +372,21 @@ mod tests {
         // chunk_size(16, 2) = 2: 8 chunks of width 2.
         let report = enumerate_schedules(16, 2).unwrap();
         assert_eq!(report.chunks, 8);
+    }
+
+    #[test]
+    fn caller_chosen_widths_are_clean() {
+        // The map_chunks configuration: arbitrary caller widths, including
+        // a ragged final chunk and a width wider than the batch.
+        for (len, workers, width) in [(5, 2, 2), (6, 2, 3), (6, 3, 2), (4, 2, 8), (7, 2, 3)] {
+            let report = enumerate_schedules_with_width(len, workers, width).unwrap();
+            assert_eq!(
+                report.chunks,
+                len.div_ceil(width),
+                "len = {len}, workers = {workers}, width = {width}"
+            );
+            assert!(report.schedules >= 1);
+        }
     }
 
     #[test]

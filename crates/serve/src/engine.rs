@@ -52,10 +52,10 @@
 use crate::config::{EngineConfig, EngineSolver, ServeCriterion};
 use crate::error::{Error, Result};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::pool::ThreadPool;
 use gssl::Problem;
 use gssl_graph::{laplacian, KernelGraph, LaplacianKind};
 use gssl_linalg::{strict, Cholesky, Factorization, Lu, Matrix, SolverBackend};
+use gssl_runtime::Executor;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -154,7 +154,7 @@ pub struct ServingEngine {
     rhs: Matrix,
     /// Current fitted scores for all `N` nodes, one column per class.
     scores: Matrix,
-    pool: ThreadPool,
+    executor: Executor,
     updates_since_refactor: usize,
     metrics: Mutex<ServeMetrics>,
 }
@@ -244,8 +244,12 @@ impl ServingEngine {
             });
         }
 
+        // One executor drives the whole pipeline: kernel-matrix assembly
+        // here, the Auto solver policy's factorization, and predict_batch
+        // sharding. `workers == 0` means host parallelism, `1` sequential.
+        let executor = Executor::with_workers(config.workers);
         let graph = KernelGraph::fit(points.clone(), config.kernel, config.bandwidth)?;
-        let weights = graph.weights()?;
+        let weights = graph.weights_with(&executor)?;
         // Reuse the core crate's problem validation (symmetry, finiteness)
         // and its anchoring check: every component must contain a labeled
         // vertex or the criterion system is singular. Labeling only ever
@@ -263,12 +267,6 @@ impl ServingEngine {
                 targets.set(i, c, initial_targets.get(i, c));
             }
         }
-        let pool = if config.workers == 0 {
-            ThreadPool::with_available_parallelism()
-        } else {
-            ThreadPool::new(config.workers)?
-        };
-
         let mut engine = ServingEngine {
             config,
             graph,
@@ -283,7 +281,7 @@ impl ServingEngine {
             inverse: None,
             rhs: Matrix::zeros(0, k),
             scores: Matrix::zeros(total, k),
-            pool,
+            executor,
             updates_since_refactor: 0,
             metrics: Mutex::new(ServeMetrics::default()),
         };
@@ -333,10 +331,10 @@ impl ServingEngine {
         }
 
         let batch_start = Instant::now();
-        let outcomes = self.pool.map(queries, |qi, q| {
+        let outcomes = self.executor.map(queries, |qi, q| {
             let start = Instant::now();
             let prediction = self.predict_one(qi, q)?;
-            Ok((prediction, start.elapsed().as_secs_f64()))
+            Ok::<_, Error>((prediction, start.elapsed().as_secs_f64()))
         })?;
         let batch_seconds = batch_start.elapsed().as_secs_f64();
 
@@ -655,21 +653,26 @@ impl ServingEngine {
         Ok(())
     }
 
-    /// Factors a criterion system through the configured solver route.
+    /// Factors a criterion system through the configured solver route, on
+    /// the engine's executor (factors are bit-identical at any worker
+    /// count, so this never perturbs served scores).
     fn factor_system(&self, system: &Matrix) -> Result<SolverBackend> {
         match (&self.config.solver, self.config.criterion) {
             // Legacy direct route: Cholesky for the SPD hard block, LU for
             // the soft full system, byte-for-byte the historical behavior.
-            (EngineSolver::Direct, ServeCriterion::Hard) => {
-                Ok(SolverBackend::Cholesky(Cholesky::factor(system)?))
-            }
+            (EngineSolver::Direct, ServeCriterion::Hard) => Ok(SolverBackend::Cholesky(
+                Cholesky::factor_with(system, &self.executor)?,
+            )),
             (EngineSolver::Direct, ServeCriterion::Soft { .. }) => {
-                Ok(SolverBackend::Lu(Lu::factor(system)?))
+                Ok(SolverBackend::Lu(Lu::factor_with(system, &self.executor)?))
             }
             // Both criterion systems are SPD (the hard block by anchored
             // diagonal dominance, V + λL by construction), so the policy's
             // SPD route applies to either.
-            (EngineSolver::Auto(policy), _) => Ok(policy.factor_spd(system)?),
+            (EngineSolver::Auto(policy), _) => Ok(policy
+                .clone()
+                .with_executor(self.executor.clone())
+                .factor_spd(system)?),
         }
     }
 
@@ -855,9 +858,15 @@ impl ServingEngine {
         &self.config
     }
 
-    /// Width of the batch-prediction thread pool.
+    /// Worker count of the engine's executor (1 when sequential).
     pub fn workers(&self) -> usize {
-        self.pool.workers()
+        self.executor.workers()
+    }
+
+    /// The shared executor driving assembly, factorization and batch
+    /// prediction.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// The fitted kernel graph (points, kernel, bandwidth).

@@ -141,6 +141,18 @@ impl From<gssl_linalg::Error> for Error {
     }
 }
 
+impl From<gssl_runtime::Error> for Error {
+    fn from(inner: gssl_runtime::Error) -> Self {
+        match inner {
+            gssl_runtime::Error::InvalidConfig { message } => Error::InvalidConfig { message },
+            gssl_runtime::Error::Internal { message } => Error::Internal { message },
+            other => Error::Internal {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 

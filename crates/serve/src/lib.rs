@@ -16,10 +16,11 @@
 //!    quadratic time instead of a cubic refit (details in
 //!    [`mod@crate::engine`]).
 //! 3. **Throughput.** Queries are independent reads of shared fitted
-//!    state; [`ThreadPool`] (dependency-free, `std::thread::scope` only)
-//!    shards batches across workers, and [`MetricsSnapshot`] reports
-//!    p50/p99 latency and sustained throughput via the [`gssl_stats`]
-//!    descriptive machinery.
+//!    state; the engine shards batches across workers through the shared
+//!    [`Executor`] from [`gssl_runtime`] (dependency-free,
+//!    `std::thread::scope` only), and [`MetricsSnapshot`] reports p50/p99
+//!    latency and sustained throughput via the [`gssl_stats`] descriptive
+//!    machinery.
 //!
 //! [`ServingEngine::fit`] builds the kernel graph and the criterion
 //! problem internally from raw points (labeled first), so callers hand
@@ -42,15 +43,15 @@ pub mod engine;
 pub mod error;
 /// Latency/throughput counters built on `gssl-stats`.
 pub mod metrics;
-/// Dependency-free scoped thread pool for batch prediction.
-pub mod pool;
-/// Deterministic interleaving harness for the pool's chunk-claim protocol
-/// (`strict-checks` only).
+
+/// Deterministic interleaving harness for the execution layer's
+/// chunk-claim protocol, re-exported from [`gssl_runtime`] (where it now
+/// lives) so existing `gssl_serve::sim` callers keep compiling.
 #[cfg(feature = "strict-checks")]
-pub mod sim;
+pub use gssl_runtime::sim;
 
 pub use config::{EngineConfig, EngineSolver, ServeCriterion};
 pub use engine::{Prediction, QueryPoint, ServingEngine};
 pub use error::{Error, Result};
+pub use gssl_runtime::{Executor, ThreadPool};
 pub use metrics::MetricsSnapshot;
-pub use pool::ThreadPool;

@@ -1,5 +1,6 @@
-//! The concurrency pass over thread-using files (the `gssl-serve` pool and
-//! engine): memory-ordering, lock-discipline and `Sync`-evidence lints.
+//! The concurrency pass over thread-using files (the `gssl-runtime` pool
+//! and executor, and the `gssl-serve` engine that consumes them):
+//! memory-ordering, lock-discipline and `Sync`-evidence lints.
 //!
 //! Three rules, all scoped to files that actually use `std::thread`
 //! primitives (`thread::scope`, `spawn`, `join`):

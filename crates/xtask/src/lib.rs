@@ -7,9 +7,9 @@
 //! ```
 //!
 //! The checker is a line/token scanner (no `syn`, no network, no build
-//! scripts) enforcing the project's correctness conventions on the six
-//! library crates (`linalg`, `graph`, `stats`, `datasets`, `core`,
-//! `serve`):
+//! scripts) enforcing the project's correctness conventions on the seven
+//! library crates (`runtime`, `linalg`, `graph`, `stats`, `datasets`,
+//! `core`, `serve`):
 //!
 //! * crate roots carry `#![forbid(unsafe_code)]` and
 //!   `#![deny(missing_docs)]`, and every `pub` item is documented;

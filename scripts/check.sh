@@ -38,4 +38,11 @@ echo "== policy_demo smoke run"
 # nonzero when any backend's solve residual exceeds its threshold.
 cargo run --release -q -p gssl-bench --bin policy_demo -- --json >/dev/null
 
+echo "== threads_scaling bench (writes BENCH_parallel.json)"
+# Times assembly / hard fit / soft fit / predict_batch at 1/2/4/8 workers
+# and exits nonzero if any parallel output is not bit-identical to the
+# 1-worker run. Timing is recorded, never gated: speedup depends on the
+# host's core count (see host_parallelism in the JSON).
+cargo run --release -q -p gssl-bench --bin threads_scaling -- --quiet
+
 echo "All checks passed."

@@ -1,0 +1,213 @@
+//! Determinism suite for the shared execution layer: every parallel code
+//! path in the workspace must produce output **bit-identical** (`==` on
+//! `f64` slices, not epsilon-close) to its sequential counterpart, at
+//! every worker count.
+//!
+//! The claim being tested is the `gssl-runtime` contract: work is split
+//! into contiguous chunks, each item is computed by exactly one worker
+//! with the same per-item operation order as the sequential loop, and
+//! results are reassembled in input order. Under that protocol the
+//! floating-point result cannot depend on the worker count — which the
+//! tests here check end to end for kernel assembly, hard and soft fits,
+//! one-vs-rest multiclass, and batch serving, and which
+//! `sim::enumerate_schedules` proves exhaustively for the claim protocol
+//! itself.
+
+use gssl::{HardCriterion, OneVsRest, Problem, SoftCriterion};
+use gssl_graph::{
+    affinity::{affinity_matrix, affinity_matrix_with},
+    knn_graph, knn_graph_with, Kernel, KernelGraph, Symmetrization,
+};
+use gssl_linalg::{Matrix, SolverPolicy};
+use gssl_runtime::{sim, Executor};
+use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 4];
+
+/// Deterministic low-discrepancy points (no RNG state to thread through).
+fn points(n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |i, j| {
+        (((i * 131 + j * 37 + 11) as f64) * 0.618_033_988_749_894_9).fract()
+    })
+}
+
+#[test]
+fn kernel_assembly_is_bit_identical_across_worker_counts() {
+    let pts = points(61, 5);
+    let reference = affinity_matrix(&pts, Kernel::Gaussian, 0.7).expect("sequential affinity");
+    for workers in WORKER_COUNTS {
+        let executor = Executor::with_workers(workers);
+        let parallel = affinity_matrix_with(&pts, Kernel::Gaussian, 0.7, &executor)
+            .expect("parallel affinity");
+        assert_eq!(
+            reference.as_slice(),
+            parallel.as_slice(),
+            "affinity assembly diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn kernel_graph_weights_are_bit_identical_across_worker_counts() {
+    let graph = KernelGraph::fit(points(53, 4), Kernel::Epanechnikov, 0.9).expect("graph fit");
+    let reference = graph.weights().expect("sequential weights");
+    for workers in WORKER_COUNTS {
+        let executor = Executor::with_workers(workers);
+        let parallel = graph.weights_with(&executor).expect("parallel weights");
+        assert_eq!(
+            reference.as_slice(),
+            parallel.as_slice(),
+            "KernelGraph::weights_with diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn knn_assembly_is_bit_identical_across_worker_counts() {
+    let pts = points(47, 3);
+    for symmetrization in [Symmetrization::Union, Symmetrization::Mutual] {
+        let reference = knn_graph(&pts, 6, Kernel::Gaussian, 0.8, symmetrization)
+            .expect("sequential knn graph");
+        for workers in WORKER_COUNTS {
+            let executor = Executor::with_workers(workers);
+            let parallel =
+                knn_graph_with(&pts, 6, Kernel::Gaussian, 0.8, symmetrization, &executor)
+                    .expect("parallel knn graph");
+            assert_eq!(reference.nnz(), parallel.nnz());
+            assert_eq!(
+                reference.to_dense().as_slice(),
+                parallel.to_dense().as_slice(),
+                "knn assembly diverged at {workers} workers ({symmetrization:?})"
+            );
+        }
+    }
+}
+
+/// A dense anchored two-class problem shared by the fit tests.
+fn fit_problem() -> Problem {
+    let weights = affinity_matrix(&points(72, 3), Kernel::Gaussian, 0.6).expect("affinity");
+    let labels: Vec<f64> = (0..14).map(|i| f64::from(i as u8 % 2)).collect();
+    Problem::new(weights, labels).expect("problem")
+}
+
+#[test]
+fn hard_fit_is_bit_identical_across_worker_counts() {
+    let problem = fit_problem();
+    let reference = HardCriterion::new().fit(&problem).expect("sequential fit");
+    for workers in WORKER_COUNTS {
+        let parallel = HardCriterion::new()
+            .with_executor(Executor::with_workers(workers))
+            .fit(&problem)
+            .expect("parallel fit");
+        assert_eq!(
+            reference.all(),
+            parallel.all(),
+            "hard fit diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn soft_fit_is_bit_identical_across_worker_counts() {
+    let problem = fit_problem();
+    let criterion = SoftCriterion::new(0.75).expect("lambda");
+    let reference = criterion.fit(&problem).expect("sequential fit");
+    for workers in WORKER_COUNTS {
+        let parallel = SoftCriterion::new(0.75)
+            .expect("lambda")
+            .policy(SolverPolicy::default().with_executor(Executor::with_workers(workers)))
+            .fit(&problem)
+            .expect("parallel fit");
+        assert_eq!(
+            reference.all(),
+            parallel.all(),
+            "soft fit diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn multiclass_fit_is_bit_identical_across_worker_counts() {
+    let weights = affinity_matrix(&points(60, 3), Kernel::Gaussian, 0.6).expect("affinity");
+    let class_labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+    let reference = OneVsRest::new(HardCriterion::new(), 3)
+        .expect("ovr")
+        .fit(&weights, &class_labels)
+        .expect("sequential fit");
+    for workers in WORKER_COUNTS {
+        let parallel = OneVsRest::new(HardCriterion::new(), 3)
+            .expect("ovr")
+            .with_executor(Executor::with_workers(workers))
+            .fit(&weights, &class_labels)
+            .expect("parallel fit");
+        assert_eq!(
+            reference.scores().as_slice(),
+            parallel.scores().as_slice(),
+            "one-vs-rest score matrix diverged at {workers} workers"
+        );
+        assert_eq!(reference.predictions(), parallel.predictions());
+    }
+}
+
+#[test]
+fn predict_batch_is_bit_identical_across_worker_counts() {
+    let pts = points(48, 2);
+    let labels: Vec<f64> = (0..10).map(|i| f64::from(i as u8 % 2)).collect();
+    let queries: Vec<QueryPoint> = (0..37)
+        .map(|q| {
+            QueryPoint::new(vec![
+                (((q * 131 + 11) as f64) * 0.618_033_988_749_894_9).fract(),
+                (((q * 131 + 48) as f64) * 0.618_033_988_749_894_9).fract(),
+            ])
+        })
+        .collect();
+    let fit = |workers: usize| {
+        let config = EngineConfig::new(Kernel::Gaussian, 0.5).workers(workers);
+        let engine = ServingEngine::fit(&pts, &labels, config).expect("engine fit");
+        engine.predict_batch(&queries).expect("batch predict")
+    };
+    let reference = fit(1);
+    for workers in WORKER_COUNTS {
+        let parallel = fit(workers);
+        assert_eq!(reference.len(), parallel.len());
+        for (i, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(r.class, p.class, "query {i} class at {workers} workers");
+            assert_eq!(
+                r.score.to_bits(),
+                p.score.to_bits(),
+                "query {i} score at {workers} workers"
+            );
+            let same = r.per_class.len() == p.per_class.len()
+                && r.per_class
+                    .iter()
+                    .zip(&p.per_class)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "query {i} per-class scores at {workers} workers");
+        }
+    }
+}
+
+/// The exhaustive proof backing the `map_chunks` determinism claim: every
+/// bounded interleaving of the chunk-claim protocol yields disjoint,
+/// exhaustive claims with results published once each — for the same
+/// (len, workers, width) grid shapes the library uses (width from
+/// `len.div_ceil(workers * 4).max(1)` plus adversarial widths).
+#[test]
+fn schedule_enumeration_proves_the_map_chunks_claim_protocol() {
+    for len in [1usize, 2, 5, 6] {
+        for workers in [1usize, 2, 3] {
+            let library_width = len.div_ceil(workers.saturating_mul(4)).max(1);
+            for width in [library_width, 1, 2, len] {
+                let report = sim::enumerate_schedules_with_width(len, workers, width)
+                    .unwrap_or_else(|violation| {
+                        panic!("len={len} workers={workers} width={width}: {violation}")
+                    });
+                assert!(report.schedules > 0);
+                assert_eq!(report.chunks, len.div_ceil(width));
+            }
+        }
+    }
+    // And the production `ThreadPool::map` width selection itself.
+    let report = sim::enumerate_schedules(6, 2).expect("map chunk protocol");
+    assert!(report.schedules > 0);
+}
