@@ -56,9 +56,12 @@ struct Sample {
     bit_identical: bool,
 }
 
-/// A timed stage: name, per-worker-count samples.
+/// A timed stage: name, the number of output elements one run produces
+/// (kernel entries, fitted scores, predictions — the unit the throughput
+/// figures are denominated in), and per-worker-count samples.
 struct Stage {
     name: &'static str,
+    elements: usize,
     samples: Vec<Sample>,
 }
 
@@ -67,6 +70,7 @@ impl Stage {
     /// the 1-worker reference with `eq`.
     fn run<R>(
         name: &'static str,
+        elements: usize,
         mut work: impl FnMut(&Executor) -> R,
         eq: impl Fn(&R, &R) -> bool,
     ) -> Stage {
@@ -90,7 +94,16 @@ impl Stage {
                 bit_identical,
             });
         }
-        Stage { name, samples }
+        Stage {
+            name,
+            elements,
+            samples,
+        }
+    }
+
+    /// Output elements per second for one sample.
+    fn throughput(&self, sample: &Sample) -> f64 {
+        self.elements as f64 / sample.seconds.max(1e-12)
     }
 
     fn speedup_at(&self, workers: usize) -> f64 {
@@ -112,17 +125,19 @@ impl Stage {
             .map(|s| {
                 format!(
                     "    {{\"workers\": {}, \"seconds\": {:.6}, \"speedup_vs_1\": {:.3}, \
-                     \"bit_identical\": {}}}",
+                     \"throughput_elems_per_sec\": {:.1}, \"bit_identical\": {}}}",
                     s.workers,
                     s.seconds,
                     self.samples[0].seconds / s.seconds.max(1e-12),
+                    self.throughput(s),
                     s.bit_identical
                 )
             })
             .collect();
         format!(
-            "  {{\"stage\": \"{}\", \"samples\": [\n{}\n  ]}}",
+            "  {{\"stage\": \"{}\", \"elements\": {}, \"samples\": [\n{}\n  ]}}",
             self.name,
+            self.elements,
             samples.join(",\n")
         )
     }
@@ -148,6 +163,7 @@ fn main() -> ExitCode {
     let graph = KernelGraph::fit(assembly_pts, Kernel::Gaussian, 0.8).expect("graph fit");
     let assembly = Stage::run(
         "kernel_assembly",
+        ASSEMBLY_NODES * ASSEMBLY_NODES,
         |ex| graph.weights_with(ex).expect("weights"),
         |a, b| a.as_slice() == b.as_slice(),
     );
@@ -160,6 +176,7 @@ fn main() -> ExitCode {
 
     let hard_fit = Stage::run(
         "hard_fit",
+        FIT_NODES,
         |ex| {
             HardCriterion::new()
                 .with_executor(ex.clone())
@@ -173,6 +190,7 @@ fn main() -> ExitCode {
 
     let soft_fit = Stage::run(
         "soft_fit",
+        FIT_NODES,
         |ex| {
             SoftCriterion::new(0.5)
                 .expect("lambda")
@@ -192,6 +210,7 @@ fn main() -> ExitCode {
         .collect();
     let predict_batch = Stage::run(
         "predict_batch",
+        SERVE_QUERIES,
         |ex| {
             let config = EngineConfig::new(Kernel::Gaussian, 0.5).workers(ex.workers());
             let engine = ServingEngine::fit(&serve_pts, &serve_labels, config).expect("engine fit");
@@ -216,17 +235,18 @@ fn main() -> ExitCode {
         println!("== threads_scaling: deterministic parallelism across the stack ==");
         println!("host parallelism: {host_parallelism}\n");
         println!(
-            "{:<16} {:>8} {:>12} {:>12} {:>14}",
-            "stage", "workers", "seconds", "speedup", "bit_identical"
+            "{:<16} {:>8} {:>12} {:>12} {:>14} {:>14}",
+            "stage", "workers", "seconds", "speedup", "elems/sec", "bit_identical"
         );
         for stage in &stages {
             for s in &stage.samples {
                 println!(
-                    "{:<16} {:>8} {:>12.4} {:>11.2}x {:>14}",
+                    "{:<16} {:>8} {:>12.4} {:>11.2}x {:>14.0} {:>14}",
                     stage.name,
                     s.workers,
                     s.seconds,
                     stage.samples[0].seconds / s.seconds.max(1e-12),
+                    stage.throughput(s),
                     s.bit_identical
                 );
             }

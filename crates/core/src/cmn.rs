@@ -30,6 +30,8 @@ use gssl_linalg::float::{is_exactly_one, is_exactly_zero};
 ///   or scores leave `[0, 1]`.
 /// * [`Error::InvalidProblem`] when `scores` is empty or degenerate (all
 ///   mass on one side, making a normalization undefined).
+/// hot
+/// complexity: O(n)
 pub fn class_mass_normalize(scores: &[f64], prior_positive: f64) -> Result<Vec<f64>> {
     if scores.is_empty() {
         return Err(Error::InvalidProblem {

@@ -62,6 +62,8 @@ impl NadarayaWatson {
     ///   data.
     /// * [`Error::Graph`] when the bandwidth is invalid.
     /// * [`Error::ZeroKernelMass`] when a query sees no training mass.
+    /// hot
+    /// complexity: O(q * n * d)
     pub fn predict(
         &self,
         train_inputs: &Matrix,
@@ -93,16 +95,20 @@ impl NadarayaWatson {
                 ),
             });
         }
+        // Validate the bandwidth once for the whole batch; the per-pair
+        // loop then evaluates the kernel without re-checking arguments
+        // (squared distances are nonnegative by construction).
+        kernel.weight(0.0, bandwidth)?;
         let mut out = Vec::with_capacity(queries.rows());
         for q in 0..queries.rows() {
+            let query_row = queries.row(q);
             let mut mass = 0.0;
             let mut weighted = 0.0;
-            for i in 0..train_inputs.rows() {
-                let d2 =
-                    gssl_graph::bandwidth::squared_distance(queries.row(q), train_inputs.row(i));
-                let w = kernel.weight(d2, bandwidth)?;
+            for (i, &target) in train_targets.iter().enumerate() {
+                let d2 = gssl_graph::bandwidth::squared_distance(query_row, train_inputs.row(i));
+                let w = kernel.weight_unchecked(d2, bandwidth);
                 mass += w;
-                weighted += w * train_targets[i];
+                weighted += w * target;
             }
             if mass <= 0.0 {
                 return Err(Error::ZeroKernelMass { unlabeled_index: q });
@@ -131,6 +137,8 @@ impl TransductiveModel for NadarayaWatson {
 /// # Errors
 ///
 /// Propagates graph-construction and estimator errors.
+/// hot
+/// complexity: O(n^2 * d)
 pub fn kernel_regression(
     points: &Matrix,
     labels: &[f64],
@@ -144,14 +152,16 @@ pub fn kernel_regression(
         });
     }
     let d2 = pairwise_squared_distances(points)?;
+    // One bandwidth check for the whole sweep, as in `predict`.
+    kernel.weight(0.0, bandwidth)?;
     let mut out = Vec::with_capacity(points.rows() - n);
     for q in n..points.rows() {
         let mut mass = 0.0;
         let mut weighted = 0.0;
-        for i in 0..n {
-            let w = kernel.weight(d2.get(q, i), bandwidth)?;
+        for (i, &label) in labels.iter().enumerate() {
+            let w = kernel.weight_unchecked(d2.get(q, i), bandwidth);
             mass += w;
-            weighted += w * labels[i];
+            weighted += w * label;
         }
         if mass <= 0.0 {
             return Err(Error::ZeroKernelMass {

@@ -191,6 +191,8 @@ impl Problem {
     ///
     /// Propagates partition errors (none for a constructed problem).
     /// shape: (m, m)
+    /// hot
+    /// complexity: O(m^2)
     pub fn unlabeled_system(&self) -> Result<Matrix> {
         let n = self.n_labeled();
         let m = self.n_unlabeled();
@@ -200,8 +202,8 @@ impl Problem {
                 let blocks = BlockPartition::split(w, n)?;
                 strict::check_symmetric("unlabeled system block W22", &blocks.a22, 1e-9)?;
                 let mut system = blocks.a22.map(|x| -x);
-                for a in 0..m {
-                    system.set(a, a, degrees[n + a] - blocks.a22.get(a, a));
+                for (a, &degree) in degrees.as_slice()[n..].iter().enumerate() {
+                    system.set(a, a, degree - blocks.a22.get(a, a));
                 }
                 Ok(system)
             }
@@ -235,7 +237,9 @@ impl Problem {
         let n = self.n_labeled();
         let m = self.n_unlabeled();
         let degrees = self.degrees();
-        let mut triplets = Vec::new();
+        // Upper bound: every stored edge of the unlabeled rows plus the
+        // m explicit diagonal entries.
+        let mut triplets = Vec::with_capacity(self.weights.nnz() + m);
         for a in 0..m {
             let i = n + a;
             let mut diag = degrees[i];
@@ -268,7 +272,7 @@ impl Problem {
         let n = self.n_labeled();
         let total = self.len();
         let degrees = self.degrees();
-        let mut triplets = Vec::new();
+        let mut triplets = Vec::with_capacity(self.weights.nnz() + total);
         for i in 0..total {
             let mut diag = lambda * degrees[i] + if i < n { 1.0 } else { 0.0 };
             for (j, v) in self.weights.row_entries(i) {

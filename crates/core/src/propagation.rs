@@ -84,6 +84,8 @@ impl LabelPropagation {
     ///   be reached from the labeled set.
     /// * [`Error::Linalg`] wrapping `NotConverged` when the sweep budget
     ///   is exhausted.
+    /// hot
+    /// complexity: O(iters * nnz)
     pub fn fit_with_iterations(&self, problem: &Problem) -> Result<(Scores, usize)> {
         problem.require_anchored(0.0)?;
         if problem.n_unlabeled() == 0 {

@@ -169,11 +169,12 @@ impl SoftCriterion {
             return Ok(Scores::from_parts(problem.labels(), f_u.as_slice()));
         }
         let system = problem.soft_system_csr(self.lambda)?;
-        let mut rhs = Vector::zeros(problem.len());
-        for (i, &yi) in problem.labels().iter().enumerate() {
-            rhs[i] = yi;
-        }
-        let f = self.policy.factor_sparse(&system)?.solve(&rhs)?;
+        let mut rhs = vec![0.0; problem.len()];
+        rhs[..n].copy_from_slice(problem.labels());
+        let f = self
+            .policy
+            .factor_sparse(&system)?
+            .solve(&Vector::from(rhs))?;
         strict::check_finite("soft criterion output", f.as_slice())?;
         Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }
@@ -199,11 +200,12 @@ impl SoftCriterion {
         }
         let n = problem.n_labeled();
         let system = problem.soft_system_csr(self.lambda)?;
-        let mut rhs = Vector::zeros(problem.len());
-        for (i, &yi) in problem.labels().iter().enumerate() {
-            rhs[i] = yi;
-        }
-        let f = self.policy.factor_sparse(&system)?.solve(&rhs)?;
+        let mut rhs = vec![0.0; problem.len()];
+        rhs[..n].copy_from_slice(problem.labels());
+        let f = self
+            .policy
+            .factor_sparse(&system)?
+            .solve(&Vector::from(rhs))?;
         strict::check_finite("soft criterion full-system output", f.as_slice())?;
         Ok(Scores::from_parts(&f.as_slice()[..n], &f.as_slice()[n..]))
     }

@@ -31,6 +31,8 @@ fn row_block(rows: usize, executor: &Executor) -> usize {
 /// # }
 /// ```
 /// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n^2 * d)
 pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
     let n = points.rows();
     if n == 0 {
@@ -40,8 +42,9 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
     }
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {
+        let row_i = points.row(i);
         for j in (i + 1)..n {
-            let d2 = squared_distance(points.row(i), points.row(j));
+            let d2 = squared_distance(row_i, points.row(j));
             out.set(i, j, d2);
             out.set(j, i, d2);
         }
@@ -61,6 +64,8 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
 ///
 /// Same as [`pairwise_squared_distances`].
 /// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n^2 * d)
 pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> Result<Matrix> {
     if executor.is_sequential() {
         return pairwise_squared_distances(points);
@@ -74,9 +79,10 @@ pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> 
     let tails: Vec<Vec<f64>> = executor.map_chunks(n, row_block(n, executor), |range| {
         let mut rows = Vec::with_capacity(range.len());
         for i in range {
+            let row_i = points.row(i);
             let mut tail = Vec::with_capacity(n - i - 1);
             for j in (i + 1)..n {
-                tail.push(squared_distance(points.row(i), points.row(j)));
+                tail.push(squared_distance(row_i, points.row(j)));
             }
             rows.push(tail);
         }
@@ -105,6 +111,8 @@ pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> 
 /// * [`Error::EmptyInput`] when `points` has no rows.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
 /// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n^2 * d)
 pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Result<Matrix> {
     if !(bandwidth > 0.0) {
         return Err(Error::InvalidBandwidth { value: bandwidth });
@@ -120,6 +128,8 @@ pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Resul
 ///
 /// Same as [`affinity_matrix`].
 /// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n^2 * d)
 pub fn affinity_matrix_with(
     points: &Matrix,
     kernel: Kernel,
@@ -144,6 +154,8 @@ pub fn affinity_matrix_with(
 /// * [`Error::InvalidArgument`] when `squared_distances` is not square.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
 /// shape: (squared_distances.rows, squared_distances.cols)
+/// hot
+/// complexity: O(n^2)
 pub fn affinity_from_distances(
     squared_distances: &Matrix,
     kernel: Kernel,
@@ -158,12 +170,22 @@ pub fn affinity_from_distances(
             ),
         });
     }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
     let n = squared_distances.rows();
+    let diagonal = kernel.weight_unchecked(0.0, bandwidth);
     let mut w = Matrix::zeros(n, n);
     for i in 0..n {
-        w.set(i, i, kernel.weight(0.0, bandwidth)?);
+        w.set(i, i, diagonal);
         for j in (i + 1)..n {
-            let weight = kernel.weight(squared_distances.get(i, j), bandwidth)?;
+            let d2 = squared_distances.get(i, j);
+            if d2 < 0.0 {
+                return Err(Error::InvalidArgument {
+                    message: format!("squared distance must be nonnegative, got {d2}"),
+                });
+            }
+            let weight = kernel.weight_unchecked(d2, bandwidth);
             w.set(i, j, weight);
             w.set(j, i, weight);
         }
@@ -182,6 +204,8 @@ pub fn affinity_from_distances(
 ///
 /// Same as [`affinity_from_distances`].
 /// shape: (squared_distances.rows, squared_distances.cols)
+/// hot
+/// complexity: O(n^2)
 pub fn affinity_from_distances_with(
     squared_distances: &Matrix,
     kernel: Kernel,
@@ -200,15 +224,25 @@ pub fn affinity_from_distances_with(
             ),
         });
     }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
     let n = squared_distances.rows();
+    let diagonal = kernel.weight_unchecked(0.0, bandwidth);
     // Per row: the diagonal weight K(0) followed by the strict upper tail.
     let tails: Vec<Vec<f64>> = executor.map_chunks(n, row_block(n, executor), |range| {
         let mut rows = Vec::with_capacity(range.len());
         for i in range {
             let mut tail = Vec::with_capacity(n - i);
-            tail.push(kernel.weight(0.0, bandwidth)?);
+            tail.push(diagonal);
             for j in (i + 1)..n {
-                tail.push(kernel.weight(squared_distances.get(i, j), bandwidth)?);
+                let d2 = squared_distances.get(i, j);
+                if d2 < 0.0 {
+                    return Err(Error::InvalidArgument {
+                        message: format!("squared distance must be nonnegative, got {d2}"),
+                    });
+                }
+                tail.push(kernel.weight_unchecked(d2, bandwidth));
             }
             rows.push(tail);
         }

@@ -143,11 +143,39 @@ impl KernelGraph {
     /// * [`Error::InvalidArgument`] when a coordinate of `x` is
     ///   non-finite.
     /// shape: (n,)
+    /// hot
+    /// complexity: O(n * d)
     pub fn kernel_row(&self, x: &[f64]) -> Result<Vector> {
+        let mut row = vec![0.0; self.len()];
+        self.kernel_row_into(x, &mut row)?;
+        Ok(Vector::from(row))
+    }
+
+    /// [`KernelGraph::kernel_row`] into a caller-provided buffer, so batch
+    /// callers can reuse one scratch row instead of allocating per query.
+    ///
+    /// The fitted bandwidth was validated at [`KernelGraph::fit`] time and
+    /// squared distances are nonnegative by construction, so the loop runs
+    /// validation-free per entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelGraph::kernel_row`], plus
+    /// [`Error::DimensionMismatch`] when `out.len() != self.len()`.
+    /// hot
+    /// complexity: O(n * d)
+    pub fn kernel_row_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.dim() {
             return Err(Error::DimensionMismatch {
                 expected: self.dim(),
                 actual: x.len(),
+                index: 0,
+            });
+        }
+        if out.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.len(),
+                actual: out.len(),
                 index: 0,
             });
         }
@@ -156,12 +184,11 @@ impl KernelGraph {
                 message: format!("query coordinate {index} is not finite"),
             });
         }
-        let mut row = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
+        for (i, w) in out.iter_mut().enumerate() {
             let d2 = crate::bandwidth::squared_distance(x, self.points.row(i));
-            row.push(self.kernel.weight(d2, self.bandwidth)?);
+            *w = self.kernel.weight_unchecked(d2, self.bandwidth);
         }
-        Ok(Vector::from(row))
+        Ok(())
     }
 }
 

@@ -94,11 +94,20 @@ impl Kernel {
                 message: format!("squared distance must be nonnegative, got {squared_distance}"),
             });
         }
-        Ok(match self {
+        Ok(self.weight_unchecked(squared_distance, bandwidth))
+    }
+
+    /// [`Kernel::weight`] without the argument validation, for hot loops
+    /// that have already checked `bandwidth > 0` and `squared_distance >= 0`
+    /// once for the whole batch. Produces bit-identical values to
+    /// [`Kernel::weight`] on valid inputs.
+    /// hot
+    pub fn weight_unchecked(self, squared_distance: f64, bandwidth: f64) -> f64 {
+        match self {
             // exp(-d²/h²) without the sqrt.
             Kernel::Gaussian => (-squared_distance / (bandwidth * bandwidth)).exp(),
             _ => self.profile(squared_distance.sqrt() / bandwidth),
-        })
+        }
     }
 
     /// Whether the kernel has compact support — condition (ii) of

@@ -62,6 +62,8 @@ pub struct CgOutcome {
 /// # Ok(())
 /// # }
 /// ```
+/// hot
+/// complexity: O(iters * n)
 pub fn conjugate_gradient(
     op: &(impl LinearOperator + ?Sized),
     b: &Vector,
@@ -168,6 +170,8 @@ pub fn conjugate_gradient(
 ///   direction of non-positive curvature is met.
 /// * [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
 ///   side or the computed solution is non-finite.
+/// hot
+/// complexity: O(iters * n)
 pub fn preconditioned_conjugate_gradient(
     op: &(impl LinearOperator + ?Sized),
     b: &Vector,

@@ -47,6 +47,8 @@ impl Cholesky {
     ///   (or not finite).
     /// * [`Error::NonFiniteValue`] / [`Error::InvalidArgument`] under
     ///   `strict-checks` when `a` is non-finite or asymmetric.
+    /// hot
+    /// complexity: O(n^3)
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
@@ -57,8 +59,7 @@ impl Cholesky {
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
             let mut diag = a.get(j, j);
-            for k in 0..j {
-                let v = l.get(j, k);
+            for &v in &l.row(j)[..j] {
                 diag -= v * v;
             }
             if !(diag > 0.0) || !diag.is_finite() {
@@ -68,8 +69,8 @@ impl Cholesky {
             l.set(j, j, diag_sqrt);
             for i in (j + 1)..n {
                 let mut sum = a.get(i, j);
-                for k in 0..j {
-                    sum -= l.get(i, k) * l.get(j, k);
+                for (lik, ljk) in l.row(i)[..j].iter().zip(&l.row(j)[..j]) {
+                    sum -= lik * ljk;
                 }
                 l.set(i, j, sum / diag_sqrt);
             }
@@ -94,6 +95,8 @@ impl Cholesky {
     /// # Errors
     ///
     /// Same as [`Cholesky::factor`].
+    /// hot
+    /// complexity: O(n^3)
     pub fn factor_with(a: &Matrix, executor: &gssl_runtime::Executor) -> Result<Self> {
         if executor.is_sequential() {
             return Cholesky::factor(a);
@@ -116,8 +119,7 @@ impl Cholesky {
             // earlier trailing updates, so only the within-panel k remain.
             for j in j0..j1 {
                 let mut diag = w.get(j, j);
-                for k in j0..j {
-                    let v = w.get(j, k);
+                for &v in &w.row(j)[j0..j] {
                     diag -= v * v;
                 }
                 if !(diag > 0.0) || !diag.is_finite() {
@@ -127,8 +129,8 @@ impl Cholesky {
                 w.set(j, j, diag_sqrt);
                 for i in (j + 1)..n {
                     let mut sum = w.get(i, j);
-                    for k in j0..j {
-                        sum -= w.get(i, k) * w.get(j, k);
+                    for (lik, ljk) in w.row(i)[j0..j].iter().zip(&w.row(j)[j0..j]) {
+                        sum -= lik * ljk;
                     }
                     w.set(i, j, sum / diag_sqrt);
                 }
@@ -137,35 +139,41 @@ impl Cholesky {
                 break;
             }
             // Snapshot the finished panel columns of the trailing rows
-            // (`L21`): trailing row i reads rows j >= j1 of this block
+            // (`L21`), stored column-major (one contiguous run per panel
+            // column): trailing row i reads rows j >= j1 of this block
             // while their owners write other columns of the same rows, so
-            // the read side must not alias the write side.
+            // the read side must not alias the write side — and the
+            // transposed layout makes the innermost update a contiguous
+            // zip instead of a strided indexed walk.
             let pw = j1 - j0;
-            let mut l21 = vec![0.0; (n - j1) * pw];
-            for i in j1..n {
-                for k in j0..j1 {
-                    l21[(i - j1) * pw + (k - j0)] = w.get(i, k);
+            let trailing_rows = n - j1;
+            let mut l21t = vec![0.0; pw * trailing_rows];
+            for k_off in 0..pw {
+                let col = &mut l21t[k_off * trailing_rows..(k_off + 1) * trailing_rows];
+                for (dst, i) in col.iter_mut().zip(j1..n) {
+                    *dst = w.get(i, j0 + k_off);
                 }
             }
             // Trailing update, parallel by row block: lower-triangle entry
             // (i, j) with j >= j1 subtracts l[i][k] * l[j][k] for the
             // panel's k in increasing order — the same operations, on the
             // same running value, as the left-looking inner loop.
-            let trailing_rows = n - j1;
             let block_rows = trailing_rows
                 .div_ceil(executor.workers().saturating_mul(4))
                 .max(1);
             let data = w.as_mut_slice();
             let tail = &mut data[j1 * n..];
-            let l21 = &l21[..];
+            let l21t = &l21t[..];
             executor.for_each_chunk_mut(tail, block_rows * n, |start, chunk| {
                 let first_row = j1 + start / n;
                 for (local, row) in chunk.chunks_mut(n).enumerate() {
                     let i = first_row + local;
-                    let li = &l21[(i - j1) * pw..(i - j1 + 1) * pw];
-                    for (k_off, &lik) in li.iter().enumerate() {
-                        for (j, value) in row.iter_mut().enumerate().take(i + 1).skip(j1) {
-                            *value -= lik * l21[(j - j1) * pw + k_off];
+                    for k_off in 0..pw {
+                        let lk = &l21t[k_off * trailing_rows..(k_off + 1) * trailing_rows];
+                        let lik = lk[i - j1];
+                        let updated = &mut row[j1..=i];
+                        for (value, ljk) in updated.iter_mut().zip(lk) {
+                            *value -= lik * ljk;
                         }
                     }
                 }
@@ -207,6 +215,8 @@ impl Cholesky {
     /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
     /// side or the computed solution is non-finite.
     /// shape: (b.len,)
+    /// hot
+    /// complexity: O(n^2)
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -221,16 +231,16 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self.lower.get(i, j) * x[j];
+            for (lij, xj) in self.lower.row(i)[..i].iter().zip(&x[..i]) {
+                sum -= lij * xj;
             }
             x[i] = sum / self.lower.get(i, i);
         }
-        // Backward: Lᵀ x = y.
+        // Backward: Lᵀ x = y (column access on L, so the row slice is on x).
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lower.get(j, i) * x[j];
+            for (j, xj) in (i + 1..n).zip(&x[i + 1..]) {
+                sum -= self.lower.get(j, i) * xj;
             }
             x[i] = sum / self.lower.get(i, i);
         }
@@ -256,8 +266,8 @@ impl Cholesky {
         let mut out = Matrix::zeros(n, b.cols());
         for j in 0..b.cols() {
             let x = self.solve(&b.col(j))?;
-            for i in 0..n {
-                out.set(i, j, x[i]);
+            for (i, &xi) in x.as_slice().iter().enumerate() {
+                out.set(i, j, xi);
             }
         }
         Ok(out)

@@ -195,8 +195,8 @@ impl Factorization for Cholesky {
         let mut y = vec![0.0; n];
         for (i, yi) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for j in i..n {
-                sum += l.get(j, i) * x[j];
+            for (j, &xj) in x.as_slice().iter().enumerate().skip(i) {
+                sum += l.get(j, i) * xj;
             }
             *yi = sum;
         }
@@ -247,8 +247,8 @@ impl Factorization for Lu {
         let mut y = vec![0.0; n];
         for (i, yi) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for j in i..n {
-                sum += f.get(i, j) * x[j];
+            for (fij, xj) in f.row(i)[i..].iter().zip(&x.as_slice()[i..]) {
+                sum += fij * xj;
             }
             *yi = sum;
         }
@@ -263,8 +263,8 @@ impl Factorization for Lu {
         }
         // Undo the row permutation: (P A) x = L U x, so (A x)[perm[i]] = z[i].
         let mut out = vec![0.0; n];
-        for (i, &p) in self.perm().iter().enumerate() {
-            out[p] = z[i];
+        for (&p, &zi) in self.perm().iter().zip(&z) {
+            out[p] = zi;
         }
         Ok(Vector::from(out))
     }
@@ -433,7 +433,7 @@ impl JacobiCg {
 /// Inverts a diagonal for the Jacobi preconditioner, rejecting non-positive
 /// pivots (an SPD matrix cannot have them).
 fn inverse_diagonal(diag: impl Iterator<Item = f64>) -> Result<Vec<f64>> {
-    let mut inv = Vec::new();
+    let mut inv = Vec::with_capacity(diag.size_hint().0);
     for (i, d) in diag.enumerate() {
         if !(d > 0.0) || !d.is_finite() {
             return Err(Error::NotPositiveDefinite { pivot: i });

@@ -105,9 +105,9 @@ pub fn jacobi(
         for i in 0..n {
             let mut sum = b[i];
             let row = a.row(i);
-            for (j, &a_ij) in row.iter().enumerate() {
+            for (j, (&a_ij, &xj)) in row.iter().zip(x.as_slice()).enumerate() {
                 if j != i {
-                    sum -= a_ij * x[j];
+                    sum -= a_ij * xj;
                 }
             }
             let xi = sum / a.get(i, i);
@@ -164,9 +164,9 @@ pub fn gauss_seidel(
         for i in 0..n {
             let mut sum = b[i];
             let row = a.row(i);
-            for (j, &a_ij) in row.iter().enumerate() {
+            for (j, (&a_ij, &xj)) in row.iter().zip(x.as_slice()).enumerate() {
                 if j != i {
-                    sum -= a_ij * x[j];
+                    sum -= a_ij * xj;
                 }
             }
             let xi = sum / a.get(i, i);

@@ -44,6 +44,8 @@ impl Lu {
     /// * [`Error::Singular`] when a pivot is (numerically) zero.
     /// * [`Error::NonFiniteValue`] when `a` contains NaN/infinity and the
     ///   `strict-checks` feature is enabled.
+    /// hot
+    /// complexity: O(n^3)
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
@@ -75,13 +77,15 @@ impl Lu {
                 perm_sign = -perm_sign;
             }
             let pivot = lu.get(k, k);
-            for i in (k + 1)..n {
-                let factor = lu.get(i, k) / pivot;
-                lu.set(i, k, factor);
+            let data = lu.as_mut_slice();
+            let (head, tail) = data.split_at_mut((k + 1) * n);
+            let pivot_row = &head[k * n + k + 1..(k + 1) * n];
+            for row in tail.chunks_mut(n) {
+                let factor = row[k] / pivot;
+                row[k] = factor;
                 if !is_exactly_zero(factor) {
-                    for j in (k + 1)..n {
-                        let v = lu.get(i, j) - factor * lu.get(k, j);
-                        lu.set(i, j, v);
+                    for (value, u) in row[k + 1..].iter_mut().zip(pivot_row) {
+                        *value -= factor * u;
                     }
                 }
             }
@@ -112,6 +116,8 @@ impl Lu {
     /// # Errors
     ///
     /// Same as [`Lu::factor`].
+    /// hot
+    /// complexity: O(n^3)
     pub fn factor_with(a: &Matrix, executor: &gssl_runtime::Executor) -> Result<Self> {
         if executor.is_sequential() {
             return Lu::factor(a);
@@ -153,13 +159,15 @@ impl Lu {
                     perm_sign = -perm_sign;
                 }
                 let pivot = lu.get(k, k);
-                for i in (k + 1)..n {
-                    let factor = lu.get(i, k) / pivot;
-                    lu.set(i, k, factor);
+                let data = lu.as_mut_slice();
+                let (head, tail) = data.split_at_mut((k + 1) * n);
+                let pivot_row = &head[k * n + k + 1..k * n + k1];
+                for row in tail.chunks_mut(n) {
+                    let factor = row[k] / pivot;
+                    row[k] = factor;
                     if !is_exactly_zero(factor) {
-                        for j in (k + 1)..k1 {
-                            let v = lu.get(i, j) - factor * lu.get(k, j);
-                            lu.set(i, j, v);
+                        for (value, u) in row[k + 1..k1].iter_mut().zip(pivot_row) {
+                            *value -= factor * u;
                         }
                     }
                 }
@@ -171,12 +179,15 @@ impl Lu {
             // eliminations of rows k0..r in increasing k, each reading an
             // already-final U row above it.
             for r in (k0 + 1)..k1 {
+                let data = lu.as_mut_slice();
+                let (head, tail) = data.split_at_mut(r * n);
+                let row = &mut tail[..n];
                 for k in k0..r {
-                    let factor = lu.get(r, k);
+                    let factor = row[k];
                     if !is_exactly_zero(factor) {
-                        for j in k1..n {
-                            let v = lu.get(r, j) - factor * lu.get(k, j);
-                            lu.set(r, j, v);
+                        let u_row = &head[k * n + k1..(k + 1) * n];
+                        for (value, u) in row[k1..].iter_mut().zip(u_row) {
+                            *value -= factor * u;
                         }
                     }
                 }
@@ -247,6 +258,8 @@ impl Lu {
     /// [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
     /// side or the computed solution is non-finite.
     /// shape: (b.len,)
+    /// hot
+    /// complexity: O(n^2)
     pub fn solve(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -262,18 +275,19 @@ impl Lu {
         // Forward substitution with unit lower triangle.
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.factors.get(i, j) * x[j];
+            for (lij, xj) in self.factors.row(i)[..i].iter().zip(&x[..i]) {
+                sum -= lij * xj;
             }
             x[i] = sum;
         }
         // Back substitution with upper triangle.
         for i in (0..n).rev() {
+            let row = self.factors.row(i);
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.factors.get(i, j) * x[j];
+            for (uij, xj) in row[i + 1..].iter().zip(&x[i + 1..]) {
+                sum -= uij * xj;
             }
-            x[i] = sum / self.factors.get(i, i);
+            x[i] = sum / row[i];
         }
         strict::check_finite("lu.solve output", &x)?;
         Ok(Vector::from(x))
@@ -285,6 +299,7 @@ impl Lu {
     ///
     /// Returns [`Error::DimensionMismatch`] when `B.rows() != dim()`.
     /// shape: (b.rows, b.cols)
+    /// complexity: O(n^2 * c)
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
@@ -297,8 +312,8 @@ impl Lu {
         let mut out = Matrix::zeros(n, b.cols());
         for j in 0..b.cols() {
             let x = self.solve(&b.col(j))?;
-            for i in 0..n {
-                out.set(i, j, x[i]);
+            for (i, &xi) in x.as_slice().iter().enumerate() {
+                out.set(i, j, xi);
             }
         }
         Ok(out)

@@ -253,6 +253,8 @@ impl Matrix {
     /// # }
     /// ```
     /// shape: (self.rows, rhs.cols)
+    /// hot
+    /// complexity: O(n * m * k)
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
@@ -264,8 +266,8 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner loop contiguous in both operands.
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a_ik = self.get(i, k);
+            let lhs_row = self.row(i);
+            for (k, &a_ik) in lhs_row.iter().enumerate() {
                 if crate::float::is_exactly_zero(a_ik) {
                     continue;
                 }
@@ -291,6 +293,8 @@ impl Matrix {
     ///
     /// Returns [`Error::DimensionMismatch`] when `self.cols() != rhs.rows()`.
     /// shape: (self.rows, rhs.cols)
+    /// hot
+    /// complexity: O(n * m * k)
     pub fn matmul_with(&self, rhs: &Matrix, executor: &gssl_runtime::Executor) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
@@ -311,9 +315,8 @@ impl Matrix {
         executor.for_each_chunk_mut(out.as_mut_slice(), block_rows * cols, |start, chunk| {
             let first_row = start / cols;
             for (local, out_row) in chunk.chunks_mut(cols).enumerate() {
-                let i = first_row + local;
-                for k in 0..self.cols {
-                    let a_ik = self.get(i, k);
+                let lhs_row = self.row(first_row + local);
+                for (k, &a_ik) in lhs_row.iter().enumerate() {
                     if crate::float::is_exactly_zero(a_ik) {
                         continue;
                     }
@@ -332,6 +335,8 @@ impl Matrix {
     ///
     /// Returns [`Error::DimensionMismatch`] when `self.cols() != x.len()`.
     /// shape: (self.rows,)
+    /// hot
+    /// complexity: O(n * m)
     pub fn matvec(&self, x: &Vector) -> Result<Vector> {
         if self.cols != x.len() {
             return Err(Error::DimensionMismatch {
@@ -340,9 +345,11 @@ impl Matrix {
                 right: (x.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| dot_slices(self.row(i), x.as_slice()))
-            .collect())
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            out.push(dot_slices(self.row(i), x.as_slice()));
+        }
+        Ok(Vector::from(out))
     }
 
     /// Sum of each row, as a vector of length `rows`.

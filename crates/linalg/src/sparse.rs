@@ -106,9 +106,16 @@ impl CsrMatrix {
     /// `|a_ij| <= threshold`.
     /// shape: (dense.rows, dense.cols)
     pub fn from_dense(dense: &Matrix, threshold: f64) -> Self {
+        // Count survivors first so both payload buffers are sized exactly
+        // once instead of growing through the fill loop.
+        let nnz = dense
+            .as_slice()
+            .iter()
+            .filter(|v| v.abs() > threshold)
+            .count();
         let mut indptr = Vec::with_capacity(dense.rows() + 1);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
         indptr.push(0);
         for i in 0..dense.rows() {
             for (j, &v) in dense.row(i).iter().enumerate() {
@@ -190,6 +197,8 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics when `x.len() != cols` or `out.len() != rows`.
+    /// hot
+    /// complexity: O(nnz)
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "operand length mismatch");
         assert_eq!(out.len(), self.rows, "output length mismatch");
@@ -207,6 +216,8 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics when `x.len() != cols`.
+    /// hot
+    /// complexity: O(nnz)
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.rows];
         self.matvec_into(x, &mut out);
@@ -241,16 +252,19 @@ impl CsrMatrix {
         }
         let t = self.transpose();
         for i in 0..self.rows {
-            let mut a: Vec<(usize, f64)> = self.row_iter(i).collect();
-            let mut b: Vec<(usize, f64)> = t.row_iter(i).collect();
-            a.retain(|&(_, v)| v.abs() > tol);
-            b.retain(|&(_, v)| v.abs() > tol);
-            if a.len() != b.len() {
-                return false;
-            }
-            for ((ja, va), (jb, vb)) in a.iter().zip(&b) {
-                if ja != jb || (va - vb).abs() > tol {
-                    return false;
+            // Stream both rows (columns are sorted in CSR) instead of
+            // collecting them into per-row scratch vectors.
+            let mut a = self.row_iter(i).filter(|&(_, v)| v.abs() > tol);
+            let mut b = t.row_iter(i).filter(|&(_, v)| v.abs() > tol);
+            loop {
+                match (a.next(), b.next()) {
+                    (None, None) => break,
+                    (Some((ja, va)), Some((jb, vb))) => {
+                        if ja != jb || (va - vb).abs() > tol {
+                            return false;
+                        }
+                    }
+                    _ => return false,
                 }
             }
         }

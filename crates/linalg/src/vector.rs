@@ -219,6 +219,8 @@ impl Vector {
 }
 
 /// Dot product of two equal-length slices (callers check lengths).
+/// hot
+/// complexity: O(n)
 pub(crate) fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()

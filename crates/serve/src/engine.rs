@@ -308,6 +308,8 @@ impl ServingEngine {
     ///   checked, with `index` flattened as `query · dim + coordinate`);
     /// * [`Error::ZeroKernelMass`] when a query sees zero total kernel
     ///   weight (possible for compactly supported kernels such as boxcar).
+    /// hot
+    /// complexity: O(b * n * c)
     pub fn predict_batch(&self, queries: &[QueryPoint]) -> Result<Vec<Prediction>> {
         let dim = self.graph.dim();
         for (qi, q) in queries.iter().enumerate() {
@@ -331,16 +333,30 @@ impl ServingEngine {
         }
 
         let batch_start = Instant::now();
-        let outcomes = self.executor.map(queries, |qi, q| {
-            let start = Instant::now();
-            let prediction = self.predict_one(qi, q)?;
-            Ok::<_, Error>((prediction, start.elapsed().as_secs_f64()))
+        // One kernel-row scratch buffer per chunk, not per query: the row
+        // is overwritten in place by `kernel_row_into` for every query the
+        // worker handles.
+        let nodes = self.graph.len();
+        let block = queries
+            .len()
+            .div_ceil(self.executor.workers().saturating_mul(4))
+            .max(1);
+        let chunks = self.executor.map_chunks(queries.len(), block, |range| {
+            let mut row = vec![0.0; nodes];
+            let chunk_queries = &queries[range.start..range.end];
+            let mut outcomes = Vec::with_capacity(chunk_queries.len());
+            for (q, qi) in chunk_queries.iter().zip(range) {
+                let start = Instant::now();
+                let prediction = self.predict_one(qi, q, &mut row)?;
+                outcomes.push((prediction, start.elapsed().as_secs_f64()));
+            }
+            Ok::<_, Error>(outcomes)
         })?;
         let batch_seconds = batch_start.elapsed().as_secs_f64();
 
-        let mut predictions = Vec::with_capacity(outcomes.len());
-        let mut latencies = Vec::with_capacity(outcomes.len());
-        for (prediction, latency) in outcomes {
+        let mut predictions = Vec::with_capacity(queries.len());
+        let mut latencies = Vec::with_capacity(queries.len());
+        for (prediction, latency) in chunks {
             predictions.push(prediction);
             latencies.push(latency);
         }
@@ -349,19 +365,27 @@ impl ServingEngine {
     }
 
     /// The out-of-sample extension of Theorem II.1 / Eq. 6 for one query:
-    /// `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` over all fitted nodes.
-    fn predict_one(&self, query_index: usize, query: &QueryPoint) -> Result<Prediction> {
-        let row = self.graph.kernel_row(&query.coords)?;
-        strict::check_finite("serve.predict kernel row", row.as_slice())?;
-        let mass: f64 = row.as_slice().iter().sum();
+    /// `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` over all fitted nodes,
+    /// writing the kernel row into the caller's reusable `row` scratch.
+    /// complexity: O(n * c)
+    fn predict_one(
+        &self,
+        query_index: usize,
+        query: &QueryPoint,
+        row: &mut [f64],
+    ) -> Result<Prediction> {
+        self.graph.kernel_row_into(&query.coords, row)?;
+        strict::check_finite("serve.predict kernel row", row)?;
+        let mass: f64 = row.iter().sum();
         if !mass.is_finite() || !(mass > 0.0) {
             return Err(Error::ZeroKernelMass { query_index });
         }
         let k = self.targets.cols();
         let mut per_class = vec![0.0; k];
-        for (i, &w) in row.as_slice().iter().enumerate() {
-            for (c, acc) in per_class.iter_mut().enumerate() {
-                *acc += w * self.scores.get(i, c);
+        for (i, &w) in row.iter().enumerate() {
+            let score_row = self.scores.row(i);
+            for (acc, &s) in per_class.iter_mut().zip(score_row) {
+                *acc += w * s;
             }
         }
         for acc in &mut per_class {
@@ -371,12 +395,14 @@ impl ServingEngine {
 
         let (class, score) = if self.multiclass {
             let mut best = 0;
-            for c in 1..k {
-                if per_class[c] > per_class[best] {
+            let mut best_score = per_class[0];
+            for (c, &v) in per_class.iter().enumerate().skip(1) {
+                if v > best_score {
                     best = c;
+                    best_score = v;
                 }
             }
-            (best, per_class[best])
+            (best, best_score)
         } else {
             let score = per_class[0];
             (usize::from(score >= 0.5), score)

@@ -1,0 +1,75 @@
+//! Perf-pass fixture: seeded hot-path annotations and lint violations.
+//!
+//! Expected findings (see `tests/self_test.rs`):
+//! * `hot_entry` — complexity_mismatch (declared O(n), nests 2 loops);
+//!   its hotness must propagate to `helper`.
+//! * `helper` — alloc_in_hot_loop (push without capacity) and
+//!   bounds_check_hot_loop (`row[j]` in the innermost loop), both only
+//!   because hotness arrived through the call graph.
+//! * `hot_alloc` — complexity_contract (hot, loops, no contract) and
+//!   alloc_in_hot_loop (`format!` per iteration).
+//! * `hot_malformed` — complexity_contract (sum grammar rejected).
+//! * `hot_baselined` — alloc_in_hot_loop suppressed by the baseline.
+//! * `cold_alloc` — silent: same body as `hot_baselined`, never hot.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// hot
+/// complexity: O(n)
+pub fn hot_entry(rows: &[Vec<f64>], n: usize) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..n {
+        for row in rows.iter() {
+            acc += helper(row);
+        }
+    }
+    acc
+}
+
+fn helper(row: &[f64]) -> f64 {
+    let mut buf = Vec::new();
+    for j in 0..row.len() {
+        buf.push(row[j] * 2.0);
+    }
+    buf.iter().sum()
+}
+
+/// hot
+pub fn hot_alloc(names: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(names.len());
+    for name in names.iter() {
+        out.push(format!("hot:{name}"));
+    }
+    out
+}
+
+/// hot
+/// complexity: O(n + m)
+pub fn hot_malformed(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// hot
+/// complexity: O(n)
+pub fn hot_baselined(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in v.iter() {
+        let tmp = vec![0.0; 4];
+        acc += x + tmp[0];
+    }
+    acc
+}
+
+/// Cold control: identical body to `hot_baselined`, never marked hot.
+pub fn cold_alloc(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in v.iter() {
+        let tmp = vec![0.0; 4];
+        acc += x + tmp[0];
+    }
+    acc
+}

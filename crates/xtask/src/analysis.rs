@@ -4,10 +4,13 @@
 
 use crate::baseline;
 use crate::callgraph;
+use crate::complexity;
 use crate::concurrency;
 use crate::items::{self, FnInfo};
+use crate::perf;
 use crate::scanner::{self, SourceFile};
 use crate::shape;
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -34,6 +37,14 @@ pub enum AnalyzeRule {
     LockAcrossJoin,
     /// Interior mutability without `Sync` in a threaded file.
     NonSyncShared,
+    /// An allocation (or owning conversion) inside a hot loop.
+    HotAlloc,
+    /// Raw indexing inside a hot innermost loop.
+    HotBounds,
+    /// A `/// complexity:` contract is missing or malformed.
+    ComplexityContract,
+    /// A hot body nests deeper than its complexity contract admits.
+    ComplexityMismatch,
     /// A baseline entry no longer matches reality.
     BaselineStale,
 }
@@ -49,6 +60,10 @@ impl AnalyzeRule {
             AnalyzeRule::RelaxedOrdering => "relaxed_ordering",
             AnalyzeRule::LockAcrossJoin => "lock_across_join",
             AnalyzeRule::NonSyncShared => "non_sync_shared",
+            AnalyzeRule::HotAlloc => "alloc_in_hot_loop",
+            AnalyzeRule::HotBounds => "bounds_check_hot_loop",
+            AnalyzeRule::ComplexityContract => "complexity_contract",
+            AnalyzeRule::ComplexityMismatch => "complexity_mismatch",
             AnalyzeRule::BaselineStale => "baseline_stale",
         }
     }
@@ -63,6 +78,10 @@ impl AnalyzeRule {
             "relaxed_ordering" => Some(AnalyzeRule::RelaxedOrdering),
             "lock_across_join" => Some(AnalyzeRule::LockAcrossJoin),
             "non_sync_shared" => Some(AnalyzeRule::NonSyncShared),
+            "alloc_in_hot_loop" => Some(AnalyzeRule::HotAlloc),
+            "bounds_check_hot_loop" => Some(AnalyzeRule::HotBounds),
+            "complexity_contract" => Some(AnalyzeRule::ComplexityContract),
+            "complexity_mismatch" => Some(AnalyzeRule::ComplexityMismatch),
             "baseline_stale" => Some(AnalyzeRule::BaselineStale),
             _ => None,
         }
@@ -193,14 +212,30 @@ pub fn analyze_workspace(root: &Path) -> io::Result<AnalyzeReport> {
     })
 }
 
-/// Runs the three passes over pre-analyzed files (shared by the real run
-/// and the fixture self-tests).
+/// Runs the semantic passes over pre-analyzed files (shared by the real
+/// run and the fixture self-tests).
 #[must_use]
 pub fn run_passes(
     analyzed: &[(String, SourceFile, Vec<FnInfo>)],
     require_shapes: &[bool],
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
+
+    // Workspace-wide call graph, shared by the perf hot-set propagation
+    // and the panic-reachability pass.
+    let all_fns: Vec<FnInfo> = analyzed
+        .iter()
+        .flat_map(|(_, _, f)| f.iter().cloned())
+        .collect();
+    let graph = callgraph::build(all_fns);
+    let hot = perf::hot_set(&graph);
+    let hot_locs: HashSet<(&str, usize)> = graph
+        .fns
+        .iter()
+        .zip(&hot)
+        .filter(|&(_, &h)| h)
+        .map(|(f, _)| (f.file.as_str(), f.line))
+        .collect();
 
     // Shape pass: annotations per file, then call sites against the
     // workspace-wide registry.
@@ -237,6 +272,65 @@ pub fn run_passes(
             });
         }
 
+        // Perf pass: hot-loop lints on every (transitively) hot function,
+        // complexity contracts wherever they are declared, and a presence
+        // requirement on explicitly-hot functions that loop.
+        for f in fns.iter().filter(|f| !f.in_test) {
+            match complexity::parse_contract(&f.doc) {
+                Some(Err(msg)) => findings.push(Finding {
+                    rule: AnalyzeRule::ComplexityContract,
+                    file: rel.clone(),
+                    func: f.qual.clone(),
+                    line: f.line,
+                    message: format!("malformed complexity contract: {msg}"),
+                }),
+                Some(Ok(contract)) => {
+                    let observed = complexity::observed_depth(source, f);
+                    if observed > contract.degree() {
+                        findings.push(Finding {
+                            rule: AnalyzeRule::ComplexityMismatch,
+                            file: rel.clone(),
+                            func: f.qual.clone(),
+                            line: f.line,
+                            message: format!(
+                                "declared {} (degree {}) but the body nests {} counted loops",
+                                contract.render(),
+                                contract.degree(),
+                                observed
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    if perf::is_hot_marked(f) && complexity::observed_depth(source, f) >= 1 {
+                        findings.push(Finding {
+                            rule: AnalyzeRule::ComplexityContract,
+                            file: rel.clone(),
+                            func: f.qual.clone(),
+                            line: f.line,
+                            message:
+                                "hot function with counted loops lacks a `/// complexity:` contract"
+                                    .to_owned(),
+                        });
+                    }
+                }
+            }
+            if hot_locs.contains(&(rel.as_str(), f.line)) {
+                for site in perf::lint_hot_fn(source, f) {
+                    findings.push(Finding {
+                        rule: match site.kind {
+                            perf::PerfKind::Alloc => AnalyzeRule::HotAlloc,
+                            perf::PerfKind::Bounds => AnalyzeRule::HotBounds,
+                        },
+                        file: rel.clone(),
+                        func: f.qual.clone(),
+                        line: site.line,
+                        message: site.message,
+                    });
+                }
+            }
+        }
+
         // Concurrency pass, attributed to the enclosing function.
         for c in concurrency::check(source) {
             let func = enclosing_fn(fns, c.line);
@@ -254,12 +348,7 @@ pub fn run_passes(
         }
     }
 
-    // Panic-reachability over the workspace-wide call graph.
-    let all_fns: Vec<FnInfo> = analyzed
-        .iter()
-        .flat_map(|(_, _, f)| f.iter().cloned())
-        .collect();
-    let graph = callgraph::build(all_fns);
+    // Panic-reachability over the shared call graph.
     for path in callgraph::panic_reachability(&graph) {
         let offender = &graph.fns[path.offender];
         findings.push(Finding {
@@ -399,6 +488,10 @@ mod tests {
             AnalyzeRule::RelaxedOrdering,
             AnalyzeRule::LockAcrossJoin,
             AnalyzeRule::NonSyncShared,
+            AnalyzeRule::HotAlloc,
+            AnalyzeRule::HotBounds,
+            AnalyzeRule::ComplexityContract,
+            AnalyzeRule::ComplexityMismatch,
             AnalyzeRule::BaselineStale,
         ] {
             assert_eq!(AnalyzeRule::from_key(rule.key()), Some(rule));

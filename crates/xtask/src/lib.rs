@@ -32,9 +32,11 @@ pub mod allowlist;
 pub mod analysis;
 pub mod baseline;
 pub mod callgraph;
+pub mod complexity;
 pub mod concurrency;
 pub mod items;
 pub mod lexer;
+pub mod perf;
 pub mod rules;
 pub mod scanner;
 pub mod shape;

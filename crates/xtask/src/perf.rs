@@ -1,0 +1,466 @@
+//! The perf pass: `/// hot` markers, transitive hot-set propagation over
+//! the call graph, and the two hot-path lints.
+//!
+//! A function is **hot** when it carries a `/// hot` doc marker or is
+//! (transitively) called by one — hotness flows *forward* along call
+//! edges, so annotating `matmul` covers every helper it reaches. Inside
+//! hot, non-test functions two lints run:
+//!
+//! * **allocation-in-loop** — constructor calls (`Vec::new`, `vec![…]`,
+//!   `String::new`, `Vec::with_capacity`), owning conversions
+//!   (`.clone()`, `.to_vec()`, `.to_owned()`, `.to_string()`,
+//!   `.collect()`), `format!`, and `.push(…)` on a local binding created
+//!   without `with_capacity` — anywhere inside a loop body;
+//! * **bounds-check in innermost loop** — raw `a[i]` indexing inside a
+//!   loop that contains no further loop, where an iterator/zip or a
+//!   hoisted re-slice (`&row[..len]`, which is exempt) would let the
+//!   optimizer elide the per-element bounds check.
+//!
+//! Findings ratchet through `crates/xtask/analyze.baseline` exactly like
+//! the panic pass, so justified sites carry a written reason.
+
+use crate::callgraph::CallGraph;
+use crate::items::FnInfo;
+use crate::lexer::{Tok, TokKind};
+use crate::scanner::SourceFile;
+use std::collections::{HashMap, VecDeque};
+
+/// Owning conversion methods flagged inside hot loops.
+const OWNING_METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// Whether the function carries an explicit `/// hot` marker.
+#[must_use]
+pub fn is_hot_marked(f: &FnInfo) -> bool {
+    f.doc.iter().any(|d| d.trim() == "hot")
+}
+
+/// Computes the transitive hot set over the call graph: one flag per
+/// node, `true` when the function is `/// hot` or reachable from one via
+/// forward call edges. Test functions neither seed nor join the set.
+#[must_use]
+pub fn hot_set(graph: &CallGraph) -> Vec<bool> {
+    let n = graph.fns.len();
+    // Forward (callee) adjacency, inverted from the stored caller edges.
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (callee, callers) in graph.callers.iter().enumerate() {
+        for &caller in callers {
+            callees[caller].push(callee);
+        }
+    }
+    let mut hot = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !f.in_test && is_hot_marked(f) {
+            hot[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &callees[i] {
+            if !hot[j] && !graph.fns[j].in_test {
+                hot[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    hot
+}
+
+/// Which hot-path lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfKind {
+    /// Allocation (or owning conversion) inside a loop.
+    Alloc,
+    /// Raw indexing inside an innermost loop.
+    Bounds,
+}
+
+/// One hot-path lint finding.
+#[derive(Debug, Clone)]
+pub struct PerfSite {
+    /// Which lint fired.
+    pub kind: PerfKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One open brace frame during the body walk.
+struct Frame {
+    /// Whether this brace opened a loop body.
+    is_loop: bool,
+    /// Whether a further loop opened inside this frame (loops only).
+    has_nested: bool,
+    /// Index sites collected while this loop was innermost.
+    index_sites: Vec<(usize, String)>,
+}
+
+/// Runs both hot-path lints over one function body.
+#[must_use]
+pub fn lint_hot_fn(source: &SourceFile, f: &FnInfo) -> Vec<PerfSite> {
+    let toks: Vec<&Tok> = source
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment | TokKind::Doc))
+        .collect();
+    let end = f.body.end.min(toks.len());
+    let capacity_ok = scan_bindings(&toks, f.body.start, end);
+
+    let mut out = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pending_loop = false;
+    let mut k = f.body.start;
+    while k < end {
+        let t = toks[k];
+        let prev = (k > f.body.start).then(|| toks[k - 1]);
+        let next = toks.get(k + 1).copied();
+        let in_loop = frames.iter().any(|fr| fr.is_loop);
+
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            pending_loop = true;
+            k += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let is_loop = std::mem::take(&mut pending_loop);
+            if is_loop {
+                for fr in &mut frames {
+                    if fr.is_loop {
+                        fr.has_nested = true;
+                    }
+                }
+            }
+            frames.push(Frame {
+                is_loop,
+                has_nested: false,
+                index_sites: Vec::new(),
+            });
+            k += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            if let Some(fr) = frames.pop() {
+                flush_frame(fr, &mut out);
+            }
+            k += 1;
+            continue;
+        }
+
+        if t.kind == TokKind::Ident && in_loop {
+            // `Vec::new` / `Vec::with_capacity` / `String::new`.
+            if matches!(t.text.as_str(), "Vec" | "String")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                if let Some(method) = toks.get(k + 3) {
+                    if method.is_ident("new") || method.is_ident("with_capacity") {
+                        out.push(PerfSite {
+                            kind: PerfKind::Alloc,
+                            line: t.line,
+                            message: format!(
+                                "`{}::{}` allocates on every loop iteration; hoist the buffer out of the loop",
+                                t.text, method.text
+                            ),
+                        });
+                        k += 4;
+                        continue;
+                    }
+                }
+            }
+            // `vec![…]` / `format!(…)`.
+            if (t.is_ident("vec") || t.is_ident("format")) && next.is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(PerfSite {
+                    kind: PerfKind::Alloc,
+                    line: t.line,
+                    message: format!(
+                        "`{}!` allocates on every loop iteration; hoist or reuse a scratch buffer",
+                        t.text
+                    ),
+                });
+                k += 2;
+                continue;
+            }
+            // `.clone()` / `.to_vec()` / `.to_owned()` / `.to_string()` /
+            // `.collect()` — owning conversions on the hot path.
+            if OWNING_METHODS.contains(&t.text.as_str()) && prev.is_some_and(|p| p.is_punct('.')) {
+                out.push(PerfSite {
+                    kind: PerfKind::Alloc,
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` copies per loop iteration; borrow a slice or reuse a buffer",
+                        t.text
+                    ),
+                });
+                k += 1;
+                continue;
+            }
+            // `recv.push(…)` where `recv` was bound without capacity.
+            if t.is_ident("push")
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                let recv = (k >= f.body.start + 2)
+                    .then(|| toks[k - 2])
+                    .filter(|r| r.kind == TokKind::Ident);
+                if let Some(recv) = recv {
+                    if capacity_ok.get(recv.text.as_str()) == Some(&false) {
+                        out.push(PerfSite {
+                            kind: PerfKind::Alloc,
+                            line: t.line,
+                            message: format!(
+                                "`{}.push` grows a buffer created without `with_capacity`; reserve up front",
+                                recv.text
+                            ),
+                        });
+                    }
+                }
+                k += 1;
+                continue;
+            }
+        }
+
+        // Raw indexing: `[` after an expression terminator, bracket group
+        // naming at least one identifier and no `..` re-slice.
+        if t.is_punct('[')
+            && in_loop
+            && prev.is_some_and(|p| {
+                (p.kind == TokKind::Ident && !p.is_ident("mut"))
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+            })
+        {
+            let recv = prev
+                .filter(|p| p.kind == TokKind::Ident)
+                .map_or_else(|| "expr".to_owned(), |p| p.text.clone());
+            if let Some(site) = index_site(&toks, k, end, t.line, &recv) {
+                // Attach to the nearest enclosing loop frame; emitted only
+                // if that loop turns out to be innermost.
+                if let Some(fr) = frames.iter_mut().rev().find(|fr| fr.is_loop) {
+                    fr.index_sites.push(site);
+                }
+            }
+        }
+        k += 1;
+    }
+    while let Some(fr) = frames.pop() {
+        flush_frame(fr, &mut out);
+    }
+    out
+}
+
+/// Emits a popped loop frame's index sites when it was innermost.
+fn flush_frame(fr: Frame, out: &mut Vec<PerfSite>) {
+    if fr.is_loop && !fr.has_nested {
+        for (line, recv) in fr.index_sites {
+            out.push(PerfSite {
+                kind: PerfKind::Bounds,
+                line,
+                message: format!(
+                    "`{recv}[…]` indexing in a hot innermost loop; iterate or hoist a re-slice so bounds checks can be elided"
+                ),
+            });
+        }
+    }
+}
+
+/// Inspects one bracket group: returns the site when it names at least
+/// one identifier (constant indices are fine) and is not a `..` re-slice
+/// (re-slicing is the approved hoisting pattern).
+fn index_site(
+    toks: &[&Tok],
+    at: usize,
+    end: usize,
+    line: usize,
+    recv: &str,
+) -> Option<(usize, String)> {
+    let mut depth = 0i32;
+    let mut has_ident = false;
+    let mut k = at;
+    while k < end {
+        let t = toks[k];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct('.') && toks.get(k + 1).is_some_and(|n| n.is_punct('.')) {
+            return None;
+        } else if t.kind == TokKind::Ident {
+            has_ident = true;
+        }
+        k += 1;
+    }
+    has_ident.then(|| (line, recv.to_owned()))
+}
+
+/// Prescans the body for `let [mut] name = …;` bindings of growable
+/// containers: `true` when the initializer reserves with `with_capacity`,
+/// `false` for bare `Vec::new()` / `vec![…]` / `String::new()` inits.
+/// Bindings of anything else (and unknown receivers like fields or
+/// parameters) are absent, and `.push` on them is not judged.
+fn scan_bindings<'a>(toks: &[&'a Tok], start: usize, end: usize) -> HashMap<&'a str, bool> {
+    let mut map = HashMap::new();
+    let mut k = start;
+    while k < end {
+        if toks[k].is_ident("let") {
+            let mut j = k + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let name = toks.get(j).filter(|t| t.kind == TokKind::Ident);
+            if let Some(name) = name {
+                if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                    let mut grows = false;
+                    let mut reserved = false;
+                    let mut e = j + 2;
+                    while e < end && !toks[e].is_punct(';') {
+                        let t = toks[e];
+                        if t.is_ident("with_capacity") {
+                            reserved = true;
+                            grows = true;
+                        } else if t.is_ident("Vec") || t.is_ident("vec") || t.is_ident("String") {
+                            grows = true;
+                        }
+                        e += 1;
+                    }
+                    if grows {
+                        map.insert(name.text.as_str(), reserved);
+                    }
+                    k = e;
+                    continue;
+                }
+            }
+        }
+        k += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::items::extract;
+    use crate::scanner::analyze;
+
+    fn lint(src: &str) -> Vec<PerfSite> {
+        let source = analyze(src);
+        let fns = extract("t.rs", &source);
+        lint_hot_fn(&source, &fns[0])
+    }
+
+    fn kinds(src: &str) -> Vec<PerfKind> {
+        lint(src).into_iter().map(|s| s.kind).collect()
+    }
+
+    #[test]
+    fn hotness_propagates_through_calls() {
+        let src = "/// hot\npub fn entry(v: &[f64]) -> f64 { inner(v) }\n\
+                   fn inner(v: &[f64]) -> f64 { leaf(v) }\n\
+                   fn leaf(v: &[f64]) -> f64 { v.len() as f64 }\n\
+                   fn cold() {}";
+        let graph = build(extract("t.rs", &analyze(src)));
+        let hot = hot_set(&graph);
+        let by_name = |name: &str| {
+            graph
+                .fns
+                .iter()
+                .position(|f| f.name == name)
+                .expect("fn present")
+        };
+        assert!(hot[by_name("entry")]);
+        assert!(hot[by_name("inner")]);
+        assert!(hot[by_name("leaf")]);
+        assert!(!hot[by_name("cold")]);
+    }
+
+    #[test]
+    fn test_fns_do_not_seed_or_join_the_hot_set() {
+        let src = "#[cfg(test)]\nmod tests {\n/// hot\nfn t() { shared(); }\n}\n\
+                   fn shared() {}";
+        let graph = build(extract("t.rs", &analyze(src)));
+        let hot = hot_set(&graph);
+        assert!(hot.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn constructors_in_loop_are_flagged() {
+        let src = "fn f(n: usize) { for i in 0..n { let v = Vec::new(); use_it(v, i); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+        let src = "fn f(n: usize) { for i in 0..n { let v = vec![0.0; 4]; use_it(v, i); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+        let src = "fn f(n: usize) { for i in 0..n { log(format!(\"{i}\")); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+    }
+
+    #[test]
+    fn allocation_outside_loop_is_fine() {
+        let src = "fn f(n: usize) { let mut v = Vec::new(); for i in 0..n { v.len(); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn owning_conversions_in_loop_are_flagged() {
+        let src = "fn f(rows: &[Vec<f64>]) { for r in rows.iter() { use_it(r.clone()); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+        let src = "fn f(rows: &[Vec<f64>]) { for r in rows.iter() { use_it(r.to_vec()); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+    }
+
+    #[test]
+    fn push_without_capacity_is_flagged_with_capacity_is_not() {
+        let src = "fn f(v: &[f64]) { let mut out = Vec::new(); \
+                   for &x in v.iter() { out.push(x); } }";
+        assert_eq!(kinds(src), vec![PerfKind::Alloc]);
+        let src = "fn f(v: &[f64]) { let mut out = Vec::with_capacity(v.len()); \
+                   for &x in v.iter() { out.push(x); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn push_on_unknown_receiver_is_not_judged() {
+        let src = "fn f(out: &mut Vec<f64>, v: &[f64]) { for &x in v.iter() { out.push(x); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_in_innermost_loop_is_flagged() {
+        let src = "fn f(v: &[f64], n: usize) -> f64 { let mut s = 0.0; \
+                   for i in 0..n { s += v[i]; } s }";
+        assert_eq!(kinds(src), vec![PerfKind::Bounds]);
+    }
+
+    #[test]
+    fn indexing_in_outer_loop_is_not_innermost() {
+        let src = "fn f(v: &[f64], n: usize) -> f64 { let mut s = 0.0; \
+                   for i in 0..n { s += v[i]; for j in 0..n { s += g(j); } } s }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn constant_index_and_reslice_are_exempt() {
+        let src = "fn f(v: &[f64], n: usize) -> f64 { let mut s = 0.0; \
+                   for _i in 0..n { s += v[0]; } s }";
+        assert!(lint(src).is_empty());
+        let src = "fn f(v: &[f64], n: usize) -> f64 { let mut s = 0.0; \
+                   for i in 0..n { s += dot(&v[..i]); } s }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_under_an_if_attaches_to_the_loop() {
+        let src = "fn f(v: &[f64], n: usize) -> f64 { let mut s = 0.0; \
+                   for i in 0..n { if s > 0.0 { s += v[i]; } } s }";
+        assert_eq!(kinds(src), vec![PerfKind::Bounds]);
+    }
+
+    #[test]
+    fn nothing_fires_outside_loops() {
+        let src = "fn f(v: &[f64]) -> f64 { let c = v.to_vec(); c[0] }";
+        assert!(lint(src).is_empty());
+    }
+}

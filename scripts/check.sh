@@ -15,11 +15,18 @@ fi
 echo "== gssl-xtask check"
 cargo run -q -p gssl-xtask -- check
 
-echo "== gssl-xtask analyze"
-# Semantic pass (panic-reachability, shape contracts, concurrency); fails
-# on any finding not covered by crates/xtask/analyze.baseline, including
-# stale baseline entries.
-cargo run -q -p gssl-xtask -- analyze
+echo "== gssl-xtask analyze --json"
+# Semantic passes (panic-reachability, shape contracts, concurrency, and
+# the perf pass: hot propagation, complexity contracts, alloc/bounds
+# lints); exits 0 when clean, 1 on any finding not covered by
+# crates/xtask/analyze.baseline (including stale entries), 2 on I/O
+# errors. JSON goes to the log so CI can archive the machine-readable
+# report; any nonzero exit fails the gate.
+cargo run -q -p gssl-xtask -- analyze --json || {
+    status=$?
+    echo "gssl-xtask analyze failed with exit code ${status}" >&2
+    exit "${status}"
+}
 
 echo "== cargo build --release"
 cargo build --release
