@@ -82,6 +82,24 @@ impl From<gssl_runtime::Error> for Error {
     }
 }
 
+impl From<gssl_index::Error> for Error {
+    fn from(inner: gssl_index::Error) -> Self {
+        // The spatial-index error space is a subset of the graph one; map
+        // structurally where a counterpart exists.
+        match inner {
+            gssl_index::Error::EmptyInput { required } => Error::EmptyInput { required },
+            gssl_index::Error::DimensionMismatch { expected, actual } => Error::DimensionMismatch {
+                expected,
+                actual,
+                index: 0,
+            },
+            other => Error::InvalidArgument {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 

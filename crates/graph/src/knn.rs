@@ -8,6 +8,7 @@
 use crate::bandwidth::squared_distance;
 use crate::error::{Error, Result};
 use crate::kernel::Kernel;
+use gssl_index::{self_k_nearest_batch, BruteForce, Neighbor, NeighborSearch, SpatialIndex};
 use gssl_linalg::{CsrMatrix, Matrix};
 
 /// How to symmetrize a directed kNN relation.
@@ -22,26 +23,8 @@ pub enum Symmetrization {
     Mutual,
 }
 
-/// Builds a symmetric k-nearest-neighbour affinity graph.
-///
-/// Edge weights are `kernel.weight(dist², bandwidth)`. Self-loops are not
-/// included (the paper's dense `W` has them, but they cancel in `D − W`;
-/// sparse graphs conventionally omit them).
-///
-/// # Errors
-///
-/// * [`Error::EmptyInput`] when `points` has no rows.
-/// * [`Error::InvalidArgument`] when `k == 0` or `k >= points.rows()`.
-/// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
-/// shape: (points.rows, points.rows)
-pub fn knn_graph(
-    points: &Matrix,
-    k: usize,
-    kernel: Kernel,
-    bandwidth: f64,
-    symmetrization: Symmetrization,
-) -> Result<CsrMatrix> {
-    let n = points.rows();
+/// Shared argument validation for the kNN builders.
+fn check_knn_args(n: usize, k: usize, bandwidth: f64) -> Result<()> {
     if n == 0 {
         return Err(Error::EmptyInput {
             required: "at least one point",
@@ -55,33 +38,59 @@ pub fn knn_graph(
     if !(bandwidth > 0.0) {
         return Err(Error::InvalidBandwidth { value: bandwidth });
     }
-
-    // Directed relation: neighbor_of[i] = set of i's k nearest.
-    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut dists: Vec<(usize, f64)> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, squared_distance(points.row(i), points.row(j))))
-            .collect();
-        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
-        neighbors.push(dists[..k].iter().map(|&(j, _)| j).collect());
-    }
-
-    symmetrize_knn(points, &neighbors, kernel, bandwidth, symmetrization)
+    Ok(())
 }
 
-/// [`knn_graph`] with the neighbour search sharded across `executor`,
-/// producing a graph **bit-identical** to the sequential one.
+/// Builds a symmetric k-nearest-neighbour affinity graph.
 ///
-/// Only the `O(n² d + n² log n)` per-row distance-sort is parallel: each
-/// worker resolves the k nearest of a block of rows with exactly the
-/// sequential code (the total-order sort is deterministic), and the
-/// symmetrization walks the directed lists in row order afterwards.
+/// Edge weights are `kernel.weight(dist², bandwidth)`. Self-loops are not
+/// included (the paper's dense `W` has them, but they cancel in `D − W`;
+/// sparse graphs conventionally omit them).
+///
+/// The neighbour relation is resolved by the [`BruteForce`] backend of
+/// `gssl-index` — the exact linear scan this function always performed,
+/// now shared with the spatial trees as their test oracle. Ties at the
+/// k-th distance break by ascending index, exactly as the historical
+/// stable sort did.
+///
+/// # Errors
+///
+/// * [`Error::EmptyInput`] when `points` has no rows.
+/// * [`Error::InvalidArgument`] when `k == 0` or `k >= points.rows()`.
+/// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
+/// shape: (points.rows, points.rows)
+/// complexity: O(n^2 * d)
+pub fn knn_graph(
+    points: &Matrix,
+    k: usize,
+    kernel: Kernel,
+    bandwidth: f64,
+    symmetrization: Symmetrization,
+) -> Result<CsrMatrix> {
+    check_knn_args(points.rows(), k, bandwidth)?;
+    let index = BruteForce::build(points)?;
+    let neighbors = self_k_nearest_batch(&index, k, &gssl_runtime::Executor::Sequential)?;
+    symmetrize_knn(&neighbors, kernel, bandwidth, symmetrization)
+}
+
+/// [`knn_graph`] accelerated by a spatial index and sharded across
+/// `executor`, producing a graph **bit-identical** to the sequential
+/// brute-force one.
+///
+/// The point cloud is indexed once (`O(n log n)` for the KD-tree that
+/// low-dimensional data selects) and each vertex then resolves its k
+/// nearest in sublinear time — the `O(n²·d)` wall this crate used to hit
+/// at scale is gone even at one worker. Bit-identity to [`knn_graph`]
+/// holds because the trees are exact and canonicalize ties by index (see
+/// the `gssl-index` crate docs for the full argument), and the batched
+/// queries reassemble in input order at any worker count.
 ///
 /// # Errors
 ///
 /// Same as [`knn_graph`].
 /// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n * k * d)
 pub fn knn_graph_with(
     points: &Matrix,
     k: usize,
@@ -90,66 +99,45 @@ pub fn knn_graph_with(
     symmetrization: Symmetrization,
     executor: &gssl_runtime::Executor,
 ) -> Result<CsrMatrix> {
-    if executor.is_sequential() {
-        return knn_graph(points, k, kernel, bandwidth, symmetrization);
-    }
-    let n = points.rows();
-    if n == 0 {
-        return Err(Error::EmptyInput {
-            required: "at least one point",
-        });
-    }
-    if k == 0 || k >= n {
-        return Err(Error::InvalidArgument {
-            message: format!("k must satisfy 1 <= k < n (= {n}), got {k}"),
-        });
-    }
-    if !(bandwidth > 0.0) {
-        return Err(Error::InvalidBandwidth { value: bandwidth });
-    }
-
-    let block = n.div_ceil(executor.workers().saturating_mul(4)).max(1);
-    let neighbors: Vec<Vec<usize>> = executor.map_chunks(n, block, |range| {
-        let mut rows = Vec::with_capacity(range.len());
-        for i in range {
-            let mut dists: Vec<(usize, f64)> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| (j, squared_distance(points.row(i), points.row(j))))
-                .collect();
-            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
-            rows.push(dists[..k].iter().map(|&(j, _)| j).collect());
-        }
-        Ok::<_, Error>(rows)
-    })?;
-    symmetrize_knn(points, &neighbors, kernel, bandwidth, symmetrization)
+    check_knn_args(points.rows(), k, bandwidth)?;
+    let index = SpatialIndex::build(points)?;
+    let neighbors = self_k_nearest_batch(&index, k, executor)?;
+    symmetrize_knn(&neighbors, kernel, bandwidth, symmetrization)
 }
 
 /// Shared tail of the kNN builders: turns the directed neighbour relation
 /// into a symmetric weighted CSR graph (sequentially, in row order).
+///
+/// Weights reuse the squared distances the neighbour search already
+/// computed — `Neighbor::dist2` comes from the same `squared_distance`
+/// call, in the same argument order, as the historical recomputation, so
+/// edge weights are bitwise unchanged.
 fn symmetrize_knn(
-    points: &Matrix,
-    neighbors: &[Vec<usize>],
+    neighbors: &[Vec<Neighbor>],
     kernel: Kernel,
     bandwidth: f64,
     symmetrization: Symmetrization,
 ) -> Result<CsrMatrix> {
     let n = neighbors.len();
-    let mut triplets = Vec::new();
+    // Neighbor ids come from a search over these same n points, so every
+    // stored index is a valid list position.
+    debug_assert!(neighbors.iter().flatten().all(|nb| nb.index < n));
+    let lists_mention = |j: usize, i: usize| neighbors[j].iter().any(|nb| nb.index == i);
+    // Every directed edge yields at most one symmetric pair.
+    let mut triplets = Vec::with_capacity(2 * neighbors.iter().map(Vec::len).sum::<usize>());
     for (i, nbrs) in neighbors.iter().enumerate() {
-        for &j in nbrs {
+        for nb in nbrs {
+            let j = nb.index;
             let keep = match symmetrization {
                 Symmetrization::Union => true,
-                Symmetrization::Mutual => neighbors[j].contains(&i),
+                Symmetrization::Mutual => lists_mention(j, i),
             };
-            if keep && i < j {
-                let w = kernel.weight(squared_distance(points.row(i), points.row(j)), bandwidth)?;
-                if w > 0.0 {
-                    triplets.push((i, j, w));
-                    triplets.push((j, i, w));
-                }
-            } else if keep && j < i && !neighbors[j].contains(&i) {
-                // Union edge discovered from the higher-index side only.
-                let w = kernel.weight(squared_distance(points.row(i), points.row(j)), bandwidth)?;
+            // Emit each undirected edge once: from the lower-index side
+            // when it lists the other, otherwise from the higher-index
+            // side (a union edge the lower side never discovered).
+            let emit = keep && (i < j || (j < i && !lists_mention(j, i)));
+            if emit {
+                let w = kernel.weight(nb.dist2, bandwidth)?;
                 if w > 0.0 {
                     triplets.push((i, j, w));
                     triplets.push((j, i, w));
@@ -199,6 +187,59 @@ pub fn epsilon_graph(
                 if w > 0.0 {
                     triplets.push((i, j, w));
                     triplets.push((j, i, w));
+                }
+            }
+        }
+    }
+    Ok(CsrMatrix::from_triplets(n, n, &triplets)?)
+}
+
+/// [`epsilon_graph`] accelerated by a spatial index and sharded across
+/// `executor`: each vertex finds its ε-ball with a range query instead
+/// of scanning all n points, and the result is **bit-identical** to the
+/// sequential double loop (membership `dist² <= ε²` and the edge weights
+/// are computed by the very same expressions).
+///
+/// # Errors
+///
+/// Same as [`epsilon_graph`].
+/// shape: (points.rows, points.rows)
+/// hot
+/// complexity: O(n * k * d)
+pub fn epsilon_graph_with(
+    points: &Matrix,
+    epsilon: f64,
+    kernel: Kernel,
+    bandwidth: f64,
+    executor: &gssl_runtime::Executor,
+) -> Result<CsrMatrix> {
+    let n = points.rows();
+    if n == 0 {
+        return Err(Error::EmptyInput {
+            required: "at least one point",
+        });
+    }
+    if !(epsilon > 0.0) {
+        return Err(Error::InvalidArgument {
+            message: format!("epsilon must be positive, got {epsilon}"),
+        });
+    }
+    if !(bandwidth > 0.0) {
+        return Err(Error::InvalidBandwidth { value: bandwidth });
+    }
+    let index = SpatialIndex::build(points)?;
+    let balls = gssl_index::self_within_radius_batch(&index, epsilon, executor)?;
+    // Each undirected pair appears in both endpoint balls and is emitted
+    // once as two triplets, so the ball populations bound the total.
+    let mut triplets = Vec::with_capacity(balls.iter().map(Vec::len).sum::<usize>());
+    for (i, ball) in balls.iter().enumerate() {
+        for nb in ball {
+            // Each undirected pair appears in both balls; emit once.
+            if nb.index > i {
+                let w = kernel.weight(nb.dist2, bandwidth)?;
+                if w > 0.0 {
+                    triplets.push((i, nb.index, w));
+                    triplets.push((nb.index, i, w));
                 }
             }
         }
@@ -370,6 +411,58 @@ mod tests {
             )
             .is_err());
         }
+    }
+
+    #[test]
+    fn parallel_epsilon_graph_is_bit_identical_to_sequential() {
+        use gssl_runtime::Executor;
+        let pts = Matrix::from_fn(48, 2, |i, j| ((i * 13 + j * 5) as f64 * 0.47).cos());
+        let sequential = epsilon_graph(&pts, 0.6, Kernel::Gaussian, 0.9).unwrap();
+        for workers in [1, 2, 4] {
+            let executor = Executor::with_workers(workers);
+            let indexed = epsilon_graph_with(&pts, 0.6, Kernel::Gaussian, 0.9, &executor).unwrap();
+            assert_eq!(indexed.nnz(), sequential.nnz());
+            assert_eq!(
+                indexed.to_dense().as_slice(),
+                sequential.to_dense().as_slice(),
+                "epsilon graph differs at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_epsilon_graph_validates_arguments() {
+        use gssl_runtime::Executor;
+        let pts = line_points();
+        let executor = Executor::with_workers(2);
+        assert!(epsilon_graph_with(&pts, 0.0, Kernel::Gaussian, 1.0, &executor).is_err());
+        assert!(epsilon_graph_with(&pts, 1.0, Kernel::Gaussian, -1.0, &executor).is_err());
+        assert!(
+            epsilon_graph_with(&Matrix::zeros(0, 1), 1.0, Kernel::Gaussian, 1.0, &executor)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn knn_graph_with_handles_high_dimension_via_cover_tree() {
+        use gssl_runtime::Executor;
+        // 20-dimensional points route to the cover tree backend; the
+        // result must still equal the brute-force oracle bit for bit.
+        let pts = Matrix::from_fn(40, 20, |i, j| ((i * 17 + j * 7) as f64 * 0.31).sin());
+        let sequential = knn_graph(&pts, 5, Kernel::Gaussian, 1.4, Symmetrization::Union).unwrap();
+        let indexed = knn_graph_with(
+            &pts,
+            5,
+            Kernel::Gaussian,
+            1.4,
+            Symmetrization::Union,
+            &Executor::Sequential,
+        )
+        .unwrap();
+        assert_eq!(
+            indexed.to_dense().as_slice(),
+            sequential.to_dense().as_slice()
+        );
     }
 
     #[test]

@@ -58,5 +58,5 @@ pub use bandwidth::Bandwidth;
 pub use error::{Error, Result};
 pub use extension::KernelGraph;
 pub use kernel::Kernel;
-pub use knn::{epsilon_graph, knn_graph, knn_graph_with, Symmetrization};
+pub use knn::{epsilon_graph, epsilon_graph_with, knn_graph, knn_graph_with, Symmetrization};
 pub use laplacian::{degrees, dirichlet_energy, laplacian, volume, LaplacianKind};

@@ -1,0 +1,167 @@
+//! The brute-force linear scan — the oracle every tree backend is tested
+//! against, extracted verbatim in spirit from the original inner loop of
+//! `gssl-graph`'s kNN assembly.
+
+use crate::error::Result;
+use crate::neighbor::{check_k, check_radius, KBest, Neighbor, NeighborSearch};
+use crate::points::PointStore;
+use gssl_linalg::Matrix;
+
+/// Exact neighbor search by scanning every stored point.
+///
+/// `O(n·d)` per query — the baseline the spatial trees must agree with
+/// bit for bit. Kept as a first-class backend because for tiny `n` the
+/// scan's perfect locality beats any tree, and because property tests
+/// need an implementation whose correctness is self-evident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForce {
+    points: PointStore,
+}
+
+impl NeighborSearch for BruteForce {
+    fn build(points: &Matrix) -> Result<Self> {
+        Ok(BruteForce {
+            points: PointStore::from_matrix(points)?,
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn point(&self, i: usize) -> &[f64] {
+        self.points.point(i)
+    }
+
+    fn insert(&mut self, point: &[f64]) -> Result<usize> {
+        self.points.push(point)
+    }
+
+    /// hot
+    /// complexity: O(n * d)
+    fn k_nearest_excluding(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        self.points.check_query(query)?;
+        check_k(self.len(), k, exclude)?;
+        let mut best = KBest::new(k);
+        for i in 0..self.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            let dist2 = self.points.dist2_to(query, i);
+            // `offer` fast-rejects candidates worse than the current
+            // worst; ties at the bound are still rejected correctly here
+            // because the scan runs in ascending index order, so a tied
+            // later candidate loses the (dist2, index) tie-break anyway.
+            best.offer(Neighbor { index: i, dist2 });
+        }
+        Ok(best.into_sorted())
+    }
+
+    /// hot
+    /// complexity: O(n * d)
+    fn within_radius(&self, query: &[f64], radius: f64) -> Result<Vec<Neighbor>> {
+        self.points.check_query(query)?;
+        check_radius(radius)?;
+        let r2 = radius * radius;
+        let mut hits = Vec::new();
+        for i in 0..self.len() {
+            let dist2 = self.points.dist2_to(query, i);
+            if dist2 <= r2 {
+                hits.push(Neighbor { index: i, dist2 });
+            }
+        }
+        // The scan emits in index order; canonicalize to (dist2, index).
+        hits.sort_by(Neighbor::key_cmp);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn grid() -> Matrix {
+        // Five collinear points at x = 0, 1, 2, 3, 4.
+        Matrix::from_fn(5, 1, |i, _| i as f64)
+    }
+
+    #[test]
+    fn k_nearest_finds_the_closest_points() {
+        let idx = BruteForce::build(&grid()).unwrap();
+        let out = idx.k_nearest(&[1.9], 2).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].index, 2);
+        assert_eq!(out[1].index, 1);
+        assert!(out[0].dist2 < out[1].dist2);
+    }
+
+    #[test]
+    fn excluding_self_skips_the_zero_distance_hit() {
+        let idx = BruteForce::build(&grid()).unwrap();
+        let all = idx.k_nearest(&[2.0], 1).unwrap();
+        assert_eq!(all[0].index, 2);
+        assert_eq!(all[0].dist2, 0.0);
+        let excl = idx.k_nearest_excluding(&[2.0], 2, Some(2)).unwrap();
+        // Equidistant neighbors 1 and 3: tie broken by index.
+        assert_eq!(excl[0].index, 1);
+        assert_eq!(excl[1].index, 3);
+        assert_eq!(excl[0].dist2, 1.0);
+        assert_eq!(excl[1].dist2, 1.0);
+    }
+
+    #[test]
+    fn within_radius_is_inclusive_and_sorted() {
+        let idx = BruteForce::build(&grid()).unwrap();
+        let out = idx.within_radius(&[2.0], 1.0).unwrap();
+        let ids: Vec<usize> = out.iter().map(|n| n.index).collect();
+        assert_eq!(ids, vec![2, 1, 3], "self first, then tie by index");
+        let none = idx.within_radius(&[100.0], 1.0).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn queries_validate_arguments() {
+        let idx = BruteForce::build(&grid()).unwrap();
+        assert!(matches!(
+            idx.k_nearest(&[0.0, 0.0], 1),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.k_nearest(&[f64::NAN], 1),
+            Err(Error::NonFiniteCoordinate { .. })
+        ));
+        assert!(matches!(
+            idx.k_nearest(&[0.0], 0),
+            Err(Error::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            idx.k_nearest(&[0.0], 6),
+            Err(Error::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            idx.within_radius(&[0.0], -1.0),
+            Err(Error::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_extends_the_id_space() {
+        let mut idx = BruteForce::build(&grid()).unwrap();
+        let id = idx.insert(&[1.5]).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(idx.len(), 6);
+        let out = idx.k_nearest(&[1.5], 1).unwrap();
+        assert_eq!(out[0].index, 5);
+        assert_eq!(out[0].dist2, 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! An exact cover tree — the backend for dimensions where KD-tree
+//! axis-aligned pruning loses its bite.
+//!
+//! # Invariants
+//!
+//! For every node at integer scale `level` (covering radius
+//! `covdist = 2^level`):
+//!
+//! * **Covering** — every child `c` satisfies
+//!   `d(node, c) <= covdist(node.level)` and `c.level <= node.level - 1`.
+//! * **Subtree bound** — by induction over the covering invariant, every
+//!   descendant `x` satisfies `d(node, x) <= Σ_{j<=level} 2^j =
+//!   2^(level+1) =: maxdist(node)`.
+//!
+//! Insertion (also the build step — construction folds points in row
+//! order) descends to the first child, in creation order, whose covering
+//! ball contains the new point, and otherwise attaches it one scale
+//! below the current node, raising the root scale first when the point
+//! falls outside the root ball. Both choices are deterministic, so the
+//! same input always builds the same tree.
+//!
+//! # Exactness of pruning
+//!
+//! A subtree rooted at `c` is skipped only when
+//! `d(q, c) > (bound + maxdist(c)) * (1 + PRUNE_SLACK)`, where `bound`
+//! is the current k-th best (or radius) distance. Every descendant is
+//! within `maxdist(c)` of `c`, so by the triangle inequality its
+//! distance to `q` is at least `d(q, c) - maxdist(c) > bound`: it can
+//! neither beat nor tie the bound. The relative slack absorbs the few
+//! ulps of rounding in `sqrt`/addition — it can only *widen* the search,
+//! so agreement with the brute-force oracle is bit-exact (membership is
+//! always decided on `dist2` computed by the shared
+//! [`crate::points::squared_distance`], never on the pruning estimate).
+
+use crate::error::Result;
+use crate::neighbor::{check_k, check_radius, KBest, Neighbor, NeighborSearch};
+use crate::points::PointStore;
+use gssl_linalg::Matrix;
+
+/// Relative widening of the pruning radius; covers accumulated rounding
+/// (≈1e-12 over the deepest representable scale chain) with six orders
+/// of magnitude to spare, at the cost of visiting a few boundary nodes.
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// Covering radius at integer scale `level`: `2^level` (exact in f64 for
+/// every scale that a finite distance can produce).
+fn covdist(level: i32) -> f64 {
+    2f64.powi(level)
+}
+
+/// Upper bound on the distance from a node at `level` to any descendant.
+fn maxdist(level: i32) -> f64 {
+    covdist(level.saturating_add(1))
+}
+
+/// Whether a subtree with root distance `d` and scale bound `maxd` may
+/// still contain a point at or under the current bound (squared).
+fn may_contain(d: f64, bound2: f64, maxd: f64) -> bool {
+    if bound2.is_infinite() {
+        return true;
+    }
+    d <= (bound2.sqrt() + maxd) * (1.0 + PRUNE_SLACK)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CoverNode {
+    /// Id of the stored point this node carries.
+    point: usize,
+    /// Integer scale: children lie within `2^level`.
+    level: i32,
+    /// Children in creation order (descent is first-cover-wins).
+    children: Vec<usize>,
+}
+
+/// Exact cover tree with deterministic incremental construction.
+///
+/// Build is `O(n · depth)`; queries are `O(polylog n)` for bounded
+/// expansion constant and never worse than the brute scan plus tree
+/// overhead. Works at any dimension because pruning only uses metric
+/// balls, not axis-aligned planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverTree {
+    points: PointStore,
+    nodes: Vec<CoverNode>,
+    root: usize,
+}
+
+impl CoverTree {
+    /// Number of tree nodes — one per point; a structural fingerprint
+    /// used by determinism tests.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Distance between two stored points.
+    ///
+    /// hot
+    /// complexity: O(d)
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        self.points.dist2_to(self.points.point(a), b).sqrt()
+    }
+
+    /// Threads stored point `id` into the tree (the shared step behind
+    /// both `build` and `insert`).
+    ///
+    /// complexity: O(n * d)
+    fn insert_id(&mut self, id: usize) {
+        if self.nodes.is_empty() {
+            self.nodes.push(CoverNode {
+                point: id,
+                level: 0,
+                children: Vec::new(),
+            });
+            return;
+        }
+        let root = self.root;
+        let d_root = self.distance(id, self.nodes[root].point);
+        // Raise the root scale until its ball covers the new point.
+        while d_root > covdist(self.nodes[root].level) {
+            self.nodes[root].level = self.nodes[root].level.saturating_add(1);
+        }
+        let mut cur = root;
+        loop {
+            let mut next = None;
+            for &c in &self.nodes[cur].children {
+                let dc = self.distance(id, self.nodes[c].point);
+                if dc <= covdist(self.nodes[c].level) {
+                    next = Some(c);
+                    break;
+                }
+            }
+            match next {
+                Some(c) => cur = c,
+                None => {
+                    // No child ball covers the point; it becomes a new
+                    // child one scale below `cur`. Covering holds because
+                    // descent maintained d(cur, id) <= covdist(cur.level).
+                    let level = self.nodes[cur].level.saturating_sub(1);
+                    self.nodes.push(CoverNode {
+                        point: id,
+                        level,
+                        children: Vec::new(),
+                    });
+                    let nid = self.nodes.len() - 1;
+                    self.nodes[cur].children.push(nid);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl NeighborSearch for CoverTree {
+    /// complexity: O(n^2 * d)
+    fn build(points: &Matrix) -> Result<Self> {
+        let store = PointStore::from_matrix(points)?;
+        let n = store.len();
+        let mut tree = CoverTree {
+            points: store,
+            nodes: Vec::with_capacity(n),
+            root: 0,
+        };
+        for id in 0..n {
+            tree.insert_id(id);
+        }
+        Ok(tree)
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn point(&self, i: usize) -> &[f64] {
+        self.points.point(i)
+    }
+
+    fn insert(&mut self, point: &[f64]) -> Result<usize> {
+        let id = self.points.push(point)?;
+        self.insert_id(id);
+        Ok(id)
+    }
+
+    /// hot
+    /// complexity: O(n * d)
+    fn k_nearest_excluding(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        self.points.check_query(query)?;
+        check_k(self.len(), k, exclude)?;
+        let mut best = KBest::new(k);
+        let root_point = self.nodes[self.root].point;
+        if Some(root_point) != exclude {
+            best.offer(Neighbor {
+                index: root_point,
+                dist2: self.points.dist2_to(query, root_point),
+            });
+        }
+        let mut stack: Vec<usize> = Vec::with_capacity(64);
+        stack.push(self.root);
+        while let Some(n) = stack.pop() {
+            for &c in &self.nodes[n].children {
+                let cp = self.nodes[c].point;
+                let dist2 = self.points.dist2_to(query, cp);
+                if Some(cp) != exclude {
+                    best.offer(Neighbor { index: cp, dist2 });
+                }
+                // Prune on the *current* bound; it only shrinks, so a
+                // skipped subtree could never contribute later either.
+                if may_contain(
+                    dist2.sqrt(),
+                    best.bound_dist2(),
+                    maxdist(self.nodes[c].level),
+                ) {
+                    stack.push(c);
+                }
+            }
+        }
+        Ok(best.into_sorted())
+    }
+
+    /// hot
+    /// complexity: O(n * d)
+    fn within_radius(&self, query: &[f64], radius: f64) -> Result<Vec<Neighbor>> {
+        self.points.check_query(query)?;
+        check_radius(radius)?;
+        let r2 = radius * radius;
+        let mut hits = Vec::new();
+        let root_point = self.nodes[self.root].point;
+        let d2_root = self.points.dist2_to(query, root_point);
+        if d2_root <= r2 {
+            hits.push(Neighbor {
+                index: root_point,
+                dist2: d2_root,
+            });
+        }
+        let mut stack: Vec<usize> = Vec::with_capacity(64);
+        stack.push(self.root);
+        while let Some(n) = stack.pop() {
+            for &c in &self.nodes[n].children {
+                let cp = self.nodes[c].point;
+                let dist2 = self.points.dist2_to(query, cp);
+                if dist2 <= r2 {
+                    hits.push(Neighbor { index: cp, dist2 });
+                }
+                if may_contain(dist2.sqrt(), r2, maxdist(self.nodes[c].level)) {
+                    stack.push(c);
+                }
+            }
+        }
+        hits.sort_by(Neighbor::key_cmp);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+
+    fn cloud(n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |i, j| {
+            (((i * 131 + j * 37 + 11) as f64) * 0.6180339887498949).fract()
+        })
+    }
+
+    /// Walks the tree verifying covering and scale invariants.
+    fn check_invariants(tree: &CoverTree) {
+        for (nid, node) in tree.nodes.iter().enumerate() {
+            for &c in &node.children {
+                let child = &tree.nodes[c];
+                assert!(
+                    child.level < node.level,
+                    "child {c} of {nid} must live at a smaller scale"
+                );
+                let d = tree.distance(node.point, child.point);
+                assert!(
+                    d <= covdist(node.level),
+                    "child {c} of {nid} violates covering: d = {d}, covdist = {}",
+                    covdist(node.level)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_respects_covering_invariants() {
+        let tree = CoverTree::build(&cloud(300, 8)).unwrap();
+        assert_eq!(tree.node_count(), 300);
+        check_invariants(&tree);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let pts = cloud(200, 5);
+        let a = CoverTree::build(&pts).unwrap();
+        let b = CoverTree::build(&pts).unwrap();
+        assert_eq!(a, b, "same input must build the identical tree");
+    }
+
+    #[test]
+    fn agrees_with_brute_force_in_high_dimension() {
+        let pts = cloud(211, 8);
+        let tree = CoverTree::build(&pts).unwrap();
+        let brute = BruteForce::build(&pts).unwrap();
+        for qi in 0..30 {
+            let q: Vec<f64> = (0..8)
+                .map(|j| (((qi * 97 + j * 13 + 5) as f64) * 0.414).fract())
+                .collect();
+            assert_eq!(
+                tree.k_nearest(&q, 6).unwrap(),
+                brute.k_nearest(&q, 6).unwrap(),
+                "query {qi}"
+            );
+            assert_eq!(
+                tree.within_radius(&q, 0.7).unwrap(),
+                brute.within_radius(&q, 0.7).unwrap(),
+                "radius query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_stay_searchable() {
+        // 40 copies of one point plus a few distinct ones: descent builds
+        // a chain, queries must still see every id.
+        let pts = Matrix::from_fn(44, 2, |i, _| if i < 40 { 0.25 } else { i as f64 });
+        let tree = CoverTree::build(&pts).unwrap();
+        check_invariants(&tree);
+        let out = tree.k_nearest(&[0.25, 0.25], 40).unwrap();
+        let ids: Vec<usize> = out.iter().map(|n| n.index).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>(), "ties break by index");
+        assert!(out.iter().all(|n| n.dist2 == 0.0));
+    }
+
+    #[test]
+    fn root_scale_raises_for_far_inserts() {
+        let pts = Matrix::from_fn(2, 1, |i, _| i as f64 * 0.125);
+        let mut tree = CoverTree::build(&pts).unwrap();
+        let id = tree.insert(&[1000.0]).unwrap();
+        assert_eq!(id, 2);
+        check_invariants(&tree);
+        let out = tree.k_nearest(&[999.0], 1).unwrap();
+        assert_eq!(out[0].index, 2);
+    }
+
+    #[test]
+    fn insert_keeps_queries_exact() {
+        let pts = cloud(64, 3);
+        let mut tree = CoverTree::build(&pts).unwrap();
+        let mut brute = BruteForce::build(&pts).unwrap();
+        for i in 0..100 {
+            let p: Vec<f64> = (0..3)
+                .map(|j| (((i * 53 + j * 29 + 7) as f64) * 0.37).fract() * 3.0 - 1.0)
+                .collect();
+            assert_eq!(tree.insert(&p).unwrap(), brute.insert(&p).unwrap());
+        }
+        check_invariants(&tree);
+        for qi in 0..20 {
+            let q = [(qi as f64) * 0.06 - 0.2, (qi as f64) * 0.045, 0.3];
+            assert_eq!(
+                tree.k_nearest(&q, 8).unwrap(),
+                brute.k_nearest(&q, 8).unwrap(),
+                "query {qi} after inserts"
+            );
+        }
+    }
+}

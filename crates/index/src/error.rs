@@ -1,0 +1,117 @@
+//! Error type shared by every neighbor-search backend.
+
+use std::fmt;
+
+/// Errors produced by index construction, insertion and queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input was empty where at least one element is required.
+    EmptyInput {
+        /// What the call needed (for the error message).
+        required: &'static str,
+    },
+    /// A point or query had the wrong number of coordinates.
+    DimensionMismatch {
+        /// The dimension the index was built with.
+        expected: usize,
+        /// The dimension actually supplied.
+        actual: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Zero-based position of the offending coordinate within the
+        /// point or query slice.
+        position: usize,
+    },
+    /// A query parameter (`k`, radius, …) was out of range.
+    InvalidArgument {
+        /// Human-readable description of the violated precondition.
+        message: String,
+    },
+    /// The runtime executor rejected a batched query plan.
+    Runtime(gssl_runtime::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput { required } => {
+                write!(f, "empty input: the operation requires {required}")
+            }
+            Error::DimensionMismatch { expected, actual } => write!(
+                f,
+                "dimension mismatch: index holds {expected}-dimensional points, got {actual}"
+            ),
+            Error::NonFiniteCoordinate { position } => {
+                write!(f, "coordinate {position} is NaN or infinite")
+            }
+            Error::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gssl_runtime::Error> for Error {
+    fn from(e: gssl_runtime::Error) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::EmptyInput { required: "points" },
+                "empty input: the operation requires points",
+            ),
+            (
+                Error::DimensionMismatch {
+                    expected: 3,
+                    actual: 2,
+                },
+                "dimension mismatch: index holds 3-dimensional points, got 2",
+            ),
+            (
+                Error::NonFiniteCoordinate { position: 4 },
+                "coordinate 4 is NaN or infinite",
+            ),
+            (
+                Error::InvalidArgument {
+                    message: "k must be positive".into(),
+                },
+                "invalid argument: k must be positive",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn runtime_errors_convert_and_chain() {
+        let rt = gssl_runtime::Error::InvalidConfig {
+            message: "zero chunk width".into(),
+        };
+        let err: Error = rt.into();
+        assert!(matches!(err, Error::Runtime(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("runtime error"));
+    }
+}

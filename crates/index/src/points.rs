@@ -1,0 +1,191 @@
+//! Owned, growable point storage shared by every index backend.
+//!
+//! All backends hold their points in one row-major buffer so candidate
+//! distances are always computed by the same [`squared_distance`] over
+//! identically laid-out slices. That single code path is what makes the
+//! tree backends *bit-identical* to the brute-force oracle: both sides
+//! evaluate the identical floating-point expression on the identical
+//! operands, so equal neighbor sets imply equal distances down to the
+//! last ulp.
+
+use crate::error::{Error, Result};
+use gssl_linalg::Matrix;
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// This is deliberately the same zip/map/sum expression as
+/// `gssl_graph::bandwidth::squared_distance`, so distances computed by an
+/// index are bitwise equal to those computed during affinity assembly.
+///
+/// hot
+/// complexity: O(d)
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "points must share a dimension");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Row-major point buffer: `n` points of dimension `dim`, growable at the
+/// back so out-of-sample insertion never reallocates per coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PointStore {
+    data: Vec<f64>,
+    dim: usize,
+}
+
+impl PointStore {
+    /// Copies a point matrix (rows are points) into owned storage.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyInput`] when the matrix has no rows or no columns.
+    /// * [`Error::NonFiniteCoordinate`] when any entry is NaN/infinite.
+    pub fn from_matrix(points: &Matrix) -> Result<Self> {
+        if points.rows() == 0 {
+            return Err(Error::EmptyInput {
+                required: "at least one point",
+            });
+        }
+        if points.cols() == 0 {
+            return Err(Error::EmptyInput {
+                required: "at least one coordinate per point",
+            });
+        }
+        if let Some(position) = points.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteCoordinate { position });
+        }
+        Ok(PointStore {
+            data: points.as_slice().to_vec(),
+            dim: points.cols(),
+        })
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        // `from_matrix` rejects zero-column inputs, so `dim >= 1` always.
+        debug_assert!(self.dim > 0);
+        self.data.len() / self.dim
+    }
+
+    /// Point dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows point `i` as a coordinate slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()` — backends only pass ids they
+    /// allocated themselves.
+    ///
+    /// hot
+    /// complexity: O(1)
+    pub fn point(&self, i: usize) -> &[f64] {
+        assert!(i < self.len(), "point index {i} out of range");
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Squared distance from `query` to stored point `i`.
+    ///
+    /// hot
+    /// complexity: O(d)
+    pub fn dist2_to(&self, query: &[f64], i: usize) -> f64 {
+        squared_distance(query, self.point(i))
+    }
+
+    /// Validates a query slice against the stored dimension.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] when `query.len() != self.dim()`.
+    /// * [`Error::NonFiniteCoordinate`] when any coordinate is NaN/inf.
+    pub fn check_query(&self, query: &[f64]) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        if let Some(position) = query.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteCoordinate { position });
+        }
+        Ok(())
+    }
+
+    /// Appends a point and returns its id (`old len`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PointStore::check_query`].
+    pub fn push(&mut self, point: &[f64]) -> Result<usize> {
+        self.check_query(point)?;
+        let id = self.len();
+        self.data.extend_from_slice(point);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_distance_matches_hand_computation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, 4.0, 1.0];
+        assert_eq!(squared_distance(&a, &b), 1.0 + 4.0 + 4.0);
+        assert_eq!(squared_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn store_round_trips_matrix_rows() {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 10 + j) as f64);
+        let store = PointStore::from_matrix(&m).unwrap();
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.dim(), 3);
+        for i in 0..5 {
+            assert_eq!(store.point(i), m.row(i));
+        }
+    }
+
+    #[test]
+    fn store_validates_inputs() {
+        assert!(matches!(
+            PointStore::from_matrix(&Matrix::zeros(0, 2)),
+            Err(Error::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            PointStore::from_matrix(&Matrix::zeros(2, 0)),
+            Err(Error::EmptyInput { .. })
+        ));
+        let mut bad = Matrix::zeros(2, 2);
+        bad.set(1, 0, f64::NAN);
+        assert!(matches!(
+            PointStore::from_matrix(&bad),
+            Err(Error::NonFiniteCoordinate { position: 2 })
+        ));
+    }
+
+    #[test]
+    fn push_appends_and_validates() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut store = PointStore::from_matrix(&m).unwrap();
+        assert_eq!(store.push(&[9.0, 9.0]).unwrap(), 2);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.point(2), &[9.0, 9.0]);
+        assert!(matches!(
+            store.push(&[1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            store.push(&[1.0, f64::INFINITY]),
+            Err(Error::NonFiniteCoordinate { position: 1 })
+        ));
+    }
+}

@@ -44,6 +44,35 @@ pub enum EngineSolver {
     Auto(SolverPolicy),
 }
 
+/// How `predict_batch` evaluates the out-of-sample extension (Eq. 6)
+/// `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` for each query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum QueryPath {
+    /// Evaluate the full kernel row: `O(n·d)` per query, exact for every
+    /// kernel. The legacy (and default) path.
+    #[default]
+    Dense,
+    /// Restrict the sums of Eq. 6 to the query's `k` nearest fitted
+    /// nodes, found through a spatial index built once at fit time —
+    /// `O(k)` kernel weights per query after a sublinear tree search.
+    /// A truncation of the dense extension: exact when the kernel's
+    /// support holds at most `k` nodes, an approximation otherwise.
+    KNearest {
+        /// Number of nearest fitted nodes kept per query (`k ≥ 1`;
+        /// clamped to the fitted graph size).
+        k: usize,
+    },
+    /// Restrict the sums of Eq. 6 to the fitted nodes within distance
+    /// `bandwidth` of the query. For compactly supported kernels
+    /// (everything except Gaussian) every omitted weight is *exactly*
+    /// zero, so this path agrees with [`QueryPath::Dense`] up to
+    /// floating-point summation order — while touching only the nodes
+    /// inside the support ball. Rejected by [`EngineConfig::validate`]
+    /// for the Gaussian kernel, whose support is the whole space.
+    WithinSupport,
+}
+
 /// Configuration for [`crate::ServingEngine::fit`].
 ///
 /// ```
@@ -75,6 +104,9 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Factorization backend selection for the cached system.
     pub solver: EngineSolver,
+    /// How `predict_batch` evaluates Eq. 6: dense kernel rows, or
+    /// index-backed neighbor sums.
+    pub query_path: QueryPath,
 }
 
 impl EngineConfig {
@@ -90,6 +122,7 @@ impl EngineConfig {
             residual_tolerance: 1e-8,
             workers: 0,
             solver: EngineSolver::Direct,
+            query_path: QueryPath::Dense,
         }
     }
 
@@ -120,6 +153,12 @@ impl EngineConfig {
     /// Selects the factorization backend route.
     pub fn solver(mut self, solver: EngineSolver) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the query evaluation path for Eq. 6.
+    pub fn query_path(mut self, path: QueryPath) -> Self {
+        self.query_path = path;
         self
     }
 
@@ -156,6 +195,24 @@ impl EngineConfig {
                 });
             }
         }
+        match self.query_path {
+            QueryPath::KNearest { k } if k == 0 => {
+                return Err(Error::InvalidConfig {
+                    message: "QueryPath::KNearest requires k >= 1".to_owned(),
+                });
+            }
+            QueryPath::WithinSupport if !self.kernel.is_compactly_supported() => {
+                return Err(Error::InvalidConfig {
+                    message: format!(
+                        "QueryPath::WithinSupport requires a compactly supported kernel \
+                         (support radius = bandwidth); {:?} has unbounded support — \
+                         use QueryPath::Dense or QueryPath::KNearest instead",
+                        self.kernel
+                    ),
+                });
+            }
+            _ => {}
+        }
         Ok(())
     }
 }
@@ -191,6 +248,35 @@ mod tests {
         let auto = c.solver(EngineSolver::Auto(SolverPolicy::default()));
         assert_eq!(auto.solver, EngineSolver::Auto(SolverPolicy::default()));
         assert!(auto.validate().is_ok());
+    }
+
+    #[test]
+    fn query_path_defaults_dense_and_validates() {
+        let c = EngineConfig::new(Kernel::Epanechnikov, 0.5);
+        assert_eq!(c.query_path, QueryPath::Dense);
+        assert!(c
+            .clone()
+            .query_path(QueryPath::KNearest { k: 4 })
+            .validate()
+            .is_ok());
+        assert!(c
+            .clone()
+            .query_path(QueryPath::WithinSupport)
+            .validate()
+            .is_ok());
+        // k = 0 keeps no neighbors at all.
+        assert!(matches!(
+            c.query_path(QueryPath::KNearest { k: 0 }).validate(),
+            Err(Error::InvalidConfig { .. })
+        ));
+        // Gaussian support is the whole space; the ball of radius
+        // `bandwidth` would silently drop non-zero weights.
+        assert!(matches!(
+            EngineConfig::new(Kernel::Gaussian, 0.5)
+                .query_path(QueryPath::WithinSupport)
+                .validate(),
+            Err(Error::InvalidConfig { .. })
+        ));
     }
 
     #[test]

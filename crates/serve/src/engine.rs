@@ -9,8 +9,10 @@
 //! that:
 //!
 //! * `predict_batch` answers out-of-sample queries with the paper's
-//!   Nadaraya–Watson extension (Theorem II.1 / Eq. 6) in `O(N·d)` per
-//!   query — the query path never touches a factorization;
+//!   Nadaraya–Watson extension (Theorem II.1 / Eq. 6) — `O(N·d)` per
+//!   query on the dense path, or `O(k)` kernel weights after a sublinear
+//!   spatial-index search under the index-backed
+//!   [`QueryPath`](crate::QueryPath)s — never touching a factorization;
 //! * `observe_label` folds a newly revealed label into the cached inverse
 //!   with an exact rank-1 (Sherman–Morrison family) update in `O(m²)`
 //!   instead of refactoring in `O(m³)`, guarded by a residual check and a
@@ -49,11 +51,12 @@
 //! and right-hand side *exactly*, the guard's fallback re-factors the
 //! cached system in place instead of reassembling it from the graph.
 
-use crate::config::{EngineConfig, EngineSolver, ServeCriterion};
+use crate::config::{EngineConfig, EngineSolver, QueryPath, ServeCriterion};
 use crate::error::{Error, Result};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use gssl::Problem;
 use gssl_graph::{laplacian, KernelGraph, LaplacianKind};
+use gssl_index::{NeighborSearch, SpatialIndex};
 use gssl_linalg::{strict, Cholesky, Factorization, Lu, Matrix, SolverBackend};
 use gssl_runtime::Executor;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -154,6 +157,9 @@ pub struct ServingEngine {
     rhs: Matrix,
     /// Current fitted scores for all `N` nodes, one column per class.
     scores: Matrix,
+    /// Spatial index over the fitted points, built once at fit time for
+    /// the index-backed query paths. `None` under [`QueryPath::Dense`].
+    index: Option<SpatialIndex>,
     executor: Executor,
     updates_since_refactor: usize,
     metrics: Mutex<ServeMetrics>,
@@ -249,6 +255,13 @@ impl ServingEngine {
         // sharding. `workers == 0` means host parallelism, `1` sequential.
         let executor = Executor::with_workers(config.workers);
         let graph = KernelGraph::fit(points.clone(), config.kernel, config.bandwidth)?;
+        // The index-backed query paths pay the O(n log n) tree build once
+        // here; the dense path skips it entirely.
+        let index = if config.query_path == QueryPath::Dense {
+            None
+        } else {
+            Some(SpatialIndex::build(points)?)
+        };
         let weights = graph.weights_with(&executor)?;
         // Reuse the core crate's problem validation (symmetry, finiteness)
         // and its anchoring check: every component must contain a labeled
@@ -281,6 +294,7 @@ impl ServingEngine {
             inverse: None,
             rhs: Matrix::zeros(0, k),
             scores: Matrix::zeros(total, k),
+            index,
             executor,
             updates_since_refactor: 0,
             metrics: Mutex::new(ServeMetrics::default()),
@@ -297,9 +311,11 @@ impl ServingEngine {
     /// Scores a batch of out-of-sample queries, sharded across the
     /// engine's thread pool.
     ///
-    /// Each query costs `O(N·d)` for its kernel row plus `O(N·k)` for the
-    /// weighted average of Eq. 6 — no factorization, no solve. Latency and
-    /// throughput are recorded in [`ServingEngine::metrics`].
+    /// Under [`QueryPath::Dense`] each query costs `O(N·d)` for its kernel
+    /// row plus `O(N·k)` for the weighted average of Eq. 6; the
+    /// index-backed paths replace both with a sublinear tree search and
+    /// `O(k)` neighbor weights. No factorization, no solve either way.
+    /// Latency and throughput are recorded in [`ServingEngine::metrics`].
     ///
     /// # Errors
     ///
@@ -307,7 +323,8 @@ impl ServingEngine {
     /// * [`Error::NonFiniteValue`] for NaN/infinite coordinates (always
     ///   checked, with `index` flattened as `query · dim + coordinate`);
     /// * [`Error::ZeroKernelMass`] when a query sees zero total kernel
-    ///   weight (possible for compactly supported kernels such as boxcar).
+    ///   weight (possible for compactly supported kernels such as boxcar,
+    ///   and for [`QueryPath::KNearest`] when all `k` kept weights vanish).
     /// hot
     /// complexity: O(b * n * c)
     pub fn predict_batch(&self, queries: &[QueryPoint]) -> Result<Vec<Prediction>> {
@@ -335,8 +352,13 @@ impl ServingEngine {
         let batch_start = Instant::now();
         // One kernel-row scratch buffer per chunk, not per query: the row
         // is overwritten in place by `kernel_row_into` for every query the
-        // worker handles.
-        let nodes = self.graph.len();
+        // worker handles. The index-backed paths never touch a dense row,
+        // so their chunks allocate nothing here.
+        let nodes = if self.config.query_path == QueryPath::Dense {
+            self.graph.len()
+        } else {
+            0
+        };
         let block = queries
             .len()
             .div_ceil(self.executor.workers().saturating_mul(4))
@@ -364,9 +386,11 @@ impl ServingEngine {
         Ok(predictions)
     }
 
-    /// The out-of-sample extension of Theorem II.1 / Eq. 6 for one query:
-    /// `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` over all fitted nodes,
-    /// writing the kernel row into the caller's reusable `row` scratch.
+    /// The out-of-sample extension of Theorem II.1 / Eq. 6 for one query,
+    /// routed through the configured [`QueryPath`]: dense kernel rows
+    /// (`O(n·d)` into the caller's reusable `row` scratch) or index-backed
+    /// neighbor sums (`O(k)` weights after a sublinear tree search).
+    /// hot
     /// complexity: O(n * c)
     fn predict_one(
         &self,
@@ -374,23 +398,23 @@ impl ServingEngine {
         query: &QueryPoint,
         row: &mut [f64],
     ) -> Result<Prediction> {
-        self.graph.kernel_row_into(&query.coords, row)?;
-        strict::check_finite("serve.predict kernel row", row)?;
-        let mass: f64 = row.iter().sum();
-        if !mass.is_finite() || !(mass > 0.0) {
-            return Err(Error::ZeroKernelMass { query_index });
-        }
-        let k = self.targets.cols();
-        let mut per_class = vec![0.0; k];
-        for (i, &w) in row.iter().enumerate() {
-            let score_row = self.scores.row(i);
-            for (acc, &s) in per_class.iter_mut().zip(score_row) {
-                *acc += w * s;
+        let per_class = match self.config.query_path {
+            QueryPath::Dense => self.extend_dense(query_index, query, row)?,
+            QueryPath::KNearest { k } => {
+                let index = self.query_index_handle()?;
+                let neighbors = index.k_nearest(&query.coords, k.min(index.len()))?;
+                self.extend_over_neighbors(query_index, &neighbors)?
             }
-        }
-        for acc in &mut per_class {
-            *acc /= mass;
-        }
+            QueryPath::WithinSupport => {
+                let index = self.query_index_handle()?;
+                // Compact kernels vanish beyond `t = dist/bandwidth = 1`
+                // and `within_radius` is inclusive, so the ball holds
+                // every node with a non-zero weight (boxcar is non-zero
+                // AT t = 1) — the truncation drops exact zeros only.
+                let neighbors = index.within_radius(&query.coords, self.config.bandwidth)?;
+                self.extend_over_neighbors(query_index, &neighbors)?
+            }
+        };
         strict::check_finite("serve.predict output", &per_class)?;
 
         let (class, score) = if self.multiclass {
@@ -412,6 +436,81 @@ impl ServingEngine {
             class,
             score,
         })
+    }
+
+    /// The fitted spatial index, present iff an index-backed
+    /// [`QueryPath`] was configured at fit time.
+    fn query_index_handle(&self) -> Result<&SpatialIndex> {
+        self.index.as_ref().ok_or_else(|| Error::Internal {
+            message: "index-backed query path configured but no spatial index was built at fit"
+                .to_owned(),
+        })
+    }
+
+    /// Dense Eq. 6: the full kernel row over all fitted nodes, written
+    /// into the caller's reusable scratch, then the normalized weighted
+    /// average of the fitted scores.
+    /// hot
+    /// complexity: O(n * c)
+    /// shape: (classes,)
+    fn extend_dense(
+        &self,
+        query_index: usize,
+        query: &QueryPoint,
+        row: &mut [f64],
+    ) -> Result<Vec<f64>> {
+        self.graph.kernel_row_into(&query.coords, row)?;
+        strict::check_finite("serve.predict kernel row", row)?;
+        let mass: f64 = row.iter().sum();
+        if !mass.is_finite() || !(mass > 0.0) {
+            return Err(Error::ZeroKernelMass { query_index });
+        }
+        let k = self.targets.cols();
+        let mut per_class = vec![0.0; k];
+        for (i, &w) in row.iter().enumerate() {
+            let score_row = self.scores.row(i);
+            for (acc, &s) in per_class.iter_mut().zip(score_row) {
+                *acc += w * s;
+            }
+        }
+        for acc in &mut per_class {
+            *acc /= mass;
+        }
+        Ok(per_class)
+    }
+
+    /// Truncated Eq. 6: the kernel weights and score average run over an
+    /// index-provided neighbor list only, reusing each neighbor's stored
+    /// squared distance (no coordinate access, no dense row).
+    /// hot
+    /// complexity: O(k * c)
+    /// shape: (classes,)
+    fn extend_over_neighbors(
+        &self,
+        query_index: usize,
+        neighbors: &[gssl_index::Neighbor],
+    ) -> Result<Vec<f64>> {
+        let k = self.targets.cols();
+        let mut per_class = vec![0.0; k];
+        let mut mass = 0.0;
+        for nb in neighbors {
+            let w = self
+                .config
+                .kernel
+                .weight_unchecked(nb.dist2, self.config.bandwidth);
+            mass += w;
+            let score_row = self.scores.row(nb.index);
+            for (acc, &s) in per_class.iter_mut().zip(score_row) {
+                *acc += w * s;
+            }
+        }
+        if !mass.is_finite() || !(mass > 0.0) {
+            return Err(Error::ZeroKernelMass { query_index });
+        }
+        for acc in &mut per_class {
+            *acc /= mass;
+        }
+        Ok(per_class)
     }
 
     // ------------------------------------------------------------------
@@ -1250,5 +1349,210 @@ mod tests {
         assert_eq!(q.coords(), &[1.0, 2.0]);
         let q: QueryPoint = (&[3.0][..]).into();
         assert_eq!(q.coords(), &[3.0]);
+    }
+
+    /// A deterministic 2-D cloud in the unit square (same low-discrepancy
+    /// recurrence as the benchmarks).
+    fn plane_points(total: usize) -> Matrix {
+        Matrix::from_fn(total, 2, |i, j| {
+            (((i * 131 + j * 37 + 11) as f64) * 0.618_033_988_749_894_9).fract()
+        })
+    }
+
+    fn plane_queries(count: usize) -> Vec<QueryPoint> {
+        (0..count)
+            .map(|q| {
+                QueryPoint::new(vec![
+                    (((q * 53 + 5) as f64) * 0.618_033_988_749_894_9).fract(),
+                    (((q * 97 + 29) as f64) * 0.618_033_988_749_894_9).fract(),
+                ])
+            })
+            .collect()
+    }
+
+    fn assert_agree(a: &[Prediction], b: &[Prediction], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (qi, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.class, y.class, "{what}: class diverged at query {qi}");
+            for (u, v) in x.per_class.iter().zip(&y.per_class) {
+                assert!(
+                    (u - v).abs() <= tol,
+                    "{what}: query {qi} scores {u} vs {v} differ beyond {tol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_support_path_matches_dense_to_1e10() {
+        // Compact kernel: every node outside the support ball has weight
+        // exactly zero, so the indexed truncation and the dense row sum
+        // the same non-zero terms (in different order).
+        let points = plane_points(60);
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let dense_cfg = EngineConfig::new(Kernel::Epanechnikov, 0.9).workers(1);
+        let dense = ServingEngine::fit(&points, &labels, dense_cfg.clone()).unwrap();
+        let indexed = ServingEngine::fit(
+            &points,
+            &labels,
+            dense_cfg.query_path(QueryPath::WithinSupport),
+        )
+        .unwrap();
+        let queries = plane_queries(24);
+        assert_agree(
+            &dense.predict_batch(&queries).unwrap(),
+            &indexed.predict_batch(&queries).unwrap(),
+            1e-10,
+            "within-support vs dense",
+        );
+    }
+
+    #[test]
+    fn k_nearest_with_full_k_matches_dense_to_1e10() {
+        // With k = n the truncation keeps every node, so even the
+        // Gaussian kernel (unbounded support) must agree with the dense
+        // path up to floating-point summation order.
+        let points = plane_points(40);
+        let labels = [0.0, 1.0, 1.0];
+        let dense_cfg = EngineConfig::new(Kernel::Gaussian, 0.5).workers(1);
+        let dense = ServingEngine::fit(&points, &labels, dense_cfg.clone()).unwrap();
+        let indexed = ServingEngine::fit(
+            &points,
+            &labels,
+            dense_cfg.query_path(QueryPath::KNearest { k: points.rows() }),
+        )
+        .unwrap();
+        let queries = plane_queries(16);
+        assert_agree(
+            &dense.predict_batch(&queries).unwrap(),
+            &indexed.predict_batch(&queries).unwrap(),
+            1e-10,
+            "k = n vs dense",
+        );
+    }
+
+    #[test]
+    fn truncated_k_nearest_matches_dense_on_compact_support() {
+        // Two clusters one bandwidth can't bridge: the dense row is zero
+        // outside the query's cluster, and k = cluster size keeps exactly
+        // the nodes that can carry weight — the truncation is lossless.
+        let per_cluster = 8;
+        let points = Matrix::from_fn(2 * per_cluster, 2, |i, j| {
+            let offset = if i % 2 == 0 { 0.0 } else { 10.0 };
+            offset + (((i * 31 + j * 17 + 3) as f64) * 0.618_033_988_749_894_9).fract()
+        });
+        // Labeled-first convention: node 0 sits in cluster A, node 1 in B.
+        let labels = [0.0, 1.0];
+        let dense_cfg = EngineConfig::new(Kernel::Triangular, 1.4).workers(1);
+        let dense = ServingEngine::fit(&points, &labels, dense_cfg.clone()).unwrap();
+        let indexed = ServingEngine::fit(
+            &points,
+            &labels,
+            dense_cfg.query_path(QueryPath::KNearest { k: per_cluster }),
+        )
+        .unwrap();
+        let queries: Vec<QueryPoint> = (0..8)
+            .map(|q| {
+                let offset = if q % 2 == 0 { 0.0 } else { 10.0 };
+                QueryPoint::new(vec![offset + 0.4, offset + 0.6])
+            })
+            .collect();
+        let dense_out = dense.predict_batch(&queries).unwrap();
+        assert_agree(
+            &dense_out,
+            &indexed.predict_batch(&queries).unwrap(),
+            1e-10,
+            "truncated k vs dense",
+        );
+        // The clusters really are separated: class follows the cluster.
+        for (q, p) in dense_out.iter().enumerate() {
+            assert_eq!(p.class, q % 2, "query {q} crossed clusters");
+        }
+    }
+
+    #[test]
+    fn indexed_paths_are_deterministic_across_worker_counts() {
+        let points = plane_points(50);
+        let labels = [0.0, 1.0, 0.0];
+        let queries = plane_queries(20);
+        for path in [QueryPath::KNearest { k: 7 }, QueryPath::WithinSupport] {
+            let fit = |workers: usize| {
+                ServingEngine::fit(
+                    &points,
+                    &labels,
+                    EngineConfig::new(Kernel::Quartic, 0.9)
+                        .workers(workers)
+                        .query_path(path),
+                )
+                .unwrap()
+            };
+            let reference = fit(1).predict_batch(&queries).unwrap();
+            for workers in [2, 4, 8] {
+                let got = fit(workers).predict_batch(&queries).unwrap();
+                // Same queries against the same index in a different
+                // sharding must be bitwise identical, not just close.
+                for (a, b) in reference.iter().zip(&got) {
+                    assert_eq!(a, b, "worker count {workers} changed a prediction");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_support_ball_reports_zero_kernel_mass() {
+        let points = plane_points(12);
+        let config = EngineConfig::new(Kernel::Boxcar, 0.4)
+            .workers(1)
+            .query_path(QueryPath::WithinSupport);
+        let engine = ServingEngine::fit(&points, &[0.0, 1.0], config).unwrap();
+        let far = QueryPoint::new(vec![50.0, 50.0]);
+        assert_eq!(
+            engine.predict_batch(&[far]),
+            Err(Error::ZeroKernelMass { query_index: 0 })
+        );
+    }
+
+    #[test]
+    fn fit_rejects_index_paths_that_fail_validation() {
+        let points = plane_points(10);
+        assert!(matches!(
+            ServingEngine::fit(
+                &points,
+                &[0.0, 1.0],
+                EngineConfig::new(Kernel::Gaussian, 0.5).query_path(QueryPath::WithinSupport),
+            ),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ServingEngine::fit(
+                &points,
+                &[0.0, 1.0],
+                EngineConfig::new(Kernel::Boxcar, 0.5).query_path(QueryPath::KNearest { k: 0 }),
+            ),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn multiclass_indexed_path_matches_dense() {
+        let points = plane_points(45);
+        let class_labels = [0, 1, 2, 0, 1, 2];
+        let dense_cfg = EngineConfig::new(Kernel::Tricube, 0.8).workers(1);
+        let dense =
+            ServingEngine::fit_multiclass(&points, &class_labels, 3, dense_cfg.clone()).unwrap();
+        let indexed = ServingEngine::fit_multiclass(
+            &points,
+            &class_labels,
+            3,
+            dense_cfg.query_path(QueryPath::WithinSupport),
+        )
+        .unwrap();
+        let queries = plane_queries(18);
+        assert_agree(
+            &dense.predict_batch(&queries).unwrap(),
+            &indexed.predict_batch(&queries).unwrap(),
+            1e-10,
+            "multiclass within-support vs dense",
+        );
     }
 }

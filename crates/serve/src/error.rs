@@ -63,6 +63,8 @@ pub enum Error {
     Core(gssl::Error),
     /// An underlying graph operation failed.
     Graph(gssl_graph::Error),
+    /// An underlying spatial-index operation failed.
+    Index(gssl_index::Error),
     /// An underlying linear-algebra operation failed.
     Linalg(gssl_linalg::Error),
 }
@@ -90,6 +92,7 @@ impl fmt::Display for Error {
             Error::Internal { message } => write!(f, "internal serving-engine error: {message}"),
             Error::Core(inner) => write!(f, "criterion error: {inner}"),
             Error::Graph(inner) => write!(f, "graph error: {inner}"),
+            Error::Index(inner) => write!(f, "spatial index error: {inner}"),
             Error::Linalg(inner) => write!(f, "linear algebra error: {inner}"),
         }
     }
@@ -100,6 +103,7 @@ impl std::error::Error for Error {
         match self {
             Error::Core(inner) => Some(inner),
             Error::Graph(inner) => Some(inner),
+            Error::Index(inner) => Some(inner),
             Error::Linalg(inner) => Some(inner),
             _ => None,
         }
@@ -126,6 +130,20 @@ impl From<gssl_graph::Error> for Error {
                 Error::NonFiniteValue { context, index }
             }
             other => Error::Graph(other),
+        }
+    }
+}
+
+impl From<gssl_index::Error> for Error {
+    fn from(inner: gssl_index::Error) -> Self {
+        match inner {
+            // A non-finite coordinate found by the index is the same
+            // sanitizer verdict the serving boundary reports itself.
+            gssl_index::Error::NonFiniteCoordinate { position } => Error::NonFiniteValue {
+                context: "serve spatial-index coordinates",
+                index: position,
+            },
+            other => Error::Index(other),
         }
     }
 }
@@ -205,6 +223,20 @@ mod tests {
         })
         .into();
         assert!(matches!(from_graph, Error::NonFiniteValue { .. }));
+        let from_index: Error = gssl_index::Error::NonFiniteCoordinate { position: 5 }.into();
+        assert!(matches!(from_index, Error::NonFiniteValue { index: 5, .. }));
+    }
+
+    #[test]
+    fn index_errors_are_wrapped_with_source() {
+        use std::error::Error as _;
+        let e: Error = gssl_index::Error::EmptyInput {
+            required: "at least one point",
+        }
+        .into();
+        assert!(matches!(e, Error::Index(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("spatial index"));
     }
 
     #[test]

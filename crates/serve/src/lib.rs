@@ -50,7 +50,7 @@ pub mod metrics;
 #[cfg(feature = "strict-checks")]
 pub use gssl_runtime::sim;
 
-pub use config::{EngineConfig, EngineSolver, ServeCriterion};
+pub use config::{EngineConfig, EngineSolver, QueryPath, ServeCriterion};
 pub use engine::{Prediction, QueryPoint, ServingEngine};
 pub use error::{Error, Result};
 pub use gssl_runtime::{Executor, ThreadPool};

@@ -20,7 +20,7 @@ pub const BASELINE_PATH: &str = "crates/xtask/analyze.baseline";
 
 /// Crates whose Matrix/Vector-producing `pub` functions must carry
 /// `/// shape:` annotations.
-const ANNOTATED_CRATES: [&str; 3] = ["linalg", "graph", "core"];
+const ANNOTATED_CRATES: [&str; 4] = ["linalg", "graph", "core", "index"];
 
 /// The semantic rules `analyze` knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -150,8 +150,8 @@ fn analyze_real_workspace_is_baseline_clean() {
     // Every committed baseline entry must still be live — the ratchet
     // reports both regressions (counts up) and staleness (counts down).
     assert_eq!(
-        report.suppressed, 40,
-        "baseline drifted from the committed 40 entries"
+        report.suppressed, 52,
+        "baseline drifted from the committed 52 entries"
     );
 }
 

@@ -52,4 +52,14 @@ echo "== threads_scaling bench (writes BENCH_parallel.json)"
 # host's core count (see host_parallelism in the JSON).
 cargo run --release -q -p gssl-bench --bin threads_scaling -- --quiet
 
+echo "== scale bench, ci sizes (writes BENCH_scale_ci.json)"
+# Assembles kNN graphs through the spatial index and fits the hard
+# criterion end to end at CI-sized point counts, then exits nonzero if
+# the tree index disagrees with the brute-force oracle on a query
+# subsample or the assembled graph differs across worker counts. The
+# committed BENCH_scale.json comes from the full run
+# (`--bin scale`, no flags: 10^4..10^6 points) and is not touched here.
+cargo run --release -q -p gssl-bench --bin scale -- --ci --quiet
+rm -f BENCH_scale_ci.json
+
 echo "All checks passed."

@@ -15,5 +15,6 @@
 pub use gssl;
 pub use gssl_datasets as datasets;
 pub use gssl_graph as graph;
+pub use gssl_index as index;
 pub use gssl_linalg as linalg;
 pub use gssl_stats as stats;

@@ -18,6 +18,7 @@ use gssl_graph::{
     affinity::{affinity_matrix, affinity_matrix_with},
     knn_graph, knn_graph_with, Kernel, KernelGraph, Symmetrization,
 };
+use gssl_index::{k_nearest_batch, NeighborSearch, SpatialIndex};
 use gssl_linalg::{Matrix, SolverPolicy};
 use gssl_runtime::{sim, Executor};
 use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
@@ -80,6 +81,67 @@ fn knn_assembly_is_bit_identical_across_worker_counts() {
                 "knn assembly diverged at {workers} workers ({symmetrization:?})"
             );
         }
+    }
+}
+
+#[test]
+fn spatial_index_build_and_batched_queries_are_bit_identical() {
+    // Two independent builds of the same cloud must be the same tree
+    // (construction is deterministic, no RNG, no address-dependent
+    // ordering), and batched queries against it must not depend on the
+    // worker count — the chunks reassemble in input order.
+    let pts = points(90, 3);
+    let queries = points(33, 3);
+    let index = SpatialIndex::build(&pts).expect("index build");
+    let rebuilt = SpatialIndex::build(&pts).expect("index rebuild");
+    let reference =
+        k_nearest_batch(&index, &queries, 5, &Executor::Sequential).expect("sequential batch");
+    let twin =
+        k_nearest_batch(&rebuilt, &queries, 5, &Executor::Sequential).expect("rebuilt batch");
+    for workers in [1, 2, 4, 8] {
+        let executor = Executor::with_workers(workers);
+        let parallel = k_nearest_batch(&index, &queries, 5, &executor).expect("parallel batch");
+        for (pair, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(r.len(), p.len(), "query {pair} at {workers} workers");
+            for (a, b) in r.iter().zip(p) {
+                assert_eq!(a.index, b.index, "query {pair} at {workers} workers");
+                assert_eq!(
+                    a.dist2.to_bits(),
+                    b.dist2.to_bits(),
+                    "query {pair} distance at {workers} workers"
+                );
+            }
+        }
+    }
+    for (r, t) in reference.iter().zip(&twin) {
+        assert_eq!(r, t, "independent builds answered differently");
+    }
+}
+
+#[test]
+fn knn_graph_with_is_bit_identical_at_high_worker_counts() {
+    // The 1/2/3/4 sweep above pins tree-vs-brute equality; this one
+    // extends the worker grid to 8 (more workers than chunks for some
+    // block sizes) on the accelerated builder alone.
+    let pts = points(64, 3);
+    let reference = knn_graph(&pts, 7, Kernel::Gaussian, 0.8, Symmetrization::Union)
+        .expect("sequential knn graph");
+    for workers in [1, 2, 4, 8] {
+        let executor = Executor::with_workers(workers);
+        let parallel = knn_graph_with(
+            &pts,
+            7,
+            Kernel::Gaussian,
+            0.8,
+            Symmetrization::Union,
+            &executor,
+        )
+        .expect("parallel knn graph");
+        assert_eq!(
+            reference.to_dense().as_slice(),
+            parallel.to_dense().as_slice(),
+            "knn_graph_with diverged at {workers} workers"
+        );
     }
 }
 
