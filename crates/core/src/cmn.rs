@@ -17,6 +17,19 @@
 use crate::error::{Error, Result};
 use gssl_linalg::float::{is_exactly_one, is_exactly_zero};
 
+/// Indices of `scores` sorted ascending by the canonical
+/// `(score, index)` `total_cmp` key: panic-free on NaN (NaN sorts after
+/// every finite value, `-NaN` before), bit-identical to a `partial_cmp`
+/// argsort for finite inputs, and stable by construction — ties break on
+/// the original index.
+/// deterministic
+#[must_use]
+pub fn argsort_scores(scores: &[f64]) -> Vec<usize> {
+    let mut keyed: Vec<(f64, usize)> = scores.iter().copied().zip(0..).collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
 /// Class-mass-normalized positive scores for binary problems.
 ///
 /// For each unlabeled score `f_a ∈ [0, 1]`, computes the normalized
@@ -96,14 +109,23 @@ mod tests {
         let scores = [0.2, 0.5, 0.9, 0.4];
         let normalized = class_mass_normalize(&scores, 0.5).unwrap();
         // Ranking unchanged by a monotone normalization.
-        let mut order: Vec<usize> = (0..4).collect();
-        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
-        let mut norm_order: Vec<usize> = (0..4).collect();
-        norm_order.sort_by(|&a, &b| normalized[a].partial_cmp(&normalized[b]).unwrap());
+        let order = argsort_scores(&scores);
+        let norm_order = argsort_scores(&normalized);
         assert_eq!(order, norm_order);
         for &s in &normalized {
             assert!((0.0..=1.0).contains(&s));
         }
+    }
+
+    #[test]
+    fn argsort_is_canonical_and_nan_safe() {
+        // Finite inputs: plain ascending order, ties broken by index.
+        assert_eq!(argsort_scores(&[0.2, 0.5, 0.9, 0.4]), vec![0, 3, 1, 2]);
+        assert_eq!(argsort_scores(&[0.5, 0.2, 0.5]), vec![1, 0, 2]);
+        // A NaN score must not panic (the old `partial_cmp(..).unwrap()`
+        // did); under `total_cmp` it sorts after every finite value.
+        assert_eq!(argsort_scores(&[0.5, f64::NAN, 0.25]), vec![2, 0, 1]);
+        assert_eq!(argsort_scores(&[]), Vec::<usize>::new());
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl PLaplacian {
                 .iter()
                 .zip(scores.all())
                 .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+                .fold(
+                    0.0f64,
+                    |acc, x| if x.total_cmp(&acc).is_gt() { x } else { acc },
+                );
             let n = problem.n_labeled();
             scores = Scores::from_parts(&damped[..n], &damped[n..]);
             if change <= self.tolerance {

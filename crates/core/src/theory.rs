@@ -96,7 +96,10 @@ impl TheoryDiagnostics {
                 .iter()
                 .zip(nw.unlabeled())
                 .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max)
+                .fold(
+                    0.0,
+                    |acc, x| if x.total_cmp(&acc).is_gt() { x } else { acc },
+                )
         };
 
         let regime_ratio = m as f64 / (n as f64 * bandwidth.powi(dim as i32));

@@ -33,6 +33,7 @@ fn row_block(rows: usize, executor: &Executor) -> usize {
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
     let n = points.rows();
     if n == 0 {
@@ -66,6 +67,7 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Result<Matrix> {
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> Result<Matrix> {
     if executor.is_sequential() {
         return pairwise_squared_distances(points);
@@ -113,6 +115,7 @@ pub fn pairwise_squared_distances_with(points: &Matrix, executor: &Executor) -> 
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Result<Matrix> {
     if !(bandwidth > 0.0) {
         return Err(Error::InvalidBandwidth { value: bandwidth });
@@ -130,6 +133,7 @@ pub fn affinity_matrix(points: &Matrix, kernel: Kernel, bandwidth: f64) -> Resul
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn affinity_matrix_with(
     points: &Matrix,
     kernel: Kernel,
@@ -156,6 +160,7 @@ pub fn affinity_matrix_with(
 /// shape: (squared_distances.rows, squared_distances.cols)
 /// hot
 /// complexity: O(n^2)
+/// deterministic
 pub fn affinity_from_distances(
     squared_distances: &Matrix,
     kernel: Kernel,
@@ -206,6 +211,7 @@ pub fn affinity_from_distances(
 /// shape: (squared_distances.rows, squared_distances.cols)
 /// hot
 /// complexity: O(n^2)
+/// deterministic
 pub fn affinity_from_distances_with(
     squared_distances: &Matrix,
     kernel: Kernel,
@@ -270,6 +276,7 @@ pub fn affinity_from_distances_with(
 ///
 /// Propagates bandwidth-resolution and affinity-construction errors.
 /// shape: (points.rows, points.rows)
+/// deterministic
 pub fn affinity_with_rule(
     points: &Matrix,
     kernel: Kernel,

@@ -49,6 +49,7 @@ impl KernelGraph {
     /// * [`Error::EmptyInput`] when `points` has no rows or no columns.
     /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0` or non-finite.
     /// * [`Error::InvalidArgument`] when any coordinate is non-finite.
+    /// deterministic
     pub fn fit(points: Matrix, kernel: Kernel, bandwidth: f64) -> Result<Self> {
         if points.rows() == 0 {
             return Err(Error::EmptyInput {
@@ -114,6 +115,7 @@ impl KernelGraph {
     /// Propagates affinity-construction errors (none for a constructed
     /// graph).
     /// shape: (n, n)
+    /// deterministic
     pub fn weights(&self) -> Result<Matrix> {
         affinity_matrix(&self.points, self.kernel, self.bandwidth)
     }
@@ -126,6 +128,7 @@ impl KernelGraph {
     ///
     /// Same as [`KernelGraph::weights`].
     /// shape: (n, n)
+    /// deterministic
     pub fn weights_with(&self, executor: &gssl_runtime::Executor) -> Result<Matrix> {
         affinity_matrix_with(&self.points, self.kernel, self.bandwidth, executor)
     }
@@ -145,6 +148,7 @@ impl KernelGraph {
     /// shape: (n,)
     /// hot
     /// complexity: O(n * d)
+    /// deterministic
     pub fn kernel_row(&self, x: &[f64]) -> Result<Vector> {
         let mut row = vec![0.0; self.len()];
         self.kernel_row_into(x, &mut row)?;
@@ -164,6 +168,7 @@ impl KernelGraph {
     /// [`Error::DimensionMismatch`] when `out.len() != self.len()`.
     /// hot
     /// complexity: O(n * d)
+    /// deterministic
     pub fn kernel_row_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.dim() {
             return Err(Error::DimensionMismatch {

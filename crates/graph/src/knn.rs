@@ -60,6 +60,7 @@ fn check_knn_args(n: usize, k: usize, bandwidth: f64) -> Result<()> {
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
 /// shape: (points.rows, points.rows)
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn knn_graph(
     points: &Matrix,
     k: usize,
@@ -91,6 +92,7 @@ pub fn knn_graph(
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n * k * d)
+/// deterministic
 pub fn knn_graph_with(
     points: &Matrix,
     k: usize,
@@ -157,6 +159,7 @@ fn symmetrize_knn(
 /// * [`Error::InvalidArgument`] when `epsilon <= 0`.
 /// * [`Error::InvalidBandwidth`] when `bandwidth <= 0`.
 /// shape: (points.rows, points.rows)
+/// deterministic
 pub fn epsilon_graph(
     points: &Matrix,
     epsilon: f64,
@@ -206,6 +209,7 @@ pub fn epsilon_graph(
 /// shape: (points.rows, points.rows)
 /// hot
 /// complexity: O(n * k * d)
+/// deterministic
 pub fn epsilon_graph_with(
     points: &Matrix,
     epsilon: f64,

@@ -220,14 +220,26 @@ fn lloyd_kmeans(points: &gssl_linalg::Matrix, k: usize) -> Vec<usize> {
     while centers.len() < k {
         let next = (0..n)
             .max_by(|&a, &b| {
-                let da = centers
-                    .iter()
-                    .map(|c| dist2(points.row(a), c))
-                    .fold(f64::INFINITY, f64::min);
-                let db = centers
-                    .iter()
-                    .map(|c| dist2(points.row(b), c))
-                    .fold(f64::INFINITY, f64::min);
+                let da = centers.iter().map(|c| dist2(points.row(a), c)).fold(
+                    f64::INFINITY,
+                    |acc, x| {
+                        if x.total_cmp(&acc).is_lt() {
+                            x
+                        } else {
+                            acc
+                        }
+                    },
+                );
+                let db = centers.iter().map(|c| dist2(points.row(b), c)).fold(
+                    f64::INFINITY,
+                    |acc, x| {
+                        if x.total_cmp(&acc).is_lt() {
+                            x
+                        } else {
+                            acc
+                        }
+                    },
+                );
                 da.total_cmp(&db)
             })
             .unwrap_or(0);

@@ -122,6 +122,7 @@ pub trait NeighborSearch: Sized {
     ///
     /// * [`Error::EmptyInput`] when `points` has no rows or no columns.
     /// * [`Error::NonFiniteCoordinate`] when any coordinate is NaN/inf.
+    /// deterministic
     fn build(points: &Matrix) -> Result<Self>;
 
     /// Number of indexed points.
@@ -163,6 +164,7 @@ pub trait NeighborSearch: Sized {
     ///   on an invalid query.
     /// * [`Error::InvalidArgument`] when `k == 0` or `k` exceeds the
     ///   number of eligible candidates.
+    /// deterministic
     fn k_nearest_excluding(
         &self,
         query: &[f64],
@@ -175,6 +177,7 @@ pub trait NeighborSearch: Sized {
     /// # Errors
     ///
     /// Same as [`NeighborSearch::k_nearest_excluding`].
+    /// deterministic
     fn k_nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
         self.k_nearest_excluding(query, k, None)
     }
@@ -191,6 +194,7 @@ pub trait NeighborSearch: Sized {
     /// * [`Error::DimensionMismatch`] / [`Error::NonFiniteCoordinate`]
     ///   on an invalid query.
     /// * [`Error::InvalidArgument`] when `radius` is negative or non-finite.
+    /// deterministic
     fn within_radius(&self, query: &[f64], radius: f64) -> Result<Vec<Neighbor>>;
 }
 
@@ -243,6 +247,7 @@ fn batch_block(len: usize, executor: &Executor) -> usize {
 ///
 /// hot
 /// complexity: O(q * n * d)
+/// deterministic
 pub fn k_nearest_batch<I: NeighborSearch + Sync>(
     index: &I,
     queries: &Matrix,
@@ -277,6 +282,7 @@ pub fn k_nearest_batch<I: NeighborSearch + Sync>(
 ///
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn self_k_nearest_batch<I: NeighborSearch + Sync>(
     index: &I,
     k: usize,
@@ -303,6 +309,7 @@ pub fn self_k_nearest_batch<I: NeighborSearch + Sync>(
 ///
 /// hot
 /// complexity: O(n^2 * d)
+/// deterministic
 pub fn self_within_radius_batch<I: NeighborSearch + Sync>(
     index: &I,
     radius: f64,

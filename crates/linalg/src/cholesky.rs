@@ -49,6 +49,7 @@ impl Cholesky {
     ///   `strict-checks` when `a` is non-finite or asymmetric.
     /// hot
     /// complexity: O(n^3)
+    /// deterministic
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
@@ -97,6 +98,7 @@ impl Cholesky {
     /// Same as [`Cholesky::factor`].
     /// hot
     /// complexity: O(n^3)
+    /// deterministic
     pub fn factor_with(a: &Matrix, executor: &gssl_runtime::Executor) -> Result<Self> {
         if executor.is_sequential() {
             return Cholesky::factor(a);

@@ -662,6 +662,7 @@ impl SolverPolicy {
     /// * [`Error::Singular`] when the (LU-factored) system is singular.
     /// * [`Error::NotPositiveDefinite`] when the iterative backend sees a
     ///   non-positive diagonal.
+    /// deterministic
     pub fn factor_dense(&self, a: &Matrix) -> Result<SolverBackend> {
         match self.select_dense(a) {
             BackendKind::SparseCg => {
@@ -688,6 +689,7 @@ impl SolverPolicy {
     /// # Errors
     ///
     /// Same as [`SolverPolicy::factor_dense`].
+    /// deterministic
     pub fn factor_sparse(&self, a: &CsrMatrix) -> Result<SolverBackend> {
         match self.select_sparse(a) {
             BackendKind::SparseCg => Ok(SolverBackend::Cg(
@@ -705,6 +707,7 @@ impl SolverPolicy {
     /// # Errors
     ///
     /// Same as [`SolverPolicy::factor_dense`].
+    /// deterministic
     pub fn factor_spd(&self, a: &Matrix) -> Result<SolverBackend> {
         if a.rows() >= self.direct_dim_cutoff
             && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold

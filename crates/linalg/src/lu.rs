@@ -46,6 +46,7 @@ impl Lu {
     ///   `strict-checks` feature is enabled.
     /// hot
     /// complexity: O(n^3)
+    /// deterministic
     pub fn factor(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
@@ -118,6 +119,7 @@ impl Lu {
     /// Same as [`Lu::factor`].
     /// hot
     /// complexity: O(n^3)
+    /// deterministic
     pub fn factor_with(a: &Matrix, executor: &gssl_runtime::Executor) -> Result<Self> {
         if executor.is_sequential() {
             return Lu::factor(a);

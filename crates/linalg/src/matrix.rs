@@ -255,6 +255,7 @@ impl Matrix {
     /// shape: (self.rows, rhs.cols)
     /// hot
     /// complexity: O(n * m * k)
+    /// deterministic
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
@@ -295,6 +296,7 @@ impl Matrix {
     /// shape: (self.rows, rhs.cols)
     /// hot
     /// complexity: O(n * m * k)
+    /// deterministic
     pub fn matmul_with(&self, rhs: &Matrix, executor: &gssl_runtime::Executor) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {

@@ -162,14 +162,24 @@ impl Vector {
         self.sum() / self.len() as f64
     }
 
-    /// Smallest element; `None` for the empty vector.
+    /// Smallest element under the `total_cmp` order (canonical for every
+    /// input, identical to `f64::min` for finite data); `None` for the
+    /// empty vector.
     pub fn min(&self) -> Option<f64> {
-        self.data.iter().copied().reduce(f64::min)
+        self.data
+            .iter()
+            .copied()
+            .reduce(|a, b| if b.total_cmp(&a).is_lt() { b } else { a })
     }
 
-    /// Largest element; `None` for the empty vector.
+    /// Largest element under the `total_cmp` order (canonical for every
+    /// input, identical to `f64::max` for finite data); `None` for the
+    /// empty vector.
     pub fn max(&self) -> Option<f64> {
-        self.data.iter().copied().reduce(f64::max)
+        self.data
+            .iter()
+            .copied()
+            .reduce(|a, b| if b.total_cmp(&a).is_gt() { b } else { a })
     }
 
     /// In-place `self += alpha * other` (BLAS `axpy`).

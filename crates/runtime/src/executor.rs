@@ -101,6 +101,7 @@ impl Executor {
     /// Propagates the lowest-input-index error from `f`, or an internal
     /// runtime error (converted into `E`) if the claim protocol loses a
     /// slot.
+    /// deterministic
     pub fn map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
     where
         T: Sync,
@@ -123,6 +124,7 @@ impl Executor {
     /// Returns [`Error::InvalidConfig`] (converted into `E`) for a zero
     /// `width`, the lowest-range error from `f`, or [`Error::Internal`]
     /// when a closure breaks the per-range length contract.
+    /// deterministic
     pub fn map_chunks<R, E, F>(&self, len: usize, width: usize, f: F) -> Result<Vec<R>, E>
     where
         R: Send,
@@ -141,6 +143,7 @@ impl Executor {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when `width == 0`.
+    /// deterministic
     pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], width: usize, f: F) -> Result<(), Error>
     where
         T: Send,

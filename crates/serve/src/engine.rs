@@ -183,6 +183,7 @@ impl ServingEngine {
     /// * [`Error::NonFiniteValue`] for NaN/infinite labels or coordinates;
     /// * [`Error::Core`] when a graph component has no labeled anchor
     ///   (the criterion system would be singular).
+    /// deterministic
     pub fn fit(points: &Matrix, labels: &[f64], config: EngineConfig) -> Result<Self> {
         if let Some(i) = labels.iter().position(|y| !y.is_finite()) {
             return Err(Error::NonFiniteValue {
@@ -203,6 +204,7 @@ impl ServingEngine {
     ///
     /// As [`ServingEngine::fit`], plus [`Error::InvalidLabel`] when
     /// `class_count < 2` or a class label is out of range.
+    /// deterministic
     pub fn fit_multiclass(
         points: &Matrix,
         class_labels: &[usize],
@@ -327,6 +329,7 @@ impl ServingEngine {
     ///   and for [`QueryPath::KNearest`] when all `k` kept weights vanish).
     /// hot
     /// complexity: O(b * n * c)
+    /// deterministic
     pub fn predict_batch(&self, queries: &[QueryPoint]) -> Result<Vec<Prediction>> {
         let dim = self.graph.dim();
         for (qi, q) in queries.iter().enumerate() {

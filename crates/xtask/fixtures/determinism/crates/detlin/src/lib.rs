@@ -1,0 +1,110 @@
+//! Determinism-pass fixture: seeded bit-identity violations.
+//!
+//! Expected findings (see `tests/self_test.rs`):
+//! * `selection` — float_total_order (`f64::max` selection), carrying
+//!   the contract chain `det_entry -> selection` because determinism
+//!   arrived through the call graph from the marked entry point.
+//! * `rank` — float_total_order (`partial_cmp(..).unwrap()` sort key),
+//!   with no chain: it is not reachable from a marked function.
+//! * `tally` — nondet_source (`HashMap` iteration feeds the result).
+//! * `jitter` — nondet_source (unseeded `thread_rng` construction).
+//! * `addr_key` — nondet_source (pointer cast derives an address).
+//! * `chunk_merge` — reduction_order (`.sum` merges per-chunk partials).
+//! * `chunk_accumulate` — reduction_order (captured accumulator mutated
+//!   inside the chunk closure).
+//! * `mislabeled` — det_annotation (`deterministic:` qualifier grammar).
+//! * `latency` — nondet_source suppressed by the fixture baseline.
+//! * `ordered` and `chunk_scale` — silent: the match-handled
+//!   `partial_cmp` and the blessed input-order reassembly pattern.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// deterministic
+pub fn det_entry(xs: &[f64]) -> f64 {
+    selection(xs)
+}
+
+fn selection(xs: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for &x in xs.iter() {
+        best = f64::max(best, x);
+    }
+    best
+}
+
+/// Sorts scores through the non-total `partial_cmp` key.
+pub fn rank(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// Totally handled comparison: every arm is explicit, so this is exempt.
+pub fn ordered(x: f64, y: f64) -> bool {
+    match x.partial_cmp(&y) {
+        Some(o) => o.is_lt(),
+        None => false,
+    }
+}
+
+/// Returns hash-ordered pairs: the iteration order leaks into the value.
+pub fn tally(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts = std::collections::HashMap::new();
+    for &x in xs.iter() {
+        let slot = counts.entry(x).or_insert(0u64);
+        *slot += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Wall-clock read, baselined: feeds a latency metric, never a value.
+pub fn latency() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+/// Unseeded RNG construction outside the seeded shim API.
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+/// Pointer-derived key: addresses vary across runs.
+pub fn addr_key(xs: &[f64]) -> usize {
+    (xs.as_ptr() as *const u8) as usize
+}
+
+/// Merges per-chunk partial sums whose grouping follows the worker count.
+pub fn chunk_merge(ex: &Executor, n: usize) -> Result<f64, Error> {
+    let total = ex.map_chunks(n, 4, |s, w| part(s, w))?.into_iter().sum::<f64>();
+    Ok(total)
+}
+
+fn part(s: usize, w: usize) -> f64 {
+    (s + w) as f64
+}
+
+/// Accumulates into a captured binding across chunk boundaries.
+pub fn chunk_accumulate(ex: &Executor, data: &mut [f64]) -> f64 {
+    let mut total = 0.0;
+    let _ = ex.for_each_chunk_mut(data, 4, |_s, chunk| {
+        for x in chunk.iter() {
+            total += *x;
+        }
+    });
+    total
+}
+
+/// Blessed pattern: per-chunk work writes only chunk-local state.
+pub fn chunk_scale(ex: &Executor, data: &mut [f64]) {
+    let _ = ex.for_each_chunk_mut(data, 4, |start, chunk| {
+        let mut offset = start as f64;
+        for x in chunk.iter_mut() {
+            offset += 1.0;
+            *x += offset;
+        }
+    });
+}
+
+/// deterministic: always
+pub fn mislabeled(x: f64) -> f64 {
+    x
+}

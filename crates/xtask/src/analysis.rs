@@ -1,16 +1,17 @@
 //! The `analyze` driver: runs the semantic passes (panic-reachability,
-//! shape contracts, concurrency) over the library crates, applies the
-//! ratchet baseline, and renders human/JSON output.
+//! shape contracts, concurrency, perf, determinism) over the library
+//! crates, applies the ratchet baseline, and renders human/JSON output.
 
 use crate::baseline;
 use crate::callgraph;
 use crate::complexity;
 use crate::concurrency;
+use crate::determinism;
 use crate::items::{self, FnInfo};
 use crate::perf;
 use crate::scanner::{self, SourceFile};
 use crate::shape;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -45,6 +46,15 @@ pub enum AnalyzeRule {
     ComplexityContract,
     /// A hot body nests deeper than its complexity contract admits.
     ComplexityMismatch,
+    /// A non-total float ordering (`partial_cmp`, `f64::max`/`f64::min`).
+    FloatTotalOrder,
+    /// A nondeterministic source (hash iteration, wall clock, pointer
+    /// address, unseeded RNG) in library code.
+    NondetSource,
+    /// Order-sensitive accumulation across executor chunk boundaries.
+    ReductionOrder,
+    /// A `/// deterministic` marker is malformed.
+    DetAnnotation,
     /// A baseline entry no longer matches reality.
     BaselineStale,
 }
@@ -64,6 +74,10 @@ impl AnalyzeRule {
             AnalyzeRule::HotBounds => "bounds_check_hot_loop",
             AnalyzeRule::ComplexityContract => "complexity_contract",
             AnalyzeRule::ComplexityMismatch => "complexity_mismatch",
+            AnalyzeRule::FloatTotalOrder => "float_total_order",
+            AnalyzeRule::NondetSource => "nondet_source",
+            AnalyzeRule::ReductionOrder => "reduction_order",
+            AnalyzeRule::DetAnnotation => "det_annotation",
             AnalyzeRule::BaselineStale => "baseline_stale",
         }
     }
@@ -82,6 +96,10 @@ impl AnalyzeRule {
             "bounds_check_hot_loop" => Some(AnalyzeRule::HotBounds),
             "complexity_contract" => Some(AnalyzeRule::ComplexityContract),
             "complexity_mismatch" => Some(AnalyzeRule::ComplexityMismatch),
+            "float_total_order" => Some(AnalyzeRule::FloatTotalOrder),
+            "nondet_source" => Some(AnalyzeRule::NondetSource),
+            "reduction_order" => Some(AnalyzeRule::ReductionOrder),
+            "det_annotation" => Some(AnalyzeRule::DetAnnotation),
             "baseline_stale" => Some(AnalyzeRule::BaselineStale),
             _ => None,
         }
@@ -236,6 +254,28 @@ pub fn run_passes(
         .filter(|&(_, &h)| h)
         .map(|(f, _)| (f.file.as_str(), f.line))
         .collect();
+    // Determinism pass: transitive det set plus a (file, line) → node map
+    // so per-file findings can print the shortest `/// deterministic`
+    // contract chain.
+    let det = determinism::det_set(&graph);
+    let det_nodes: HashMap<(&str, usize), usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ((f.file.as_str(), f.line), i))
+        .collect();
+    let det_context = |file: &str, line: usize| -> String {
+        det_nodes
+            .get(&(file, line))
+            .and_then(|&i| determinism::shortest_det_chain(&graph, &det, i))
+            .map(|chain| {
+                format!(
+                    "; on a `/// deterministic` path via `{}`",
+                    callgraph::render_chain(&graph, &chain)
+                )
+            })
+            .unwrap_or_default()
+    };
 
     // Shape pass: annotations per file, then call sites against the
     // workspace-wide registry.
@@ -328,6 +368,33 @@ pub fn run_passes(
                         message: site.message,
                     });
                 }
+            }
+
+            // Determinism pass: marker grammar plus the three bit-identity
+            // lints on every non-test library function; findings on a
+            // `/// deterministic` path carry the shortest contract chain.
+            if let Some(problem) = determinism::annotation_problem(f) {
+                findings.push(Finding {
+                    rule: AnalyzeRule::DetAnnotation,
+                    file: rel.clone(),
+                    func: f.qual.clone(),
+                    line: f.line,
+                    message: problem,
+                });
+            }
+            for site in determinism::lint_det_fn(source, f) {
+                let context = det_context(rel.as_str(), f.line);
+                findings.push(Finding {
+                    rule: match site.kind {
+                        determinism::DetKind::FloatOrder => AnalyzeRule::FloatTotalOrder,
+                        determinism::DetKind::NondetSource => AnalyzeRule::NondetSource,
+                        determinism::DetKind::ReductionOrder => AnalyzeRule::ReductionOrder,
+                    },
+                    file: rel.clone(),
+                    func: f.qual.clone(),
+                    line: site.line,
+                    message: format!("{}{}", site.message, context),
+                });
             }
         }
 
@@ -475,6 +542,38 @@ mod tests {
     }
 
     #[test]
+    fn det_findings_on_contract_paths_carry_the_chain() {
+        let src = "/// deterministic\npub fn entry(xs: &[f64]) -> f64 { pick(xs) }\n\
+                   fn pick(xs: &[f64]) -> f64 { xs.iter().copied().fold(0.0, f64::max) }\n\
+                   fn stray(xs: &[f64]) -> f64 { xs.iter().copied().fold(0.0, f64::min) }\n\
+                   pub fn keep(xs: &[f64]) -> f64 { stray(xs) }";
+        let out = run(src, false);
+        let float: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == AnalyzeRule::FloatTotalOrder)
+            .collect();
+        assert_eq!(float.len(), 2, "{out:#?}");
+        let on_path = float
+            .iter()
+            .find(|f| f.func == "pick")
+            .expect("pick finding");
+        assert!(
+            on_path.message.contains("entry -> pick"),
+            "{}",
+            on_path.message
+        );
+        let off_path = float
+            .iter()
+            .find(|f| f.func == "stray")
+            .expect("stray finding");
+        assert!(
+            !off_path.message.contains("deterministic"),
+            "{}",
+            off_path.message
+        );
+    }
+
+    #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
@@ -492,6 +591,10 @@ mod tests {
             AnalyzeRule::HotBounds,
             AnalyzeRule::ComplexityContract,
             AnalyzeRule::ComplexityMismatch,
+            AnalyzeRule::FloatTotalOrder,
+            AnalyzeRule::NondetSource,
+            AnalyzeRule::ReductionOrder,
+            AnalyzeRule::DetAnnotation,
             AnalyzeRule::BaselineStale,
         ] {
             assert_eq!(AnalyzeRule::from_key(rule.key()), Some(rule));

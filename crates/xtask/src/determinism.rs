@@ -1,0 +1,664 @@
+//! The determinism pass: `/// deterministic` markers, transitive
+//! contract propagation over the call graph, and the three bit-identity
+//! lints.
+//!
+//! The workspace promises that parallel execution is *bit-identical* to
+//! sequential execution (fixed chunk claims + input-order reassembly,
+//! see `gssl-runtime`), and that reruns reproduce exactly. The dynamic
+//! proof lives in `tests/determinism.rs`; this pass makes the invariant
+//! a checked property of the source. Three lints run over every
+//! non-test library function:
+//!
+//! * **float-totality** — `partial_cmp` used as an ordering key (it is
+//!   non-total over floats, and `.unwrap()` on it panics on NaN) and
+//!   `f64::max` / `f64::min` used in selection logic (NaN-absorbing,
+//!   non-total); the blessed replacement is `total_cmp` on a canonical
+//!   `(value, index)` key, as `gssl-index` orders neighbors. A
+//!   `partial_cmp` whose result is totally handled by a `match` in the
+//!   same statement is exempt.
+//! * **nondeterministic sources** — `HashMap` / `HashSet` (unseeded
+//!   SipHash iteration order varies across processes), `Instant::now` /
+//!   `SystemTime` (wall clock), pointer casts (`as *const` / `as *mut`
+//!   derive address-dependent values), and unseeded RNG construction
+//!   (`thread_rng` / `from_entropy` / `OsRng` — the vendored
+//!   `crates/rand` shim only exposes `seed_from_u64`).
+//! * **reduction-order** — floating-point accumulation across chunk
+//!   boundaries of `Executor::map_chunks` / `for_each_chunk_mut`: chunk
+//!   width depends on the worker count, so merging per-chunk partials
+//!   with `sum` / `fold` / `reduce`, or mutating a captured accumulator
+//!   from inside the chunk closure, changes results across worker
+//!   counts. The blessed combine step is input-order reassembly
+//!   (per-chunk values written back at their input positions).
+//!
+//! On top of the lints, `/// deterministic` doc markers declare the
+//! contract on public entry points. Marked functions propagate
+//! *forward* through the call graph exactly like the perf pass's
+//! `/// hot`: every function reachable from a marked one joins the det
+//! set, and a finding inside the set additionally prints the shortest
+//! call chain from a marked root so the violated contract is visible at
+//! the entry point. Findings ratchet through
+//! `crates/xtask/analyze.baseline` with mandatory written reasons.
+
+use crate::callgraph::CallGraph;
+use crate::items::FnInfo;
+use crate::lexer::{Tok, TokKind};
+use crate::scanner::SourceFile;
+use std::collections::{HashMap, VecDeque};
+
+/// Whether the function carries an explicit `/// deterministic` marker.
+#[must_use]
+pub fn is_det_marked(f: &FnInfo) -> bool {
+    f.doc.iter().any(|d| d.trim() == "deterministic")
+}
+
+/// Returns the malformed-marker problem, if any: `deterministic:` with a
+/// qualifier is reserved (the grammar is the bare word, nothing else).
+/// Prose doc lines that merely *start* with the word are left alone.
+#[must_use]
+pub fn annotation_problem(f: &FnInfo) -> Option<String> {
+    f.doc
+        .iter()
+        .map(|d| d.trim())
+        .find(|t| t.starts_with("deterministic:"))
+        .map(|t| {
+            format!(
+                "malformed `/// deterministic` marker `{t}`: the grammar is the bare word with no qualifier"
+            )
+        })
+}
+
+/// Computes the transitive det set over the call graph: one flag per
+/// node, `true` when the function is `/// deterministic` or reachable
+/// from one via forward call edges. Test functions neither seed nor
+/// join the set.
+#[must_use]
+pub fn det_set(graph: &CallGraph) -> Vec<bool> {
+    let n = graph.fns.len();
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (callee, callers) in graph.callers.iter().enumerate() {
+        for &caller in callers {
+            callees[caller].push(callee);
+        }
+    }
+    let mut det = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !f.in_test && is_det_marked(f) {
+            det[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &callees[i] {
+            if !det[j] && !graph.fns[j].in_test {
+                det[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    det
+}
+
+/// Reverse BFS from `target` over caller edges restricted to the det
+/// set; returns the shortest chain `marked root → … → target`, or
+/// `None` when the target is outside the set.
+#[must_use]
+pub fn shortest_det_chain(graph: &CallGraph, det: &[bool], target: usize) -> Option<Vec<usize>> {
+    if !det.get(target).copied().unwrap_or(false) {
+        return None;
+    }
+    if is_det_marked(&graph.fns[target]) {
+        return Some(vec![target]);
+    }
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut queue = VecDeque::from([target]);
+    while let Some(node) = queue.pop_front() {
+        for &caller in &graph.callers[node] {
+            if caller == target || parent.contains_key(&caller) {
+                continue;
+            }
+            if graph.fns[caller].in_test || !det[caller] {
+                continue;
+            }
+            parent.insert(caller, node);
+            if is_det_marked(&graph.fns[caller]) {
+                let mut chain = vec![caller];
+                let mut cur = caller;
+                while let Some(&next) = parent.get(&cur) {
+                    chain.push(next);
+                    if next == target {
+                        break;
+                    }
+                    cur = next;
+                }
+                return Some(chain);
+            }
+            queue.push_back(caller);
+        }
+    }
+    None
+}
+
+/// Which determinism lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetKind {
+    /// Non-total float ordering (`partial_cmp`, `f64::max`/`f64::min`).
+    FloatOrder,
+    /// A nondeterministic source (hash iteration, wall clock, pointer
+    /// address, unseeded RNG).
+    NondetSource,
+    /// Order-sensitive accumulation across chunk boundaries.
+    ReductionOrder,
+}
+
+/// One determinism lint finding.
+#[derive(Debug, Clone)]
+pub struct DetSite {
+    /// Which lint fired.
+    pub kind: DetKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs the three determinism lints over one function body.
+#[must_use]
+pub fn lint_det_fn(source: &SourceFile, f: &FnInfo) -> Vec<DetSite> {
+    let toks: Vec<&Tok> = source
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment | TokKind::Doc))
+        .collect();
+    let end = f.body.end.min(toks.len());
+    let mut out = Vec::new();
+
+    let mut k = f.body.start;
+    while k < end {
+        let t = toks[k];
+        let prev = (k > f.body.start).then(|| toks[k - 1]);
+        let next = toks.get(k + 1).copied();
+
+        if t.kind == TokKind::Ident {
+            // Float-totality: `partial_cmp` as an ordering key.
+            if t.is_ident("partial_cmp") && !match_guarded(&toks, f.body.start, k) {
+                let unwrapped = next.is_some_and(|n| n.is_punct('.'))
+                    && toks
+                        .get(k + 2)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                    || chained_unwrap(&toks, k, end);
+                out.push(DetSite {
+                    kind: DetKind::FloatOrder,
+                    line: t.line,
+                    message: if unwrapped {
+                        "`partial_cmp(..).unwrap()` panics on NaN and is non-total; \
+                         use `total_cmp` on a canonical (value, index) key"
+                            .to_owned()
+                    } else {
+                        "`partial_cmp` is non-total over floats; use `total_cmp` on a \
+                         canonical (value, index) key (or handle every arm in a `match`)"
+                            .to_owned()
+                    },
+                });
+                k += 1;
+                continue;
+            }
+            // Float-totality: `f64::max` / `f64::min` selection.
+            if matches!(t.text.as_str(), "f64" | "f32")
+                && next.is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                if let Some(m) = toks
+                    .get(k + 3)
+                    .filter(|m| m.is_ident("max") || m.is_ident("min"))
+                {
+                    out.push(DetSite {
+                        kind: DetKind::FloatOrder,
+                        line: t.line,
+                        message: format!(
+                            "`{}::{}` is NaN-absorbing and non-total; select via \
+                             `total_cmp` so the choice is canonical for every input",
+                            t.text, m.text
+                        ),
+                    });
+                    k += 4;
+                    continue;
+                }
+            }
+            // Nondeterministic sources.
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                out.push(DetSite {
+                    kind: DetKind::NondetSource,
+                    line: t.line,
+                    message: format!(
+                        "`{}` iteration order is randomized per process; use a Vec/BTreeMap, \
+                         or baseline membership-only use with a reason",
+                        t.text
+                    ),
+                });
+                k += 1;
+                continue;
+            }
+            if t.is_ident("Instant")
+                && next.is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|n| n.is_ident("now"))
+            {
+                out.push(DetSite {
+                    kind: DetKind::NondetSource,
+                    line: t.line,
+                    message: "`Instant::now` reads the wall clock; keep it out of value \
+                              paths (baseline metrics-only reads with a reason)"
+                        .to_owned(),
+                });
+                k += 4;
+                continue;
+            }
+            if t.is_ident("SystemTime") {
+                out.push(DetSite {
+                    kind: DetKind::NondetSource,
+                    line: t.line,
+                    message: "`SystemTime` reads the wall clock; keep it out of value paths"
+                        .to_owned(),
+                });
+                k += 1;
+                continue;
+            }
+            if t.is_ident("as")
+                && next.is_some_and(|n| n.is_punct('*'))
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|n| n.is_ident("const") || n.is_ident("mut"))
+            {
+                out.push(DetSite {
+                    kind: DetKind::NondetSource,
+                    line: t.line,
+                    message: "pointer cast derives an address-dependent value; addresses \
+                              vary across runs and must not feed keys or outputs"
+                        .to_owned(),
+                });
+                k += 3;
+                continue;
+            }
+            if matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng") {
+                out.push(DetSite {
+                    kind: DetKind::NondetSource,
+                    line: t.line,
+                    message: format!(
+                        "`{}` constructs an unseeded RNG; use the seeded \
+                         `rand` shim API (`seed_from_u64`)",
+                        t.text
+                    ),
+                });
+                k += 1;
+                continue;
+            }
+            // Reduction-order: chunked execution call sites.
+            if matches!(t.text.as_str(), "map_chunks" | "for_each_chunk_mut")
+                && next.is_some_and(|n| n.is_punct('('))
+                && !prev.is_some_and(|p| p.is_ident("fn"))
+            {
+                let close = matching_paren(&toks, k + 1, end);
+                lint_chunk_call(&toks, k, close, end, &mut out);
+                k += 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Whether a `match` keyword appears earlier in the same statement as
+/// the token at `at` (the totally-handled `partial_cmp` exemption).
+fn match_guarded(toks: &[&Tok], start: usize, at: usize) -> bool {
+    let mut k = at;
+    while k > start {
+        k -= 1;
+        let t = toks[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+        if t.is_ident("match") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the `partial_cmp(..)` call at `at` is chained into
+/// `.unwrap()` / `.expect(…)` after its argument list.
+fn chained_unwrap(toks: &[&Tok], at: usize, end: usize) -> bool {
+    if !toks.get(at + 1).is_some_and(|n| n.is_punct('(')) {
+        return false;
+    }
+    let close = matching_paren(toks, at + 1, end);
+    toks.get(close + 1).is_some_and(|n| n.is_punct('.'))
+        && toks
+            .get(close + 2)
+            .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+}
+
+/// Index of the `)` matching the `(` at `open` (or `end` when
+/// unbalanced).
+fn matching_paren(toks: &[&Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        let t = toks[k];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Lints one `map_chunks` / `for_each_chunk_mut` call: captured-
+/// accumulator mutation inside the chunk closure, and order-sensitive
+/// merges chained onto the per-chunk results.
+fn lint_chunk_call(toks: &[&Tok], call: usize, close: usize, end: usize, out: &mut Vec<DetSite>) {
+    let name = &toks[call].text;
+    // Names bound locally inside the call region: closure parameters,
+    // `let` bindings (including tuple destructuring) and `for` loop
+    // bindings. Mutating those cannot cross a chunk boundary.
+    let mut locals: Vec<String> = Vec::new();
+    let mut in_params = false;
+    let mut k = call + 1;
+    while k < close {
+        let t = toks[k];
+        if t.is_punct('|') {
+            in_params = !in_params;
+            k += 1;
+            continue;
+        }
+        if in_params && t.kind == TokKind::Ident {
+            locals.push(t.text.clone());
+            k += 1;
+            continue;
+        }
+        if t.is_ident("let") || t.is_ident("for") {
+            let stop_at_in = t.is_ident("for");
+            let mut j = k + 1;
+            while j < close {
+                let tj = toks[j];
+                if stop_at_in && tj.is_ident("in") {
+                    break;
+                }
+                if !stop_at_in && (tj.is_punct('=') || tj.is_punct(':')) {
+                    break;
+                }
+                if tj.kind == TokKind::Ident && !tj.is_ident("mut") {
+                    locals.push(tj.text.clone());
+                }
+                j += 1;
+            }
+            k = j;
+            continue;
+        }
+        k += 1;
+    }
+
+    // Compound assignment inside the closure region whose receiver is
+    // not a local binding: a captured accumulator merged across chunks.
+    let mut k = call + 1;
+    while k + 1 < close {
+        let t = toks[k];
+        if (t.is_punct('+') || t.is_punct('-')) && toks[k + 1].is_punct('=') {
+            let recv = receiver_ident(toks, call, k);
+            let is_local = recv.as_ref().is_some_and(|r| locals.iter().any(|l| l == r));
+            if !is_local {
+                out.push(DetSite {
+                    kind: DetKind::ReductionOrder,
+                    line: t.line,
+                    message: format!(
+                        "`{}=` on `{}` inside a `{}` closure accumulates across chunk \
+                         boundaries; chunk width follows the worker count, so return \
+                         per-chunk values and reassemble in input order instead",
+                        t.text,
+                        recv.as_deref().unwrap_or("a captured binding"),
+                        name
+                    ),
+                });
+            }
+            k += 2;
+            continue;
+        }
+        k += 1;
+    }
+
+    // Order-sensitive merge chained onto the per-chunk results: scan the
+    // rest of the statement after the call's closing paren.
+    let mut depth = 0i32;
+    let mut k = close + 1;
+    while k < end {
+        let t = toks[k];
+        if t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if depth == 0 && t.is_punct(',') {
+            break;
+        } else if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "sum" | "fold" | "reduce" | "product")
+            && (k > 0 && toks[k - 1].is_punct('.'))
+        {
+            out.push(DetSite {
+                kind: DetKind::ReductionOrder,
+                line: t.line,
+                message: format!(
+                    "`.{}` merges per-chunk partials of `{}`; chunk width follows the \
+                     worker count, so the grouping (and the float rounding) changes \
+                     across worker counts — reassemble per-element values in input \
+                     order instead",
+                    t.text, name
+                ),
+            });
+            break;
+        }
+        k += 1;
+    }
+}
+
+/// The identifier receiving a compound assignment at `op` (the `+`/`-`
+/// token): walks back over an index bracket group when present.
+fn receiver_ident(toks: &[&Tok], start: usize, op: usize) -> Option<String> {
+    if op == start {
+        return None;
+    }
+    let mut k = op - 1;
+    if toks[k].is_punct(']') {
+        let mut depth = 0i32;
+        loop {
+            let t = toks[k];
+            if t.is_punct(']') {
+                depth += 1;
+            } else if t.is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == start {
+                return None;
+            }
+            k -= 1;
+        }
+        if k == start {
+            return None;
+        }
+        k -= 1;
+    }
+    (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{build, render_chain};
+    use crate::items::extract;
+    use crate::scanner::analyze;
+
+    fn lint(src: &str) -> Vec<DetSite> {
+        let source = analyze(src);
+        let fns = extract("t.rs", &source);
+        lint_det_fn(&source, &fns[0])
+    }
+
+    fn kinds(src: &str) -> Vec<DetKind> {
+        lint(src).into_iter().map(|s| s.kind).collect()
+    }
+
+    #[test]
+    fn det_marker_propagates_through_calls() {
+        let src = "/// deterministic\npub fn entry(v: &[f64]) -> f64 { inner(v) }\n\
+                   fn inner(v: &[f64]) -> f64 { leaf(v) }\n\
+                   fn leaf(v: &[f64]) -> f64 { v.len() as f64 }\n\
+                   fn cold() {}";
+        let graph = build(extract("t.rs", &analyze(src)));
+        let det = det_set(&graph);
+        let by_name = |name: &str| {
+            graph
+                .fns
+                .iter()
+                .position(|f| f.name == name)
+                .expect("fn present")
+        };
+        assert!(det[by_name("entry")]);
+        assert!(det[by_name("inner")]);
+        assert!(det[by_name("leaf")]);
+        assert!(!det[by_name("cold")]);
+        let chain = shortest_det_chain(&graph, &det, by_name("leaf")).expect("in set");
+        assert_eq!(render_chain(&graph, &chain), "entry -> inner -> leaf");
+        assert!(shortest_det_chain(&graph, &det, by_name("cold")).is_none());
+    }
+
+    #[test]
+    fn test_fns_do_not_seed_or_join_the_det_set() {
+        let src = "#[cfg(test)]\nmod tests {\n/// deterministic\nfn t() { shared(); }\n}\n\
+                   fn shared() {}";
+        let graph = build(extract("t.rs", &analyze(src)));
+        assert!(det_set(&graph).iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn colon_qualifier_is_malformed_prose_is_not() {
+        let fns = extract(
+            "t.rs",
+            &analyze(
+                "/// deterministic: always\npub fn a() {}\n/// deterministic order.\npub fn b() {}",
+            ),
+        );
+        assert!(annotation_problem(&fns[0]).is_some());
+        assert!(annotation_problem(&fns[1]).is_none());
+        assert!(!is_det_marked(&fns[1]), "prose is not a marker either");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_chain_is_flagged() {
+        let src = "fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let sites = lint(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, DetKind::FloatOrder);
+        assert!(
+            sites[0].message.contains("panics on NaN"),
+            "{}",
+            sites[0].message
+        );
+    }
+
+    #[test]
+    fn match_handled_partial_cmp_is_exempt() {
+        let src = "fn f(x: f64, y: f64) -> bool {\n\
+                   match x.partial_cmp(&y) { Some(o) => o.is_lt(), None => false } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn float_minmax_paths_are_flagged() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().copied().fold(0.0, f64::max) }";
+        assert_eq!(kinds(src), vec![DetKind::FloatOrder]);
+        let src = "fn f(a: f64, b: f64) -> f64 { f64::min(a, b) }";
+        assert_eq!(kinds(src), vec![DetKind::FloatOrder]);
+        // `total_cmp` selection and f64 constants stay silent.
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().copied()\
+                   .fold(f64::INFINITY, |a, b| if b.total_cmp(&a).is_lt() { b } else { a }) }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_and_clock_are_flagged() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); drop(m); }";
+        assert_eq!(kinds(src), vec![DetKind::NondetSource]);
+        let src =
+            "fn f() -> u64 { let t = std::time::Instant::now(); t.elapsed().as_nanos() as u64 }";
+        assert_eq!(kinds(src), vec![DetKind::NondetSource]);
+    }
+
+    #[test]
+    fn pointer_cast_and_unseeded_rng_are_flagged() {
+        let src = "fn f(v: &[f64]) -> usize { (v.as_ptr() as *const u8) as usize }";
+        assert_eq!(kinds(src), vec![DetKind::NondetSource]);
+        let src = "fn f() -> f64 { let mut rng = thread_rng(); rng.gen() }";
+        assert_eq!(kinds(src), vec![DetKind::NondetSource]);
+        // Plain `as` numeric casts stay silent.
+        let src = "fn f(n: usize) -> f64 { n as f64 }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn chained_merge_of_chunk_partials_is_flagged() {
+        let src = "fn f(ex: &Executor, n: usize) -> f64 {\n\
+                   ex.map_chunks(n, 4, |s, w| part(s, w)).unwrap().into_iter().sum::<f64>() }";
+        assert_eq!(kinds(src), vec![DetKind::ReductionOrder]);
+    }
+
+    #[test]
+    fn captured_accumulator_in_chunk_closure_is_flagged() {
+        let src = "fn f(ex: &Executor, data: &mut [f64]) -> f64 {\n\
+                   let mut total = 0.0;\n\
+                   let _ = ex.for_each_chunk_mut(data, 4, |_s, chunk| {\n\
+                   for x in chunk.iter() { total += *x; } });\n\
+                   total }";
+        assert_eq!(kinds(src), vec![DetKind::ReductionOrder]);
+    }
+
+    #[test]
+    fn input_order_reassembly_is_silent() {
+        // Per-chunk work writes only through the chunk binding and
+        // chunk-local state: the blessed pattern.
+        let src = "fn f(ex: &Executor, data: &mut [f64]) {\n\
+                   let _ = ex.for_each_chunk_mut(data, 4, |_s, chunk| {\n\
+                   let mut local = 0.0;\n\
+                   for x in chunk.iter_mut() { local += 1.0; *x += local; } });\n\
+                   }";
+        assert!(lint(src).is_empty());
+        // Collecting per-chunk row blocks without a merge is silent too.
+        let src = "fn f(ex: &Executor, n: usize) -> Result<Vec<Vec<f64>>, E> {\n\
+                   ex.map_chunks(n, 4, |s, w| rows(s, w)) }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn definitions_and_forwarding_calls_are_silent() {
+        // The definition site (`fn map_chunks`) and a plain forwarding
+        // call with a function argument carry no closure and no merge.
+        let src = "impl Executor {\n\
+                   pub fn map_chunks<F>(&self, len: usize, width: usize, f: F) -> Out {\n\
+                   match self { Executor::Pool(p) => p.map_chunks(len, width, f), } } }";
+        let source = analyze(src);
+        let fns = extract("t.rs", &source);
+        assert!(lint_det_fn(&source, &fns[0]).is_empty());
+    }
+}

@@ -34,6 +34,7 @@ pub mod baseline;
 pub mod callgraph;
 pub mod complexity;
 pub mod concurrency;
+pub mod determinism;
 pub mod items;
 pub mod lexer;
 pub mod perf;

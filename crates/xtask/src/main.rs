@@ -98,7 +98,8 @@ fn run_check(root: &PathBuf, json: bool) -> ExitCode {
     }
 }
 
-/// Runs the semantic analyze pass.
+/// Runs the semantic analyze pass (panic-reachability, shape contracts,
+/// concurrency lints, the perf pass, and the determinism pass).
 fn run_analyze(root: &PathBuf, json: bool) -> ExitCode {
     match gssl_xtask::analysis::analyze_workspace(root) {
         Ok(report) => {

@@ -16,9 +16,11 @@ echo "== gssl-xtask check"
 cargo run -q -p gssl-xtask -- check
 
 echo "== gssl-xtask analyze --json"
-# Semantic passes (panic-reachability, shape contracts, concurrency, and
-# the perf pass: hot propagation, complexity contracts, alloc/bounds
-# lints); exits 0 when clean, 1 on any finding not covered by
+# Semantic passes (panic-reachability, shape contracts, concurrency, the
+# perf pass: hot propagation, complexity contracts, alloc/bounds lints,
+# and the determinism pass: float total-order, nondeterministic-source
+# and chunk-reduction-order lints with `/// deterministic` contract
+# propagation); exits 0 when clean, 1 on any finding not covered by
 # crates/xtask/analyze.baseline (including stale entries), 2 on I/O
 # errors. JSON goes to the log so CI can archive the machine-readable
 # report; any nonzero exit fails the gate.
