@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gssl::{HardCriterion, HardSolver, Problem, SoftCriterion, SweepKind};
 use gssl_datasets::synthetic::{paper_dataset, PaperModel, PAPER_DIM};
 use gssl_graph::{affinity::affinity_matrix, bandwidth::paper_rate, Kernel};
-use gssl_linalg::{CsrMatrix, Matrix, SolverPolicy};
+use gssl_linalg::{AmgOptions, CsrMatrix, Matrix, SolverPolicy, SparseStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -135,11 +135,59 @@ fn bench_dense_vs_sparse_cg_crossover(c: &mut Criterion) {
     group.finish();
 }
 
+/// A policy forcing the given sparse strategy regardless of size, so the
+/// preconditioner families can be compared on the same problem.
+fn forced(strategy: SparseStrategy) -> HardCriterion {
+    HardCriterion::new().solver(HardSolver::Auto(SolverPolicy {
+        direct_dim_cutoff: 0,
+        density_threshold: 1.0,
+        sparse: strategy,
+        ..SolverPolicy::default()
+    }))
+}
+
+/// Preconditioner ablation on the banded graph: plain Jacobi-CG vs
+/// block-Jacobi PCG vs IC(0) PCG vs AMG through the forced-strategy
+/// policy routes. IC(0) is exact on banded matrices, so its iteration
+/// advantage over Jacobi translates directly into wall time here; AMG
+/// pays a hierarchy setup that only amortizes at larger sizes (the
+/// committed `BENCH_solver.json` sweep shows where).
+fn bench_preconditioner_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preconditioner_ablation");
+    group.sample_size(10);
+    let n_labeled = 8;
+    for &total in &[256usize, 512, 1024] {
+        let w = banded_graph(total);
+        let labels: Vec<f64> = (0..n_labeled).map(|i| (i % 2) as f64).collect();
+        let sparse =
+            Problem::new(CsrMatrix::from_dense(&w, 0.0), labels.clone()).expect("sparse problem");
+        let strategies: Vec<(&str, HardCriterion)> = vec![
+            ("jacobi_cg", forced(SparseStrategy::Jacobi)),
+            (
+                "block_jacobi_pcg",
+                forced(SparseStrategy::BlockJacobi { block_dim: 32 }),
+            ),
+            ("ic0_pcg", forced(SparseStrategy::Ic0)),
+            (
+                "amg_pcg",
+                forced(SparseStrategy::Amg(AmgOptions::default())),
+            ),
+        ];
+        for (name, criterion) in strategies {
+            group.bench_with_input(BenchmarkId::new(name, total), &criterion, |b, s| {
+                b.iter(|| s.fit(&sparse).expect("forced-strategy fit"));
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_hard_vs_soft,
     bench_hard_scaling,
     bench_hard_backends,
-    bench_dense_vs_sparse_cg_crossover
+    bench_dense_vs_sparse_cg_crossover,
+    bench_preconditioner_ablation
 );
 criterion_main!(benches);

@@ -23,7 +23,7 @@
 use gssl::{HardCriterion, HardSolver, Problem};
 use gssl_graph::{knn_graph_with, Kernel, Symmetrization};
 use gssl_index::{k_nearest_batch, BruteForce, NeighborSearch, SpatialIndex};
-use gssl_linalg::{CgOptions, Matrix};
+use gssl_linalg::{CgOptions, Matrix, SolverPolicy};
 use gssl_runtime::Executor;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -204,18 +204,23 @@ fn run_size(n: usize, quiet: bool) -> SizeReport {
         graphs_identical(&graph, &twin)
     });
 
-    // End-to-end hard-criterion fit through the sparse Jacobi-CG backend
-    // (the dense solvers would need an n × n matrix — 8 TB at a million
-    // points; the CSR route runs in O(nnz) memory).
+    // End-to-end hard-criterion fit through the policy-selected sparse
+    // path (the dense solvers would need an n × n matrix — 8 TB at a
+    // million points; the CSR route runs in O(nnz) memory). The kNN
+    // graph's CSR bandwidth is ~n (spatial neighbors are scattered in
+    // index order), which the policy's locality guard reads as "the
+    // bandwidth signal is uninformative" — these anchored systems are
+    // well-conditioned, so every rung routes to IC(0) PCG, which halves
+    // the iteration count of the old plain Jacobi-CG path.
     let labels: Vec<f64> = (0..labeled).map(|i| f64::from(i as u8 % 2)).collect();
     let start = Instant::now();
     let problem = Problem::new(graph, labels).expect("problem");
     problem.require_anchored(0.0).expect("anchored graph");
     let scores = HardCriterion::new()
-        .solver(HardSolver::ConjugateGradient(CgOptions {
+        .solver(HardSolver::Auto(SolverPolicy::with_cg(CgOptions {
             max_iterations: 10_000,
             tolerance: 1e-7,
-        }))
+        })))
         .fit(&problem)
         .expect("hard fit");
     let fit_seconds = start.elapsed().as_secs_f64();

@@ -16,7 +16,7 @@ use crate::propagation::{LabelPropagation, SweepKind};
 use crate::traits::TransductiveModel;
 use crate::weights::Weights;
 use gssl_linalg::{
-    strict, CgOptions, Cholesky, Factorization, JacobiCg, Lu, Matrix, SolverBackend, SolverPolicy,
+    strict, CgOptions, Cholesky, Factorization, Lu, Matrix, PrecondCg, SolverBackend, SolverPolicy,
 };
 
 /// Numerical backend used to solve the `m × m` hard-criterion system.
@@ -119,7 +119,7 @@ impl HardCriterion {
                 &self.executor,
             )?)),
             HardSolver::ConjugateGradient(options) => Ok(SolverBackend::Cg(
-                JacobiCg::factor_sparse(&problem.unlabeled_system_csr()?, options.clone())?
+                PrecondCg::factor_sparse(&problem.unlabeled_system_csr()?, options.clone())?
                     .with_executor(self.executor.clone()),
             )),
             HardSolver::Auto(policy) => {

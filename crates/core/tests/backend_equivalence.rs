@@ -6,7 +6,7 @@
 //! soft criterion (Proposition II.1) — must behave identically too.
 
 use gssl::{Error, HardCriterion, HardSolver, Problem, Scores, SoftCriterion, Weights};
-use gssl_linalg::{CgOptions, CsrMatrix, Matrix, SolverPolicy};
+use gssl_linalg::{AmgOptions, CgOptions, CsrMatrix, Matrix, SolverPolicy, SparseStrategy};
 
 /// Deterministic LCG so the random problems are reproducible.
 struct Lcg(u64);
@@ -70,9 +70,10 @@ fn assert_scores_close(got: &Scores, want: &Scores, tol: f64, context: &str) {
     }
 }
 
-/// Every hard backend the factorization layer can dispatch to.
+/// Every hard backend the factorization layer can dispatch to, including
+/// a forced-strategy `Auto` route per preconditioner family and AMG.
 fn hard_backends() -> Vec<(&'static str, HardSolver)> {
-    vec![
+    let mut backends = vec![
         ("cholesky", HardSolver::Cholesky),
         ("lu", HardSolver::Lu),
         (
@@ -83,12 +84,16 @@ fn hard_backends() -> Vec<(&'static str, HardSolver)> {
             }),
         ),
         ("auto", HardSolver::Auto(SolverPolicy::default())),
-    ]
+    ];
+    for (name, policy) in forced_iterative_policies() {
+        backends.push((name, HardSolver::Auto(policy)));
+    }
+    backends
 }
 
-/// A policy whose thresholds force the iterative CG backend even on
-/// small dense systems, so the soft criterion's CG route is exercised.
-fn force_cg_policy() -> SolverPolicy {
+/// A policy whose thresholds force the iterative route even on small
+/// dense systems, with the given sparse strategy.
+fn force_strategy_policy(strategy: SparseStrategy) -> SolverPolicy {
     SolverPolicy {
         direct_dim_cutoff: 0,
         density_threshold: 1.0,
@@ -96,8 +101,39 @@ fn force_cg_policy() -> SolverPolicy {
             max_iterations: 0,
             tolerance: 1e-12,
         },
+        sparse: strategy,
         ..SolverPolicy::default()
     }
+}
+
+/// A policy whose thresholds force the iterative CG backend even on
+/// small dense systems, so the soft criterion's CG route is exercised.
+fn force_cg_policy() -> SolverPolicy {
+    force_strategy_policy(SparseStrategy::Jacobi)
+}
+
+/// One forced-iterative policy per solver family the sparse-first stack
+/// can dispatch to: Jacobi PCG, block-Jacobi PCG, IC(0) PCG, and AMG.
+fn forced_iterative_policies() -> Vec<(&'static str, SolverPolicy)> {
+    let tight_cg = CgOptions {
+        max_iterations: 0,
+        tolerance: 1e-12,
+    };
+    vec![
+        ("forced-jacobi", force_cg_policy()),
+        (
+            "forced-block-jacobi",
+            force_strategy_policy(SparseStrategy::BlockJacobi { block_dim: 8 }),
+        ),
+        ("forced-ic0", force_strategy_policy(SparseStrategy::Ic0)),
+        (
+            "forced-amg",
+            force_strategy_policy(SparseStrategy::Amg(AmgOptions {
+                cg: tight_cg,
+                ..AmgOptions::default()
+            })),
+        ),
+    ]
 }
 
 #[test]
@@ -138,10 +174,9 @@ fn soft_backends_agree_across_representations() {
                 .expect("lambda")
                 .fit(&dense)
                 .expect("reference fit");
-            for (name, policy) in [
-                ("default", SolverPolicy::default()),
-                ("forced-cg", force_cg_policy()),
-            ] {
+            let mut policies = vec![("default", SolverPolicy::default())];
+            policies.extend(forced_iterative_policies());
+            for (name, policy) in policies {
                 for (rep, problem) in [("dense", &dense), ("sparse", &sparse)] {
                     let scores = SoftCriterion::new(lambda)
                         .expect("lambda")
@@ -168,7 +203,9 @@ fn soft_lambda_zero_matches_hard() {
     let labels = random_labels(5, 7);
     let (dense, sparse) = both_representations(&w, &labels);
     let hard = HardCriterion::new().fit(&dense).expect("hard fit");
-    for policy in [SolverPolicy::default(), force_cg_policy()] {
+    let mut policies = vec![SolverPolicy::default()];
+    policies.extend(forced_iterative_policies().into_iter().map(|(_, p)| p));
+    for policy in policies {
         for problem in [&dense, &sparse] {
             let soft = SoftCriterion::new(0.0)
                 .expect("lambda 0")

@@ -7,6 +7,7 @@
 use crate::error::{Error, Result};
 use crate::float::is_exactly_zero;
 use crate::ops::LinearOperator;
+use crate::precond::Preconditioner;
 use crate::strict;
 use crate::vector::{dot_slices, Vector};
 
@@ -178,6 +179,38 @@ pub fn preconditioned_conjugate_gradient(
     inv_diag: &[f64],
     options: &CgOptions,
 ) -> Result<CgOutcome> {
+    // A bare inverse diagonal *is* the Jacobi preconditioner; the general
+    // driver applies it with the identical elementwise multiply, so this
+    // wrapper is bit-for-bit the historical Jacobi-PCG.
+    preconditioned_cg_with(op, b, inv_diag, options)
+}
+
+/// Solves `A x = b` by the preconditioned conjugate-gradient method with an
+/// arbitrary SPD [`Preconditioner`] `M⁻¹`.
+///
+/// `A` must be symmetric positive definite and the preconditioner must be
+/// SPD; neither is checked here (the [`crate::PrecondCg`] backend validates
+/// at factor time, and breakdown is reported as non-convergence).
+/// Convergence is measured on the *true* residual `‖b − A x‖₂ / ‖b‖₂`, the
+/// same criterion as [`conjugate_gradient`].
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] when `b.len() != op.dim()` or
+///   `precond.dim() != op.dim()`.
+/// * [`Error::InvalidArgument`] when the tolerance is not positive.
+/// * [`Error::NotConverged`] when the iteration budget is exhausted or a
+///   direction of non-positive curvature is met.
+/// * [`Error::NonFiniteValue`] under `strict-checks` when the right-hand
+///   side or the computed solution is non-finite.
+/// hot
+/// complexity: O(iters * nnz)
+pub fn preconditioned_cg_with(
+    op: &(impl LinearOperator + ?Sized),
+    b: &Vector,
+    precond: &(impl Preconditioner + ?Sized),
+    options: &CgOptions,
+) -> Result<CgOutcome> {
     let n = op.dim();
     if b.len() != n {
         return Err(Error::DimensionMismatch {
@@ -186,11 +219,11 @@ pub fn preconditioned_conjugate_gradient(
             right: (b.len(), 1),
         });
     }
-    if inv_diag.len() != n {
+    if precond.dim() != n {
         return Err(Error::DimensionMismatch {
             operation: "preconditioned_conjugate_gradient preconditioner",
             left: (n, n),
-            right: (inv_diag.len(), 1),
+            right: (precond.dim(), 1),
         });
     }
     if !(options.tolerance > 0.0) {
@@ -217,7 +250,8 @@ pub fn preconditioned_conjugate_gradient(
 
     let mut x = vec![0.0; n];
     let mut r = b.as_slice().to_vec();
-    let mut z: Vec<f64> = r.iter().zip(inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
     let mut rz_old = dot_slices(&r, &z);
@@ -247,9 +281,7 @@ pub fn preconditioned_conjugate_gradient(
             *xi += alpha * pi;
             *ri -= alpha * api;
         }
-        for ((zi, ri), di) in z.iter_mut().zip(&r).zip(inv_diag) {
-            *zi = ri * di;
-        }
+        precond.apply(&r, &mut z);
         let rz_new = dot_slices(&r, &z);
         let beta = rz_new / rz_old;
         for (pi, zi) in p.iter_mut().zip(&z) {

@@ -4,22 +4,27 @@
 //! soft criterion's `V + λL`, and the serving engine's cached systems —
 //! reduces to "factor once, solve many". [`Factorization`] captures that
 //! contract behind one object-safe trait, implemented by the dense direct
-//! backends ([`Cholesky`], [`Lu`]) and by [`JacobiCg`], a Jacobi-
-//! preconditioned conjugate-gradient backend that keeps sparse systems in
-//! CSR form and never forms a factor at all. [`SolverPolicy`] picks among
-//! them from size, symmetry, and nonzero density, so callers can stay
-//! representation-agnostic.
+//! backends ([`Cholesky`], [`Lu`]), by [`PrecondCg`] — a preconditioned
+//! conjugate-gradient backend that keeps sparse systems in CSR form and
+//! pairs them with a pluggable [`crate::Preconditioner`] (Jacobi,
+//! block-Jacobi, or incomplete Cholesky) — and by [`crate::AmgCg`], an
+//! algebraic-multigrid V-cycle PCG for the largest graph Laplacians.
+//! [`SolverPolicy`] picks among them from size, symmetry, nonzero density,
+//! and bandwidth, so callers can stay representation-agnostic.
 
-use crate::cg::{preconditioned_conjugate_gradient, CgOptions};
+use crate::amg::{AmgCg, AmgOptions};
+use crate::cg::{preconditioned_cg_with, CgOptions};
 use crate::cholesky::Cholesky;
 use crate::error::{Error, Result};
 use crate::lu::Lu;
 use crate::matrix::Matrix;
 use crate::ops::LinearOperator;
+use crate::precond::{Precond, PrecondKind, DEFAULT_BLOCK_DIM};
 use crate::sparse::CsrMatrix;
 use crate::strict;
 use crate::vector::{dot_slices, Vector};
 use gssl_runtime::Executor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A factored (or factor-free iterative) linear system `A x = b`, ready to
 /// solve against many right-hand sides.
@@ -119,10 +124,15 @@ pub trait Factorization {
     fn kind(&self) -> BackendKind;
 
     /// Structured summary of the factorization for logs and diagnostics.
+    ///
+    /// Iterative backends override this to also report the iteration count
+    /// and final residual of their most recent solve.
     fn report(&self) -> FactorReport {
         FactorReport {
             backend: self.kind(),
             dim: self.dim(),
+            iterations: None,
+            final_residual: None,
         }
     }
 }
@@ -137,6 +147,16 @@ pub enum BackendKind {
     /// Jacobi-preconditioned conjugate gradient over a (usually sparse)
     /// operator; SPD systems too large or too sparse to factor densely.
     SparseCg,
+    /// Block-Jacobi-preconditioned CG: dense Cholesky factors of
+    /// fixed-width diagonal blocks strengthen the Jacobi scaling.
+    SparseBlockJacobiCg,
+    /// Incomplete-Cholesky IC(0)-preconditioned CG: a zero-fill factor on
+    /// the pattern of `tril(A)` — exact on banded systems, and the default
+    /// iterative choice for sparse SPD systems.
+    SparseIcCg,
+    /// Algebraic-multigrid V-cycle-preconditioned CG over a heavy-edge
+    /// matched Galerkin hierarchy; for the largest wide-band Laplacians.
+    Amg,
 }
 
 impl BackendKind {
@@ -146,22 +166,37 @@ impl BackendKind {
             BackendKind::DenseCholesky => "dense-cholesky",
             BackendKind::DenseLu => "dense-lu",
             BackendKind::SparseCg => "sparse-cg",
+            BackendKind::SparseBlockJacobiCg => "sparse-block-jacobi-cg",
+            BackendKind::SparseIcCg => "sparse-ic-cg",
+            BackendKind::Amg => "amg",
         }
     }
 
-    /// Whether the backend solves iteratively (no stored factor).
+    /// Whether the backend solves iteratively (no stored dense factor).
     pub fn is_iterative(self) -> bool {
-        matches!(self, BackendKind::SparseCg)
+        matches!(
+            self,
+            BackendKind::SparseCg
+                | BackendKind::SparseBlockJacobiCg
+                | BackendKind::SparseIcCg
+                | BackendKind::Amg
+        )
     }
 }
 
 /// Summary of a factorization, as returned by [`Factorization::report`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FactorReport {
     /// The backend that produced the factorization.
     pub backend: BackendKind,
     /// Dimension of the factored system.
     pub dim: usize,
+    /// Iterations of the backend's most recent solve (`None` for direct
+    /// backends, and for iterative ones that have not solved yet).
+    pub iterations: Option<usize>,
+    /// Final residual norm `‖b − A x‖₂` of the most recent iterative
+    /// solve (`None` like [`FactorReport::iterations`]).
+    pub final_residual: Option<f64>,
 }
 
 impl Factorization for Cholesky {
@@ -347,23 +382,53 @@ impl LinearOperator for ShardedCgSystem<'_> {
     }
 }
 
-/// Jacobi-preconditioned conjugate-gradient backend.
+/// Preconditioned conjugate-gradient backend.
 ///
-/// "Factoring" just validates the system and extracts the inverse diagonal
-/// (the Jacobi preconditioner); every [`JacobiCg::solve`] call then runs
-/// [`preconditioned_conjugate_gradient`] against the stored operator. The
-/// system must be symmetric positive definite — CG reports
-/// [`Error::NotConverged`] otherwise.
-#[derive(Debug, Clone)]
-pub struct JacobiCg {
+/// "Factoring" validates the system and builds the chosen
+/// [`PrecondKind`] (Jacobi diagonal scaling by default, block-Jacobi, or
+/// incomplete Cholesky IC(0)); every [`PrecondCg::solve`] call then runs
+/// [`preconditioned_cg_with`] against the stored operator. The system must
+/// be symmetric positive definite — CG reports [`Error::NotConverged`]
+/// otherwise. The most recent solve's iteration count and residual are
+/// recorded for [`Factorization::report`].
+#[derive(Debug)]
+pub struct PrecondCg {
     system: CgSystem,
-    inv_diag: Vec<f64>,
+    precond: Precond,
     options: CgOptions,
     executor: Executor,
+    // Last-solve diagnostics, written with SeqCst so concurrent serve
+    // readers observe a consistent snapshot; `usize::MAX` / NaN bits mean
+    // "no solve recorded yet".
+    last_iterations: AtomicUsize,
+    last_residual: AtomicU64,
 }
 
-impl JacobiCg {
-    /// Builds the iterative backend around a dense system.
+impl Clone for PrecondCg {
+    fn clone(&self) -> Self {
+        PrecondCg {
+            system: self.system.clone(),
+            precond: self.precond.clone(),
+            options: self.options.clone(),
+            executor: self.executor.clone(),
+            last_iterations: AtomicUsize::new(self.last_iterations.load(Ordering::SeqCst)),
+            last_residual: AtomicU64::new(self.last_residual.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+/// The pre-PR-9 name of [`PrecondCg`], from before preconditioners were
+/// pluggable. The alias still builds the Jacobi preconditioner it always
+/// did (that is [`PrecondCg::factor_dense`]'s / `factor_sparse`'s default).
+#[deprecated(
+    since = "0.10.0",
+    note = "renamed to PrecondCg; Jacobi is now one PrecondKind among several"
+)]
+pub type JacobiCg = PrecondCg;
+
+impl PrecondCg {
+    /// Builds the iterative backend around a dense system with the
+    /// historical Jacobi (diagonal) preconditioner.
     ///
     /// # Errors
     ///
@@ -371,20 +436,42 @@ impl JacobiCg {
     /// * [`Error::NotPositiveDefinite`] when a diagonal entry is `<= 0` or
     ///   non-finite (an SPD matrix has a strictly positive diagonal).
     pub fn factor_dense(a: &Matrix, options: CgOptions) -> Result<Self> {
+        PrecondCg::factor_dense_with(a, PrecondKind::Jacobi, options)
+    }
+
+    /// Builds the iterative backend around a dense system with an explicit
+    /// preconditioner choice.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] when the preconditioner cannot be
+    ///   built (non-positive diagonal, indefinite block, IC(0) breakdown).
+    pub fn factor_dense_with(a: &Matrix, kind: PrecondKind, options: CgOptions) -> Result<Self> {
         if !a.is_square() {
             return Err(Error::NotSquare { shape: a.shape() });
         }
-        strict::check_finite_matrix("jacobi_cg.factor input", a)?;
-        let inv_diag = inverse_diagonal((0..a.rows()).map(|i| a.get(i, i)))?;
-        Ok(JacobiCg {
+        strict::check_finite_matrix("precond_cg.factor input", a)?;
+        let precond = match kind {
+            // The Jacobi diagonal comes straight off the dense storage —
+            // no CSR conversion, and bit-identical to the pre-PR-9 path.
+            PrecondKind::Jacobi => Precond::Jacobi(crate::precond::JacobiPrecond::from_diagonal(
+                (0..a.rows()).map(|i| a.get(i, i)),
+            )?),
+            other => Precond::build(&CsrMatrix::from_dense(a, 0.0), &other)?,
+        };
+        Ok(PrecondCg {
             system: CgSystem::Dense(a.clone()),
-            inv_diag,
+            precond,
             options,
             executor: Executor::default(),
+            last_iterations: AtomicUsize::new(usize::MAX),
+            last_residual: AtomicU64::new(f64::NAN.to_bits()),
         })
     }
 
-    /// Builds the iterative backend around a CSR system.
+    /// Builds the iterative backend around a CSR system with the
+    /// historical Jacobi (diagonal) preconditioner.
     ///
     /// # Errors
     ///
@@ -392,17 +479,36 @@ impl JacobiCg {
     /// * [`Error::NotPositiveDefinite`] when a diagonal entry is `<= 0` or
     ///   non-finite.
     pub fn factor_sparse(a: &CsrMatrix, options: CgOptions) -> Result<Self> {
+        PrecondCg::factor_sparse_with(a, PrecondKind::Jacobi, options)
+    }
+
+    /// Builds the iterative backend around a CSR system with an explicit
+    /// preconditioner choice.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotSquare`] when `a` is not square.
+    /// * [`Error::NotPositiveDefinite`] when the preconditioner cannot be
+    ///   built (non-positive diagonal, indefinite block, IC(0) breakdown).
+    /// deterministic
+    pub fn factor_sparse_with(
+        a: &CsrMatrix,
+        kind: PrecondKind,
+        options: CgOptions,
+    ) -> Result<Self> {
         if a.rows() != a.cols() {
             return Err(Error::NotSquare {
                 shape: (a.rows(), a.cols()),
             });
         }
-        let inv_diag = inverse_diagonal((0..a.rows()).map(|i| a.get(i, i)))?;
-        Ok(JacobiCg {
+        let precond = Precond::build(a, &kind)?;
+        Ok(PrecondCg {
             system: CgSystem::Sparse(a.clone()),
-            inv_diag,
+            precond,
             options,
             executor: Executor::default(),
+            last_iterations: AtomicUsize::new(usize::MAX),
+            last_residual: AtomicU64::new(f64::NAN.to_bits()),
         })
     }
 
@@ -419,6 +525,11 @@ impl JacobiCg {
         &self.system
     }
 
+    /// The preconditioner built at factor time.
+    pub fn precond(&self) -> &Precond {
+        &self.precond
+    }
+
     /// The executor the matvecs of every solve run on.
     pub fn executor(&self) -> &Executor {
         &self.executor
@@ -428,39 +539,72 @@ impl JacobiCg {
     pub fn options(&self) -> &CgOptions {
         &self.options
     }
-}
 
-/// Inverts a diagonal for the Jacobi preconditioner, rejecting non-positive
-/// pivots (an SPD matrix cannot have them).
-fn inverse_diagonal(diag: impl Iterator<Item = f64>) -> Result<Vec<f64>> {
-    let mut inv = Vec::with_capacity(diag.size_hint().0);
-    for (i, d) in diag.enumerate() {
-        if !(d > 0.0) || !d.is_finite() {
-            return Err(Error::NotPositiveDefinite { pivot: i });
+    /// Iterations of the most recent [`Factorization::solve`] call on this
+    /// handle (`None` before the first solve; clones start fresh from the
+    /// value at clone time).
+    pub fn last_iterations(&self) -> Option<usize> {
+        let v = self.last_iterations.load(Ordering::SeqCst);
+        if v == usize::MAX {
+            None
+        } else {
+            Some(v)
         }
-        inv.push(1.0 / d);
     }
-    Ok(inv)
+
+    /// Final residual norm of the most recent solve (`None` before the
+    /// first solve).
+    pub fn last_residual(&self) -> Option<f64> {
+        let v = f64::from_bits(self.last_residual.load(Ordering::SeqCst));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    fn record(&self, iterations: usize, residual: f64) {
+        self.last_iterations.store(iterations, Ordering::SeqCst);
+        self.last_residual
+            .store(residual.to_bits(), Ordering::SeqCst);
+    }
 }
 
-impl Factorization for JacobiCg {
+impl Factorization for PrecondCg {
     fn dim(&self) -> usize {
         LinearOperator::dim(&self.system)
     }
 
     /// shape: (b.len,)
     fn solve(&self, b: &Vector) -> Result<Vector> {
-        if self.executor.is_sequential() {
-            let out =
-                preconditioned_conjugate_gradient(&self.system, b, &self.inv_diag, &self.options)?;
-            return Ok(out.solution);
-        }
-        let sharded = ShardedCgSystem {
-            system: &self.system,
-            executor: &self.executor,
+        let outcome = if self.executor.is_sequential() {
+            preconditioned_cg_with(&self.system, b, &self.precond, &self.options)
+        } else {
+            let sharded = ShardedCgSystem {
+                system: &self.system,
+                executor: &self.executor,
+            };
+            preconditioned_cg_with(&sharded, b, &self.precond, &self.options)
         };
-        let out = preconditioned_conjugate_gradient(&sharded, b, &self.inv_diag, &self.options)?;
-        Ok(out.solution)
+        match outcome {
+            Ok(out) => {
+                self.record(out.iterations, out.residual_norm);
+                Ok(out.solution)
+            }
+            Err(Error::NotConverged {
+                iterations,
+                residual,
+            }) => {
+                // Record the failed attempt too, so serve-side diagnostics
+                // can observe a refit that hit its iteration cap.
+                self.record(iterations, residual);
+                Err(Error::NotConverged {
+                    iterations,
+                    residual,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Applies the stored system exactly.
@@ -469,7 +613,7 @@ impl Factorization for JacobiCg {
         let n = Factorization::dim(self);
         if x.len() != n {
             return Err(Error::DimensionMismatch {
-                operation: "jacobi_cg apply",
+                operation: "precond_cg apply",
                 left: (n, n),
                 right: (x.len(), 1),
             });
@@ -480,7 +624,20 @@ impl Factorization for JacobiCg {
     }
 
     fn kind(&self) -> BackendKind {
-        BackendKind::SparseCg
+        match self.precond {
+            Precond::Jacobi(_) => BackendKind::SparseCg,
+            Precond::BlockJacobi(_) => BackendKind::SparseBlockJacobiCg,
+            Precond::Ic0(_) => BackendKind::SparseIcCg,
+        }
+    }
+
+    fn report(&self) -> FactorReport {
+        FactorReport {
+            backend: self.kind(),
+            dim: Factorization::dim(self),
+            iterations: self.last_iterations(),
+            final_residual: self.last_residual(),
+        }
     }
 }
 
@@ -493,8 +650,10 @@ pub enum SolverBackend {
     Cholesky(Cholesky),
     /// Dense LU factorization.
     Lu(Lu),
-    /// Jacobi-preconditioned CG (no stored factor).
-    Cg(JacobiCg),
+    /// Preconditioned CG (no stored dense factor).
+    Cg(PrecondCg),
+    /// Algebraic-multigrid V-cycle PCG.
+    Amg(AmgCg),
 }
 
 impl Factorization for SolverBackend {
@@ -503,6 +662,7 @@ impl Factorization for SolverBackend {
             SolverBackend::Cholesky(f) => Factorization::dim(f),
             SolverBackend::Lu(f) => Factorization::dim(f),
             SolverBackend::Cg(f) => Factorization::dim(f),
+            SolverBackend::Amg(f) => Factorization::dim(f),
         }
     }
 
@@ -512,6 +672,7 @@ impl Factorization for SolverBackend {
             SolverBackend::Cholesky(f) => Factorization::solve(f, b),
             SolverBackend::Lu(f) => Factorization::solve(f, b),
             SolverBackend::Cg(f) => Factorization::solve(f, b),
+            SolverBackend::Amg(f) => Factorization::solve(f, b),
         }
     }
 
@@ -521,6 +682,7 @@ impl Factorization for SolverBackend {
             SolverBackend::Cholesky(f) => Factorization::solve_matrix(f, b),
             SolverBackend::Lu(f) => Factorization::solve_matrix(f, b),
             SolverBackend::Cg(f) => Factorization::solve_matrix(f, b),
+            SolverBackend::Amg(f) => Factorization::solve_matrix(f, b),
         }
     }
 
@@ -530,6 +692,7 @@ impl Factorization for SolverBackend {
             SolverBackend::Cholesky(f) => Factorization::apply(f, x),
             SolverBackend::Lu(f) => Factorization::apply(f, x),
             SolverBackend::Cg(f) => Factorization::apply(f, x),
+            SolverBackend::Amg(f) => Factorization::apply(f, x),
         }
     }
 
@@ -538,31 +701,98 @@ impl Factorization for SolverBackend {
             SolverBackend::Cholesky(f) => Factorization::kind(f),
             SolverBackend::Lu(f) => Factorization::kind(f),
             SolverBackend::Cg(f) => Factorization::kind(f),
+            SolverBackend::Amg(f) => Factorization::kind(f),
+        }
+    }
+
+    fn report(&self) -> FactorReport {
+        match self {
+            SolverBackend::Cholesky(f) => Factorization::report(f),
+            SolverBackend::Lu(f) => Factorization::report(f),
+            SolverBackend::Cg(f) => Factorization::report(f),
+            SolverBackend::Amg(f) => Factorization::report(f),
         }
     }
 }
 
-/// Auto-selection policy: dense Cholesky vs dense LU vs sparse CG, decided
-/// from system size, symmetry, and nonzero density.
+/// Which iterative backend [`SolverPolicy`] builds once a system has been
+/// classified as large and sparse.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum SparseStrategy {
+    /// Cost-model the system: AMG when it is large
+    /// ([`SolverPolicy::amg_dim_cutoff`]) and mesh-like — bandwidth at
+    /// least [`SolverPolicy::amg_bandwidth_floor`] but still small
+    /// relative to the dimension ([`SolverPolicy::amg_locality_factor`]);
+    /// IC(0)-PCG otherwise. Narrow-band systems stay on IC-PCG because
+    /// IC(0) discards no fill-in there — it *is* the exact factor — while
+    /// AMG's hierarchy only pays off once the bandwidth (and hence the
+    /// fill-in a direct or one-level method would suffer) grows with the
+    /// problem. When bandwidth ≈ dim the ordering carries no locality at
+    /// all (e.g. a kNN graph in spatial-index order), the measure says
+    /// nothing about conditioning, and IC-PCG's cheaper iterations are
+    /// the robust default.
+    #[default]
+    Auto,
+    /// Always plain Jacobi (diagonal) PCG — the pre-PR-9 behavior.
+    Jacobi,
+    /// Always block-Jacobi PCG with the given block width.
+    BlockJacobi {
+        /// Rows per diagonal block.
+        block_dim: usize,
+    },
+    /// Always incomplete-Cholesky IC(0) PCG.
+    Ic0,
+    /// Always algebraic multigrid with the given hierarchy options (the
+    /// outer CG run still uses [`SolverPolicy::cg`] unless overridden
+    /// here).
+    Amg(AmgOptions),
+}
+
+/// Auto-selection policy: dense Cholesky vs dense LU vs the iterative
+/// sparse backends, decided from system size, symmetry, nonzero density,
+/// and bandwidth.
 ///
 /// The decision rule (see [`SolverPolicy::select_dense`] /
 /// [`SolverPolicy::select_sparse`]): systems with at least
 /// `direct_dim_cutoff` rows whose density is at or below
-/// `density_threshold` go to the iterative CSR backend; everything else is
-/// factored directly — Cholesky when symmetric within
-/// `symmetry_tolerance`, LU otherwise.
+/// `density_threshold` go to an iterative CSR backend chosen by
+/// [`SparseStrategy`] — by default IC(0)-PCG, escalating to AMG when the
+/// system has at least `amg_dim_cutoff` rows *and* a bandwidth that is at
+/// least `amg_bandwidth_floor` yet at most `dim / amg_locality_factor`
+/// (genuinely multi-dimensional structure in an ordering that still
+/// carries locality). Everything else is factored directly — Cholesky
+/// when symmetric within `symmetry_tolerance`, LU otherwise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverPolicy {
     /// Systems smaller than this are always factored directly, regardless
     /// of sparsity (direct factorization is cheap at small dimensions).
     pub direct_dim_cutoff: usize,
     /// Fraction of nonzero entries (`nnz / n²`) at or below which a large
-    /// system is routed to the iterative sparse backend.
+    /// system is routed to an iterative sparse backend.
     pub density_threshold: f64,
     /// Absolute entrywise tolerance used to classify a system as symmetric
     /// (and hence Cholesky-eligible).
     pub symmetry_tolerance: f64,
-    /// Options for the iterative backend's CG runs.
+    /// Which iterative backend to build for large sparse systems.
+    pub sparse: SparseStrategy,
+    /// Under [`SparseStrategy::Auto`], AMG requires at least this many
+    /// rows: below it, IC-PCG's lighter setup wins even on wide-band
+    /// systems.
+    pub amg_dim_cutoff: usize,
+    /// Under [`SparseStrategy::Auto`], AMG requires bandwidth (max stored
+    /// `|i − j|`) at least this large: narrow bands keep IC(0) exact or
+    /// near-exact, so the hierarchy has nothing to add.
+    pub amg_bandwidth_floor: usize,
+    /// Under [`SparseStrategy::Auto`], AMG additionally requires
+    /// `bandwidth * amg_locality_factor <= dim`. A 2-D mesh of n rows has
+    /// bandwidth ≈ √n — wide, but far below n. When bandwidth ≈ dim the
+    /// row ordering carries no locality (a kNN graph in spatial-index
+    /// order hits this), the bandwidth measure says nothing about the
+    /// graph, and such systems in this repo are anchored and
+    /// well-conditioned — IC-PCG's cheaper iterations win there.
+    pub amg_locality_factor: usize,
+    /// Options for the iterative backends' CG runs.
     pub cg: CgOptions,
     /// Executor every selected backend factors (and, for CG, solves) on.
     /// Sequential by default; parallel executors leave results bit-identical.
@@ -575,6 +805,10 @@ impl Default for SolverPolicy {
             direct_dim_cutoff: 128,
             density_threshold: 0.25,
             symmetry_tolerance: 1e-9,
+            sparse: SparseStrategy::Auto,
+            amg_dim_cutoff: 4096,
+            amg_bandwidth_floor: 128,
+            amg_locality_factor: 8,
             cg: CgOptions::default(),
             executor: Executor::default(),
         }
@@ -603,6 +837,21 @@ fn density(nnz: usize, rows: usize, cols: usize) -> f64 {
     nnz as f64 / (rows as f64 * cols as f64)
 }
 
+/// Maximum `|i − j|` over entries of a dense matrix with magnitude above
+/// zero — the same bandwidth [`CsrMatrix::bandwidth`] reports after
+/// `CsrMatrix::from_dense(a, 0.0)`.
+fn dense_bandwidth(a: &Matrix) -> usize {
+    let mut band = 0usize;
+    for i in 0..a.rows() {
+        for (j, v) in a.row(i).iter().enumerate() {
+            if v.abs() > 0.0 {
+                band = band.max(i.abs_diff(j));
+            }
+        }
+    }
+    band
+}
+
 impl SolverPolicy {
     /// Policy with a custom CG configuration for the iterative backend.
     pub fn with_cg(cg: CgOptions) -> Self {
@@ -623,12 +872,36 @@ impl SolverPolicy {
         self
     }
 
+    /// Which iterative backend the [`SparseStrategy`] yields for a system
+    /// of `dim` rows with the given bandwidth.
+    fn select_iterative(&self, dim: usize, bandwidth: usize) -> BackendKind {
+        match &self.sparse {
+            SparseStrategy::Auto => {
+                if dim >= self.amg_dim_cutoff
+                    && bandwidth >= self.amg_bandwidth_floor
+                    && bandwidth.saturating_mul(self.amg_locality_factor) <= dim
+                {
+                    BackendKind::Amg
+                } else {
+                    BackendKind::SparseIcCg
+                }
+            }
+            SparseStrategy::Jacobi => BackendKind::SparseCg,
+            SparseStrategy::BlockJacobi { .. } => BackendKind::SparseBlockJacobiCg,
+            SparseStrategy::Ic0 => BackendKind::SparseIcCg,
+            SparseStrategy::Amg(_) => BackendKind::Amg,
+        }
+    }
+
     /// Which backend [`SolverPolicy::factor_dense`] would pick for `a`.
+    ///
+    /// A breakdown-driven fallback (IC(0) → Jacobi, Cholesky → LU) can
+    /// still land on a different backend at factor time.
     pub fn select_dense(&self, a: &Matrix) -> BackendKind {
         if a.rows() >= self.direct_dim_cutoff
             && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold
         {
-            return BackendKind::SparseCg;
+            return self.select_iterative(a.rows(), dense_bandwidth(a));
         }
         if a.is_symmetric(self.symmetry_tolerance) {
             BackendKind::DenseCholesky
@@ -638,16 +911,68 @@ impl SolverPolicy {
     }
 
     /// Which backend [`SolverPolicy::factor_sparse`] would pick for `a`.
+    ///
+    /// A breakdown-driven fallback (IC(0) → Jacobi, Cholesky → LU) can
+    /// still land on a different backend at factor time.
     pub fn select_sparse(&self, a: &CsrMatrix) -> BackendKind {
         if a.rows() >= self.direct_dim_cutoff
             && density(a.nnz(), a.rows(), a.cols()) <= self.density_threshold
         {
-            return BackendKind::SparseCg;
+            return self.select_iterative(a.rows(), a.bandwidth());
         }
         if a.is_symmetric(self.symmetry_tolerance) {
             BackendKind::DenseCholesky
         } else {
             BackendKind::DenseLu
+        }
+    }
+
+    /// Builds the iterative backend [`SolverPolicy::select_iterative`]
+    /// picked for a CSR system.
+    ///
+    /// IC(0) and block-Jacobi can break down on SPD systems that are far
+    /// from diagonally dominant even though the exact factorization
+    /// exists; in that case the policy falls back to the always-buildable
+    /// Jacobi preconditioner instead of failing the solve. The fallback
+    /// depends only on the matrix values, never on timing or thread count.
+    fn factor_iterative(&self, a: &CsrMatrix) -> Result<SolverBackend> {
+        match self.select_iterative(a.rows(), a.bandwidth()) {
+            BackendKind::Amg => {
+                let options = match &self.sparse {
+                    SparseStrategy::Amg(options) => options.clone(),
+                    _ => AmgOptions {
+                        cg: self.cg.clone(),
+                        ..AmgOptions::default()
+                    },
+                };
+                Ok(SolverBackend::Amg(
+                    AmgCg::factor_sparse(a, options)?.with_executor(self.executor.clone()),
+                ))
+            }
+            kind => {
+                let precond_kind = match (&kind, &self.sparse) {
+                    (BackendKind::SparseCg, _) => PrecondKind::Jacobi,
+                    (
+                        BackendKind::SparseBlockJacobiCg,
+                        SparseStrategy::BlockJacobi { block_dim },
+                    ) => PrecondKind::BlockJacobi {
+                        block_dim: *block_dim,
+                    },
+                    (BackendKind::SparseBlockJacobiCg, _) => PrecondKind::BlockJacobi {
+                        block_dim: DEFAULT_BLOCK_DIM,
+                    },
+                    _ => PrecondKind::Ic0,
+                };
+                let jacobi = matches!(precond_kind, PrecondKind::Jacobi);
+                match PrecondCg::factor_sparse_with(a, precond_kind, self.cg.clone()) {
+                    Ok(f) => Ok(SolverBackend::Cg(f.with_executor(self.executor.clone()))),
+                    Err(Error::NotPositiveDefinite { .. }) if !jacobi => Ok(SolverBackend::Cg(
+                        PrecondCg::factor_sparse(a, self.cg.clone())?
+                            .with_executor(self.executor.clone()),
+                    )),
+                    Err(e) => Err(e),
+                }
+            }
         }
     }
 
@@ -665,12 +990,9 @@ impl SolverPolicy {
     /// deterministic
     pub fn factor_dense(&self, a: &Matrix) -> Result<SolverBackend> {
         match self.select_dense(a) {
-            BackendKind::SparseCg => {
+            kind if kind.is_iterative() => {
                 let csr = CsrMatrix::from_dense(a, 0.0);
-                Ok(SolverBackend::Cg(
-                    JacobiCg::factor_sparse(&csr, self.cg.clone())?
-                        .with_executor(self.executor.clone()),
-                ))
+                self.factor_iterative(&csr)
             }
             BackendKind::DenseCholesky => match Cholesky::factor_with(a, &self.executor) {
                 Ok(f) => Ok(SolverBackend::Cholesky(f)),
@@ -679,7 +1001,7 @@ impl SolverPolicy {
                 }
                 Err(e) => Err(e),
             },
-            BackendKind::DenseLu => Ok(SolverBackend::Lu(Lu::factor_with(a, &self.executor)?)),
+            _ => Ok(SolverBackend::Lu(Lu::factor_with(a, &self.executor)?)),
         }
     }
 
@@ -692,9 +1014,7 @@ impl SolverPolicy {
     /// deterministic
     pub fn factor_sparse(&self, a: &CsrMatrix) -> Result<SolverBackend> {
         match self.select_sparse(a) {
-            BackendKind::SparseCg => Ok(SolverBackend::Cg(
-                JacobiCg::factor_sparse(a, self.cg.clone())?.with_executor(self.executor.clone()),
-            )),
+            kind if kind.is_iterative() => self.factor_iterative(a),
             _ => self.factor_dense(&a.to_dense()),
         }
     }
@@ -713,10 +1033,7 @@ impl SolverPolicy {
             && density(dense_nnz(a), a.rows(), a.cols()) <= self.density_threshold
         {
             let csr = CsrMatrix::from_dense(a, 0.0);
-            return Ok(SolverBackend::Cg(
-                JacobiCg::factor_sparse(&csr, self.cg.clone())?
-                    .with_executor(self.executor.clone()),
-            ));
+            return self.factor_iterative(&csr);
         }
         match Cholesky::factor_with(a, &self.executor) {
             Ok(f) => Ok(SolverBackend::Cholesky(f)),
@@ -757,11 +1074,23 @@ mod tests {
 
         let chol = Cholesky::factor(&a).unwrap();
         let lu = Lu::factor(&a).unwrap();
-        let cg = JacobiCg::factor_dense(&a, CgOptions::default()).unwrap();
+        let cg = PrecondCg::factor_dense(&a, CgOptions::default()).unwrap();
+        let ic = PrecondCg::factor_dense_with(&a, PrecondKind::Ic0, CgOptions::default()).unwrap();
+        let block = PrecondCg::factor_dense_with(
+            &a,
+            PrecondKind::BlockJacobi { block_dim: 4 },
+            CgOptions::default(),
+        )
+        .unwrap();
+        let amg =
+            AmgCg::factor_sparse(&CsrMatrix::from_dense(&a, 0.0), AmgOptions::default()).unwrap();
         for backend in [
             SolverBackend::Cholesky(chol),
             SolverBackend::Lu(lu),
             SolverBackend::Cg(cg),
+            SolverBackend::Cg(ic),
+            SolverBackend::Cg(block),
+            SolverBackend::Amg(amg),
         ] {
             let x = backend.solve(&b).unwrap();
             assert!(
@@ -790,7 +1119,7 @@ mod tests {
         let ax = Factorization::apply(&chol, &x5).unwrap();
         assert!(ax.approx_eq(&spd.matvec(&x5).unwrap(), 1e-12));
 
-        let cg = JacobiCg::factor_dense(&spd, CgOptions::default()).unwrap();
+        let cg = PrecondCg::factor_dense(&spd, CgOptions::default()).unwrap();
         let ax = Factorization::apply(&cg, &x5).unwrap();
         assert!(ax.approx_eq(&spd.matvec(&x5).unwrap(), 1e-14));
     }
@@ -801,7 +1130,7 @@ mod tests {
         let id = Matrix::identity(6);
         for backend in [
             SolverPolicy::default().factor_dense(&a).unwrap(),
-            SolverBackend::Cg(JacobiCg::factor_dense(&a, CgOptions::default()).unwrap()),
+            SolverBackend::Cg(PrecondCg::factor_dense(&a, CgOptions::default()).unwrap()),
         ] {
             let inv = backend.inverse().unwrap();
             assert!(a.matmul(&inv).unwrap().approx_eq(&id, 1e-7));
@@ -809,29 +1138,93 @@ mod tests {
     }
 
     #[test]
-    fn jacobi_cg_rejects_nonpositive_diagonal() {
+    fn precond_cg_rejects_nonpositive_diagonal() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap();
         assert!(matches!(
-            JacobiCg::factor_dense(&a, CgOptions::default()),
+            PrecondCg::factor_dense(&a, CgOptions::default()),
             Err(Error::NotPositiveDefinite { pivot: 1 })
         ));
         let csr = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, 1.0)]).unwrap();
         assert!(matches!(
-            JacobiCg::factor_sparse(&csr, CgOptions::default()),
+            PrecondCg::factor_sparse(&csr, CgOptions::default()),
             Err(Error::NotPositiveDefinite { pivot: 0 })
         ));
     }
 
     #[test]
-    fn jacobi_cg_rejects_non_square() {
+    fn precond_cg_rejects_non_square() {
         assert!(matches!(
-            JacobiCg::factor_dense(&Matrix::zeros(2, 3), CgOptions::default()),
+            PrecondCg::factor_dense(&Matrix::zeros(2, 3), CgOptions::default()),
             Err(Error::NotSquare { .. })
         ));
         assert!(matches!(
-            JacobiCg::factor_sparse(&CsrMatrix::zeros(2, 3), CgOptions::default()),
+            PrecondCg::factor_sparse(&CsrMatrix::zeros(2, 3), CgOptions::default()),
             Err(Error::NotSquare { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_jacobi_cg_alias_still_resolves() {
+        let a = spd_sample(6);
+        let f = JacobiCg::factor_dense(&a, CgOptions::default()).unwrap();
+        assert_eq!(f.kind(), BackendKind::SparseCg);
+        let x = f.solve(&rhs(6)).unwrap();
+        assert!(f.residual(&x, &rhs(6)).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn report_carries_iteration_diagnostics_for_iterative_backends() {
+        let n = 32;
+        let a = spd_sample(n);
+        let b = rhs(n);
+        let cg = PrecondCg::factor_dense_with(&a, PrecondKind::Ic0, CgOptions::default()).unwrap();
+        // Before any solve the diagnostics are unset.
+        assert_eq!(cg.report().iterations, None);
+        assert_eq!(cg.report().final_residual, None);
+        let _ = cg.solve(&b).unwrap();
+        let report = cg.report();
+        assert_eq!(report.backend, BackendKind::SparseIcCg);
+        // IC(0) is exact on tridiagonal systems: PCG converges immediately.
+        assert!(report.iterations.unwrap() <= 2, "{report:?}");
+        assert!(report.final_residual.unwrap() < 1e-8);
+
+        // Direct backends never report iteration counts.
+        let chol = SolverPolicy::default()
+            .factor_dense(&spd_sample(8))
+            .unwrap();
+        let _ = chol.solve(&rhs(8)).unwrap();
+        assert_eq!(chol.report().iterations, None);
+    }
+
+    #[test]
+    fn ic_pcg_needs_no_more_iterations_than_jacobi_pcg() {
+        // 2D grid Laplacian plus anchor: sparse, not IC-exact.
+        let side = 16;
+        let dense = Matrix::from_fn(side * side, side * side, |i, j| {
+            let (ri, ci) = (i / side, i % side);
+            let (rj, cj) = (j / side, j % side);
+            if i == j {
+                4.05
+            } else if (ri == rj && ci.abs_diff(cj) == 1) || (ci == cj && ri.abs_diff(rj) == 1) {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let b = rhs(side * side);
+        let jacobi = PrecondCg::factor_dense(&dense, CgOptions::default()).unwrap();
+        let ic =
+            PrecondCg::factor_dense_with(&dense, PrecondKind::Ic0, CgOptions::default()).unwrap();
+        let xj = jacobi.solve(&b).unwrap();
+        let xi = ic.solve(&b).unwrap();
+        assert!(xj.approx_eq(&xi, 1e-6));
+        assert!(
+            ic.last_iterations().unwrap() <= jacobi.last_iterations().unwrap(),
+            "ic={:?} jacobi={:?}",
+            ic.last_iterations(),
+            jacobi.last_iterations()
+        );
     }
 
     #[test]
@@ -857,22 +1250,124 @@ mod tests {
     }
 
     #[test]
-    fn policy_picks_cg_for_large_sparse() {
+    fn policy_picks_ic_pcg_for_large_narrow_band_sparse() {
         let n = 200;
-        let a = spd_sample(n); // tridiagonal: density ~ 3/n << 0.25
+        let a = spd_sample(n); // tridiagonal: density ~ 3/n << 0.25, bandwidth 1
         let policy = SolverPolicy::default();
-        assert_eq!(policy.select_dense(&a), BackendKind::SparseCg);
+        assert_eq!(policy.select_dense(&a), BackendKind::SparseIcCg);
         let backend = policy.factor_dense(&a).unwrap();
-        assert!(matches!(backend, SolverBackend::Cg(_)));
+        assert_eq!(backend.kind(), BackendKind::SparseIcCg);
         let b = rhs(n);
         let x = backend.solve(&b).unwrap();
         assert!(backend.residual(&x, &b).unwrap() < 1e-7);
 
         let csr = CsrMatrix::from_dense(&a, 0.0);
-        assert_eq!(policy.select_sparse(&csr), BackendKind::SparseCg);
+        assert_eq!(policy.select_sparse(&csr), BackendKind::SparseIcCg);
         let sparse_backend = policy.factor_sparse(&csr).unwrap();
         let xs = sparse_backend.solve(&b).unwrap();
         assert!(xs.approx_eq(&x, 1e-8));
+    }
+
+    #[test]
+    fn policy_strategy_overrides_route_to_each_backend() {
+        let n = 200;
+        let a = spd_sample(n);
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        let b = rhs(n);
+        let reference = SolverPolicy::default()
+            .factor_sparse(&csr)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for (strategy, expected) in [
+            (SparseStrategy::Jacobi, BackendKind::SparseCg),
+            (
+                SparseStrategy::BlockJacobi { block_dim: 16 },
+                BackendKind::SparseBlockJacobiCg,
+            ),
+            (SparseStrategy::Ic0, BackendKind::SparseIcCg),
+            (SparseStrategy::Amg(AmgOptions::default()), BackendKind::Amg),
+        ] {
+            let policy = SolverPolicy {
+                sparse: strategy.clone(),
+                ..SolverPolicy::default()
+            };
+            assert_eq!(policy.select_sparse(&csr), expected, "{strategy:?}");
+            let backend = policy.factor_sparse(&csr).unwrap();
+            assert_eq!(backend.kind(), expected, "{strategy:?}");
+            let x = backend.solve(&b).unwrap();
+            assert!(x.approx_eq(&reference, 1e-7), "{strategy:?} disagrees");
+        }
+    }
+
+    #[test]
+    fn auto_policy_prefers_amg_for_large_mesh_like_systems() {
+        let policy = SolverPolicy::default();
+        // Narrow band stays on IC-PCG regardless of size.
+        assert_eq!(policy.select_iterative(1 << 20, 1), BackendKind::SparseIcCg);
+        // Large dimension alone is not enough.
+        assert_eq!(
+            policy.select_iterative(policy.amg_dim_cutoff, policy.amg_bandwidth_floor - 1),
+            BackendKind::SparseIcCg
+        );
+        // Wide band alone is not enough.
+        assert_eq!(
+            policy.select_iterative(policy.amg_dim_cutoff - 1, 1 << 20),
+            BackendKind::SparseIcCg
+        );
+        // Bandwidth ≈ dim means the ordering carries no locality (kNN
+        // graphs in index order): the bandwidth signal is uninformative
+        // and the robust IC-PCG default applies.
+        let dim = 1 << 20;
+        assert_eq!(
+            policy.select_iterative(dim, dim - 1),
+            BackendKind::SparseIcCg
+        );
+        assert_eq!(
+            policy.select_iterative(dim, dim / policy.amg_locality_factor + 1),
+            BackendKind::SparseIcCg
+        );
+        // Mesh-like: large, wide-band, and local — a 2-D grid of n rows
+        // has bandwidth √n, far below the locality ceiling.
+        assert_eq!(
+            policy.select_iterative(dim, dim / policy.amg_locality_factor),
+            BackendKind::Amg
+        );
+        assert_eq!(
+            policy.select_iterative(policy.amg_dim_cutoff * 4, policy.amg_bandwidth_floor),
+            BackendKind::Amg
+        );
+    }
+
+    #[test]
+    fn ic_breakdown_falls_back_to_jacobi_pcg() {
+        // Kershaw's matrix: SPD (leading minors 3, 5, 3, 1) yet IC(0) hits
+        // a negative last pivot because the zero pattern drops the fill-in
+        // that exact Cholesky would have used.
+        let a = Matrix::from_rows(&[
+            &[3.0, -2.0, 0.0, 2.0],
+            &[-2.0, 3.0, -2.0, 0.0],
+            &[0.0, -2.0, 3.0, -2.0],
+            &[2.0, 0.0, -2.0, 3.0],
+        ])
+        .unwrap();
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        assert!(matches!(
+            PrecondCg::factor_sparse_with(&csr, PrecondKind::Ic0, CgOptions::default()),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+        let policy = SolverPolicy {
+            direct_dim_cutoff: 0,
+            density_threshold: 1.0,
+            sparse: SparseStrategy::Ic0,
+            ..SolverPolicy::default()
+        };
+        let backend = policy.factor_sparse(&csr).unwrap();
+        // The policy recovered with the always-buildable Jacobi PCG.
+        assert_eq!(backend.kind(), BackendKind::SparseCg);
+        let b = Vector::from(vec![1.0, 0.5, -0.25, 0.75]);
+        let x = backend.solve(&b).unwrap();
+        assert!(backend.residual(&x, &b).unwrap() < 1e-8);
     }
 
     #[test]
@@ -925,14 +1420,14 @@ mod tests {
     }
 
     #[test]
-    fn jacobi_cg_with_executor_matches_sequential_matvec_path() {
+    fn precond_cg_with_executor_matches_sequential_matvec_path() {
         let a = spd_sample(64);
         let b = rhs(64);
-        let sequential = JacobiCg::factor_dense(&a, CgOptions::default())
+        let sequential = PrecondCg::factor_dense(&a, CgOptions::default())
             .unwrap()
             .solve(&b)
             .unwrap();
-        let parallel = JacobiCg::factor_dense(&a, CgOptions::default())
+        let parallel = PrecondCg::factor_dense(&a, CgOptions::default())
             .unwrap()
             .with_executor(Executor::with_workers(3));
         assert_eq!(parallel.executor().workers(), 3);

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod amg;
 mod blocks;
 mod cg;
 mod cholesky;
@@ -52,22 +53,33 @@ mod iterative;
 mod lu;
 mod matrix;
 mod ops;
+mod precond;
 mod sparse;
 /// Runtime numeric sanitizer behind the `strict-checks` feature.
 pub mod strict;
 mod vector;
 
+pub use amg::{AmgCg, AmgOptions};
 pub use blocks::BlockPartition;
-pub use cg::{conjugate_gradient, preconditioned_conjugate_gradient, CgOptions, CgOutcome};
+pub use cg::{
+    conjugate_gradient, preconditioned_cg_with, preconditioned_conjugate_gradient, CgOptions,
+    CgOutcome,
+};
 pub use cholesky::{is_positive_definite, Cholesky};
 pub use eigen::{symmetric_eigen, EigenOptions, SymmetricEigen};
 pub use error::{Error, Result};
+#[allow(deprecated)]
+pub use factor::JacobiCg;
 pub use factor::{
-    BackendKind, CgSystem, FactorReport, Factorization, JacobiCg, SolverBackend, SolverPolicy,
+    BackendKind, CgSystem, FactorReport, Factorization, PrecondCg, SolverBackend, SolverPolicy,
+    SparseStrategy,
 };
 pub use lu::{inverse, solve, solve_matrix, Lu};
 pub use matrix::Matrix;
 pub use ops::{DiagonalOperator, LinearOperator, ShiftedOperator, SumOperator};
+pub use precond::{
+    BlockJacobiPrecond, Ic0, JacobiPrecond, Precond, PrecondKind, Preconditioner, DEFAULT_BLOCK_DIM,
+};
 pub use sparse::CsrMatrix;
 pub use vector::Vector;
 

@@ -224,6 +224,21 @@ impl CsrMatrix {
         out
     }
 
+    /// Half-bandwidth: the largest `|i - j|` over stored entries (zero for
+    /// a diagonal or empty matrix). Drives the solver policy's choice
+    /// between incomplete-Cholesky CG (exact on narrow bands) and
+    /// multigrid (wide-band graph Laplacians).
+    /// complexity: O(nnz)
+    pub fn bandwidth(&self) -> usize {
+        let mut band = 0usize;
+        for i in 0..self.rows {
+            for (j, _) in self.row_iter(i) {
+                band = band.max(i.abs_diff(j));
+            }
+        }
+        band
+    }
+
     /// Sum of each row (the degree vector when `self` is an affinity matrix).
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.rows)

@@ -829,6 +829,9 @@ impl ServingEngine {
                 } else {
                     let backend = self.factor_system(&self.system)?;
                     let solution = backend.solve_matrix(&self.rhs)?;
+                    // After the solve so iterative backends report their
+                    // iteration count and final residual.
+                    self.lock_metrics().record_factor_report(backend.report());
                     self.inverse = if backend.kind().is_iterative() {
                         None
                     } else {
@@ -844,6 +847,7 @@ impl ServingEngine {
             ServeCriterion::Soft { .. } => {
                 let backend = self.factor_system(&self.system)?;
                 self.scores = backend.solve_matrix(&self.rhs)?;
+                self.lock_metrics().record_factor_report(backend.report());
                 self.inverse = if backend.kind().is_iterative() {
                     None
                 } else {
@@ -1220,6 +1224,34 @@ mod tests {
         engine.refit().unwrap();
         assert!(engine.scores().approx_eq(&before, 1e-12));
         assert_eq!(engine.metrics().factorizations, 2);
+    }
+
+    #[test]
+    fn factor_report_is_surfaced_in_metrics() {
+        // Direct route: the report names the backend but carries no
+        // iteration diagnostics.
+        let engine = ServingEngine::fit(&line_points(6), &[0.0, 1.0], hard_config()).unwrap();
+        let report = engine.metrics().last_factor.expect("fit factors once");
+        assert_eq!(report.backend, gssl_linalg::BackendKind::DenseCholesky);
+        assert_eq!(report.iterations, None);
+
+        // Forced-iterative route: the post-solve report exposes the PCG
+        // iteration count and final residual, so a cap hit is observable.
+        let policy = gssl_linalg::SolverPolicy {
+            direct_dim_cutoff: 0,
+            density_threshold: 1.0,
+            ..gssl_linalg::SolverPolicy::default()
+        };
+        let config = hard_config().solver(EngineSolver::Auto(policy));
+        let mut engine = ServingEngine::fit(&line_points(6), &[0.0, 1.0], config).unwrap();
+        let report = engine.metrics().last_factor.expect("fit factors once");
+        assert!(report.backend.is_iterative());
+        assert!(report.iterations.unwrap() >= 1);
+        assert!(report.final_residual.unwrap().is_finite());
+
+        // A refit refreshes the report.
+        engine.refit().unwrap();
+        assert!(engine.metrics().last_factor.unwrap().backend.is_iterative());
     }
 
     #[test]

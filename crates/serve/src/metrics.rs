@@ -7,6 +7,7 @@
 //! same type-7 quantile rule as every other statistic in the workspace.
 
 use crate::error::{Error, Result};
+use gssl_linalg::FactorReport;
 use gssl_stats::describe::{quantile, Summary};
 
 /// Monotone counters and latency samples accumulated by one engine.
@@ -33,6 +34,10 @@ pub struct MetricsSnapshot {
     pub latencies: Vec<f64>,
     /// Wall-clock seconds spent inside `predict_batch` calls.
     pub batch_seconds: f64,
+    /// Report of the most recent system factorization: backend, dimension,
+    /// and — for iterative backends — the last solve's iteration count and
+    /// final residual, so iteration-cap hits are observable in serving.
+    pub last_factor: Option<FactorReport>,
 }
 
 impl MetricsSnapshot {
@@ -106,6 +111,11 @@ impl ServeMetrics {
     pub(crate) fn record_guarded_refactor(&mut self) {
         self.snapshot.guarded_refactors += 1;
         self.snapshot.factorizations += 1;
+    }
+
+    /// Records the latest factorization's backend report.
+    pub(crate) fn record_factor_report(&mut self, report: FactorReport) {
+        self.snapshot.last_factor = Some(report);
     }
 
     /// Records a completed batch: per-query latencies and the batch wall

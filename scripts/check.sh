@@ -64,4 +64,14 @@ echo "== scale bench, ci sizes (writes BENCH_scale_ci.json)"
 cargo run --release -q -p gssl-bench --bin scale -- --ci --quiet
 rm -f BENCH_scale_ci.json
 
+echo "== solver crossover bench, ci sizes (writes BENCH_solver_ci.json)"
+# Sweeps grid-Laplacian systems through every factorization backend
+# (dense Cholesky, Jacobi-CG, block-Jacobi PCG, IC(0) PCG, AMG) and
+# exits nonzero if any solve misses its residual gate or IC(0) needs
+# more CG iterations than plain Jacobi — deterministic correctness
+# properties, never timing. The committed BENCH_solver.json comes from
+# the full run (`--bin solver_crossover`, no flags) and is not touched.
+cargo run --release -q -p gssl-bench --bin solver_crossover -- --ci --quiet
+rm -f BENCH_solver_ci.json
+
 echo "All checks passed."

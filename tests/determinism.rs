@@ -27,7 +27,10 @@ use gssl_graph::{
 use gssl_index::{
     k_nearest_batch, self_k_nearest_batch, self_within_radius_batch, NeighborSearch, SpatialIndex,
 };
-use gssl_linalg::{Cholesky, CsrMatrix, Factorization, Lu, Matrix, SolverPolicy, Vector};
+use gssl_linalg::{
+    AmgCg, AmgOptions, CgOptions, Cholesky, CsrMatrix, Factorization, Lu, Matrix, PrecondCg,
+    PrecondKind, SolverPolicy, Vector,
+};
 use gssl_runtime::{sim, Executor};
 use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
 
@@ -502,6 +505,71 @@ fn solver_policy_backends_are_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn preconditioned_cg_backends_are_bit_identical_across_worker_counts() {
+    // Every preconditioner family behind PrecondCg shards only the CG
+    // matvecs; the preconditioner application stays sequential. The solve
+    // must therefore be byte-for-byte the sequential result at any worker
+    // count, and two independent factorizations must agree bitwise.
+    let (a, rhs) = spd_system(48);
+    let sparse = CsrMatrix::from_dense(&a, 0.0);
+    for kind in [
+        PrecondKind::Jacobi,
+        PrecondKind::BlockJacobi { block_dim: 8 },
+        PrecondKind::Ic0,
+    ] {
+        let reference = PrecondCg::factor_sparse_with(&sparse, kind.clone(), CgOptions::default())
+            .expect("sequential factor")
+            .solve(&rhs)
+            .expect("sequential solve");
+        for workers in [1, 2, 4, 8] {
+            let parallel =
+                PrecondCg::factor_sparse_with(&sparse, kind.clone(), CgOptions::default())
+                    .expect("parallel factor")
+                    .with_executor(Executor::with_workers(workers))
+                    .solve(&rhs)
+                    .expect("parallel solve");
+            assert_eq!(
+                reference.as_slice(),
+                parallel.as_slice(),
+                "{kind:?} PCG solve diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn amg_hierarchy_and_solves_are_bit_identical_across_worker_counts() {
+    // Coarsening (heavy-edge matching + Galerkin products) is a pure
+    // sequential function of the matrix, so two independent hierarchies
+    // must be identical; the V-cycle shards only the finest-level matvecs,
+    // so solves must match the sequential run bitwise at any worker count.
+    let (a, rhs) = spd_system(96);
+    let sparse = CsrMatrix::from_dense(&a, 0.0);
+    let reference = AmgCg::factor_sparse(&sparse, AmgOptions::default()).expect("factor");
+    let twin = AmgCg::factor_sparse(&sparse, AmgOptions::default()).expect("refactor");
+    assert_eq!(reference.levels(), twin.levels());
+    assert_eq!(reference.coarse_dim(), twin.coarse_dim());
+    let sequential = reference.solve(&rhs).expect("sequential solve");
+    assert_eq!(
+        sequential.as_slice(),
+        twin.solve(&rhs).expect("twin solve").as_slice(),
+        "independent AMG hierarchies solved differently"
+    );
+    for workers in [1, 2, 4, 8] {
+        let parallel = AmgCg::factor_sparse(&sparse, AmgOptions::default())
+            .expect("parallel factor")
+            .with_executor(Executor::with_workers(workers))
+            .solve(&rhs)
+            .expect("parallel solve");
+        assert_eq!(
+            sequential.as_slice(),
+            parallel.as_slice(),
+            "AMG solve diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn executor_primitives_are_bit_identical_across_worker_counts() {
     let data: Vec<f64> = (0..97).map(|i| (i as f64) * 0.37).collect();
     let map_ref = Executor::Sequential
@@ -857,6 +925,21 @@ fn every_deterministic_entry_point_has_a_bitwise_covering_test() {
             "dense_factorizations_are_bit_identical_across_worker_counts",
         ),
         (
+            "crates/linalg/src/precond.rs",
+            "factor",
+            "preconditioned_cg_backends_are_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/linalg/src/amg.rs",
+            "factor_sparse",
+            "amg_hierarchy_and_solves_are_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/linalg/src/factor.rs",
+            "factor_sparse_with",
+            "preconditioned_cg_backends_are_bit_identical_across_worker_counts",
+        ),
+        (
             "crates/linalg/src/factor.rs",
             "factor_dense",
             "solver_policy_backends_are_bit_identical_across_worker_counts",
@@ -962,7 +1045,7 @@ fn every_deterministic_entry_point_has_a_bitwise_covering_test() {
         stale.is_empty(),
         "coverage rows whose `/// deterministic` marker is gone: {stale:?}"
     );
-    assert_eq!(annotated.len(), 45, "inventory drifted from the pinned 45");
+    assert_eq!(annotated.len(), 48, "inventory drifted from the pinned 48");
 
     // Every covering test named above must actually exist in this file.
     let this_file = std::fs::read_to_string(root.join("tests").join("determinism.rs"))
