@@ -134,6 +134,51 @@ pub fn connected_components(w: &Matrix, threshold: f64) -> Result<Vec<usize>> {
     Ok(labels)
 }
 
+/// Partitions the vertices of `w` into connected components in canonical
+/// order: components are sorted by their smallest member, and the members
+/// of each component are listed in ascending order.
+///
+/// This is the shard-extraction API used by `gssl-serve`'s sharded engine
+/// (each component is an independent sub-problem: the hard system
+/// `D₂₂ − W₂₂` and the soft system `V + λL` are both block-diagonal
+/// across components) and is the canonical ordering contract any
+/// component-based decomposition in the workspace should follow. Edges
+/// with weight `> threshold` connect vertices.
+///
+/// Because [`connected_components`] assigns ids in order of first
+/// appearance, id order already equals smallest-member order; this
+/// function only groups the labels.
+///
+/// ```
+/// use gssl_graph::components::component_partition;
+/// use gssl_linalg::Matrix;
+/// # fn main() -> Result<(), gssl_graph::Error> {
+/// let w = Matrix::from_rows(&[
+///     &[0.0, 0.0, 1.0],
+///     &[0.0, 0.0, 0.0],
+///     &[1.0, 0.0, 0.0],
+/// ])?;
+/// assert_eq!(component_partition(&w, 0.0)?, vec![vec![0, 2], vec![1]]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] when `w` is not square.
+///
+/// complexity: O(n^2)
+/// deterministic
+pub fn component_partition(w: &Matrix, threshold: f64) -> Result<Vec<Vec<usize>>> {
+    let labels = connected_components(w, threshold)?;
+    let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (vertex, &label) in labels.iter().enumerate() {
+        members[label].push(vertex);
+    }
+    Ok(members)
+}
+
 /// Returns `true` when the graph with edges of weight `> threshold` is
 /// connected (vacuously true for empty and single-vertex graphs).
 ///
@@ -237,6 +282,47 @@ mod tests {
         ])
         .unwrap();
         assert!(unlabeled_anchored(&w, 2, 0.0).unwrap());
+    }
+
+    #[test]
+    fn partition_is_canonical() {
+        // Interleaved cliques {0,2} and {1,3}: smallest-member order puts
+        // the even clique first, members ascending within each.
+        let w = Matrix::from_rows(&[
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(
+            component_partition(&w, 0.0).unwrap(),
+            vec![vec![0, 2], vec![1, 3]]
+        );
+        assert_eq!(
+            component_partition(&two_cliques(), 0.0).unwrap(),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        assert_eq!(
+            component_partition(&Matrix::zeros(0, 0), 0.0).unwrap(),
+            Vec::<Vec<usize>>::new()
+        );
+        assert!(component_partition(&Matrix::zeros(2, 3), 0.0).is_err());
+    }
+
+    #[test]
+    fn partition_agrees_with_labels() {
+        let mut w = two_cliques();
+        w.set(1, 2, 0.5);
+        w.set(2, 1, 0.5);
+        let labels = connected_components(&w, 0.0).unwrap();
+        let parts = component_partition(&w, 0.0).unwrap();
+        for (id, part) in parts.iter().enumerate() {
+            for &v in part {
+                assert_eq!(labels[v], id);
+            }
+        }
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), labels.len());
     }
 
     #[test]

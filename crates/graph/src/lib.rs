@@ -55,6 +55,7 @@ pub mod spectral;
 pub use diagnostics::GraphReport;
 
 pub use bandwidth::Bandwidth;
+pub use components::component_partition;
 pub use error::{Error, Result};
 pub use extension::KernelGraph;
 pub use kernel::Kernel;

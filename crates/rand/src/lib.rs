@@ -218,6 +218,96 @@ pub mod rngs {
     }
 }
 
+/// Non-uniform distributions, mirroring the slice of `rand_distr` the
+/// workspace uses: exponential inter-arrival gaps and the Poisson arrival
+/// process they generate, for open-loop traffic benchmarks.
+pub mod dist {
+    use super::{RngCore, StandardSample};
+
+    /// The exponential distribution `Exp(rate)` with density
+    /// `rate · exp(−rate·x)` and mean `1/rate`, sampled by inverse CDF:
+    /// `x = −ln(1 − u)/rate` for `u` uniform on `[0, 1)`.
+    ///
+    /// `1 − u` is never zero for `u ∈ [0, 1)`, so samples are always
+    /// finite. Deterministic per generator stream.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Exp {
+        rate: f64,
+    }
+
+    impl Exp {
+        /// An exponential distribution with the given rate parameter.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `rate` is finite and strictly positive.
+        pub fn new(rate: f64) -> Self {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "Exp rate must be finite and positive, got {rate}"
+            );
+            Exp { rate }
+        }
+
+        /// The rate parameter `λ`.
+        pub fn rate(&self) -> f64 {
+            self.rate
+        }
+
+        /// Draws one sample (an inter-arrival gap with mean `1/rate`).
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u = f64::standard_sample(rng);
+            -(1.0 - u).ln() / self.rate
+        }
+    }
+
+    /// A homogeneous Poisson arrival process with intensity `rate` events
+    /// per unit time: successive [`PoissonProcess::next_arrival`] calls
+    /// return strictly increasing absolute arrival times whose gaps are
+    /// i.i.d. `Exp(rate)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct PoissonProcess {
+        gaps: Exp,
+        now: f64,
+    }
+
+    impl PoissonProcess {
+        /// A process starting at time `0` with the given intensity.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `rate` is finite and strictly positive.
+        pub fn new(rate: f64) -> Self {
+            PoissonProcess {
+                gaps: Exp::new(rate),
+                now: 0.0,
+            }
+        }
+
+        /// Advances to and returns the next absolute arrival time.
+        pub fn next_arrival<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> f64 {
+            self.now += self.gaps.sample(rng);
+            self.now
+        }
+
+        /// All arrival times strictly before `horizon`, in order.
+        pub fn arrivals_until<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            horizon: f64,
+        ) -> Vec<f64> {
+            let mut times = Vec::new();
+            loop {
+                let t = self.next_arrival(rng);
+                if t >= horizon {
+                    return times;
+                }
+                times.push(t);
+            }
+        }
+    }
+}
+
 /// Slice helpers, mirroring `rand::seq`.
 pub mod seq {
     use super::{uniform_below, RngCore};
@@ -327,6 +417,65 @@ mod tests {
             seen[*items.choose(&mut rng).expect("non-empty") as usize - 1] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_is_pinned() {
+        // Property test over several seeds and rates: the empirical mean
+        // of n = 100_000 draws must sit within 2% of 1/rate, and every
+        // draw must be finite and nonnegative.
+        for (seed, rate) in [(1u64, 0.5f64), (7, 1.0), (42, 4.0), (2026, 250.0)] {
+            let exp = super::dist::Exp::new(rate);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 100_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = exp.sample(&mut rng);
+                assert!(x.is_finite() && x >= 0.0, "bad sample {x}");
+                sum += x;
+            }
+            let mean = sum / n as f64;
+            let expected = 1.0 / rate;
+            assert!(
+                (mean - expected).abs() < 0.02 * expected,
+                "seed {seed}: mean {mean} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_is_deterministic_per_seed() {
+        let exp = super::dist::Exp::new(3.0);
+        assert_eq!(exp.rate(), 3.0);
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert_eq!(exp.sample(&mut a).to_bits(), exp.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_increase_and_track_intensity() {
+        let mut process = super::dist::PoissonProcess::new(100.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let arrivals = process.arrivals_until(&mut rng, 50.0);
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+        assert!(arrivals.iter().all(|&t| (0.0..50.0).contains(&t)));
+        // Expect rate·horizon = 5000 arrivals within a few percent.
+        let count = arrivals.len() as f64;
+        assert!(
+            (count - 5000.0).abs() < 250.0,
+            "count {count} far from 5000"
+        );
+        // Resuming the process keeps times strictly increasing.
+        let next = process.next_arrival(&mut rng);
+        assert!(next >= 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn exponential_rejects_bad_rate() {
+        let _ = super::dist::Exp::new(0.0);
     }
 
     #[test]

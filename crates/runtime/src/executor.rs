@@ -115,6 +115,32 @@ impl Executor {
         }
     }
 
+    /// Applies `f(index, &item)` to every item with width-1 claims — one
+    /// task per claim — and returns the results in input order; see
+    /// [`ThreadPool::map_tasks`]. Use this instead of [`Executor::map`]
+    /// when the batch is small and per-item cost is wildly uneven (one
+    /// factorization per graph shard), so slow tasks never queue behind a
+    /// chunk-mate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-input-index error from `f`, or an internal
+    /// runtime error (converted into `E`) if the claim protocol loses a
+    /// slot.
+    /// deterministic
+    pub fn map_tasks<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send + From<Error>,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        match self {
+            Executor::Sequential => pool::map_sequential(items, f),
+            Executor::Pool(pool) => pool.map_tasks(items, f),
+        }
+    }
+
     /// Applies `f(start..end)` to `width`-sized ranges of `0..len` and
     /// concatenates the results in ascending range order; see
     /// [`ThreadPool::map_chunks`] for the contract.
@@ -190,6 +216,20 @@ mod tests {
         let sequential = Executor::Sequential.map(&items, f).unwrap();
         for workers in [2, 4] {
             let parallel = Executor::pool(workers).unwrap().map(&items, f).unwrap();
+            assert_eq!(sequential, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_tasks_agrees_across_executors() {
+        let items: Vec<f64> = (0..23).map(|i| i as f64 * 0.9).collect();
+        let f = |i: usize, x: &f64| Ok::<f64, Error>(x.cos() * i as f64);
+        let sequential = Executor::Sequential.map_tasks(&items, f).unwrap();
+        for workers in [2, 4] {
+            let parallel = Executor::pool(workers)
+                .unwrap()
+                .map_tasks(&items, f)
+                .unwrap();
             assert_eq!(sequential, parallel, "workers = {workers}");
         }
     }

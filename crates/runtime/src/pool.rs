@@ -189,13 +189,46 @@ impl ThreadPool {
         E: Send + From<Error>,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
+        // Chunked work-stealing via an atomic cursor; see `chunk_size` and
+        // `claim` for the protocol and its correctness argument.
+        self.map_with_chunk(items, chunk_size(items.len(), self.workers), f)
+    }
+
+    /// Like [`ThreadPool::map`] but with width-1 claims: every item is its
+    /// own claim unit, so a handful of wildly uneven tasks (per-shard
+    /// factorizations whose cost scales with the cube of shard size)
+    /// load-balance instead of travelling together inside one chunk.
+    ///
+    /// Results are reassembled in input order, so for a deterministic `f`
+    /// the output is bit-identical to [`map_sequential`] at any worker
+    /// count — the claim width only changes who computes an item, never
+    /// the per-item operation order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadPool::map`]: lowest-input-index error
+    /// wins, internal error when the claim protocol loses a slot.
+    pub fn map_tasks<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send + From<Error>,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        self.map_with_chunk(items, 1, f)
+    }
+
+    fn map_with_chunk<T, R, E, F>(&self, items: &[T], chunk: usize, f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send + From<Error>,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
         if self.workers == 1 || items.len() <= 1 {
             return map_sequential(items, f);
         }
 
-        // Chunked work-stealing via an atomic cursor; see `chunk_size` and
-        // `claim` for the protocol and its correctness argument.
-        let chunk = chunk_size(items.len(), self.workers);
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<R, E>>>> =
             Mutex::new((0..items.len()).map(|_| None).collect());
@@ -441,6 +474,38 @@ mod tests {
         assert_eq!(
             pool.map(&[42usize], |_, &x| Ok::<usize, Error>(x)).unwrap(),
             vec![42]
+        );
+    }
+
+    #[test]
+    fn map_tasks_matches_map_bitwise() {
+        let items: Vec<f64> = (0..37).map(|i| i as f64 * 1.7).collect();
+        let f = |i: usize, x: &f64| Ok::<f64, Error>(x.sin() + (i as f64).sqrt());
+        let reference = ThreadPool::new(1).unwrap().map(&items, f).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(workers).unwrap();
+            assert_eq!(pool.map_tasks(&items, f).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn map_tasks_lowest_index_error_wins() {
+        let pool = ThreadPool::new(4).unwrap();
+        let items: Vec<usize> = (0..16).collect();
+        let result: Result<Vec<usize>> = pool.map_tasks(&items, |i, &x| {
+            if i % 5 == 2 {
+                Err(Error::Internal {
+                    message: format!("boom at {i}"),
+                })
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(
+            result,
+            Err(Error::Internal {
+                message: "boom at 2".to_owned()
+            })
         );
     }
 

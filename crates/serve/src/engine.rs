@@ -53,59 +53,15 @@
 
 use crate::config::{EngineConfig, EngineSolver, QueryPath, ServeCriterion};
 use crate::error::{Error, Result};
+use crate::extend::QueryPlane;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::types::{Prediction, QueryPoint};
 use gssl::Problem;
 use gssl_graph::{laplacian, KernelGraph, LaplacianKind};
 use gssl_index::{NeighborSearch, SpatialIndex};
 use gssl_linalg::{strict, Cholesky, Factorization, Lu, Matrix, SolverBackend};
 use gssl_runtime::Executor;
 use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
-
-/// An out-of-sample point to be scored by the fitted engine.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryPoint {
-    coords: Vec<f64>,
-}
-
-impl QueryPoint {
-    /// Wraps a coordinate vector (must match the fitted dimension).
-    pub fn new(coords: Vec<f64>) -> Self {
-        QueryPoint { coords }
-    }
-
-    /// The query's coordinates.
-    pub fn coords(&self) -> &[f64] {
-        &self.coords
-    }
-}
-
-impl From<Vec<f64>> for QueryPoint {
-    fn from(coords: Vec<f64>) -> Self {
-        QueryPoint::new(coords)
-    }
-}
-
-impl From<&[f64]> for QueryPoint {
-    fn from(coords: &[f64]) -> Self {
-        QueryPoint::new(coords.to_vec())
-    }
-}
-
-/// The engine's answer for one query point.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Prediction {
-    /// Extended score per class column: one entry for a binary engine
-    /// (the raw Eq. 6 value), `class_count` entries for a multiclass one.
-    pub per_class: Vec<f64>,
-    /// Predicted class. Binary engines use the `{0, 1}` label convention
-    /// and threshold the score at `1/2`; multiclass engines take the
-    /// arg-max over the one-vs-rest columns.
-    pub class: usize,
-    /// The winning score: the raw extension value for binary engines, the
-    /// arg-max column's value for multiclass ones.
-    pub score: f64,
-}
 
 /// Fit-once, query-many serving engine for graph-based semi-supervised
 /// prediction.
@@ -231,7 +187,7 @@ impl ServingEngine {
         Self::fit_internal(points, targets, true, class_count, config)
     }
 
-    fn fit_internal(
+    pub(crate) fn fit_internal(
         points: &Matrix,
         initial_targets: Matrix,
         multiclass: bool,
@@ -331,189 +287,23 @@ impl ServingEngine {
     /// complexity: O(b * n * c)
     /// deterministic
     pub fn predict_batch(&self, queries: &[QueryPoint]) -> Result<Vec<Prediction>> {
-        let dim = self.graph.dim();
-        for (qi, q) in queries.iter().enumerate() {
-            if q.coords.len() != dim {
-                return Err(Error::InvalidQuery {
-                    message: format!(
-                        "query {qi} has dimension {}, engine was fitted on {dim}",
-                        q.coords.len()
-                    ),
-                });
-            }
-            // Unconditional sanitizing at the serving boundary: bad query
-            // coordinates are caller error, not a numerical accident, so
-            // they are rejected even without the strict-checks feature.
-            if let Some(pos) = q.coords.iter().position(|v| !v.is_finite()) {
-                return Err(Error::NonFiniteValue {
-                    context: "serve.predict query coordinates",
-                    index: qi * dim + pos,
-                });
-            }
-        }
-
-        let batch_start = Instant::now();
-        // One kernel-row scratch buffer per chunk, not per query: the row
-        // is overwritten in place by `kernel_row_into` for every query the
-        // worker handles. The index-backed paths never touch a dense row,
-        // so their chunks allocate nothing here.
-        let nodes = if self.config.query_path == QueryPath::Dense {
-            self.graph.len()
-        } else {
-            0
-        };
-        let block = queries
-            .len()
-            .div_ceil(self.executor.workers().saturating_mul(4))
-            .max(1);
-        let chunks = self.executor.map_chunks(queries.len(), block, |range| {
-            let mut row = vec![0.0; nodes];
-            let chunk_queries = &queries[range.start..range.end];
-            let mut outcomes = Vec::with_capacity(chunk_queries.len());
-            for (q, qi) in chunk_queries.iter().zip(range) {
-                let start = Instant::now();
-                let prediction = self.predict_one(qi, q, &mut row)?;
-                outcomes.push((prediction, start.elapsed().as_secs_f64()));
-            }
-            Ok::<_, Error>(outcomes)
-        })?;
-        let batch_seconds = batch_start.elapsed().as_secs_f64();
-
-        let mut predictions = Vec::with_capacity(queries.len());
-        let mut latencies = Vec::with_capacity(queries.len());
-        for (prediction, latency) in chunks {
-            predictions.push(prediction);
-            latencies.push(latency);
-        }
-        self.lock_metrics().record_batch(&latencies, batch_seconds);
-        Ok(predictions)
+        let outcome = self.query_plane().predict_batch(&self.executor, queries)?;
+        self.lock_metrics()
+            .record_batch(&outcome.latencies, outcome.batch_seconds);
+        Ok(outcome.predictions)
     }
 
-    /// The out-of-sample extension of Theorem II.1 / Eq. 6 for one query,
-    /// routed through the configured [`QueryPath`]: dense kernel rows
-    /// (`O(n·d)` into the caller's reusable `row` scratch) or index-backed
-    /// neighbor sums (`O(k)` weights after a sublinear tree search).
-    /// hot
-    /// complexity: O(n * c)
-    fn predict_one(
-        &self,
-        query_index: usize,
-        query: &QueryPoint,
-        row: &mut [f64],
-    ) -> Result<Prediction> {
-        let per_class = match self.config.query_path {
-            QueryPath::Dense => self.extend_dense(query_index, query, row)?,
-            QueryPath::KNearest { k } => {
-                let index = self.query_index_handle()?;
-                let neighbors = index.k_nearest(&query.coords, k.min(index.len()))?;
-                self.extend_over_neighbors(query_index, &neighbors)?
-            }
-            QueryPath::WithinSupport => {
-                let index = self.query_index_handle()?;
-                // Compact kernels vanish beyond `t = dist/bandwidth = 1`
-                // and `within_radius` is inclusive, so the ball holds
-                // every node with a non-zero weight (boxcar is non-zero
-                // AT t = 1) — the truncation drops exact zeros only.
-                let neighbors = index.within_radius(&query.coords, self.config.bandwidth)?;
-                self.extend_over_neighbors(query_index, &neighbors)?
-            }
-        };
-        strict::check_finite("serve.predict output", &per_class)?;
-
-        let (class, score) = if self.multiclass {
-            let mut best = 0;
-            let mut best_score = per_class[0];
-            for (c, &v) in per_class.iter().enumerate().skip(1) {
-                if v > best_score {
-                    best = c;
-                    best_score = v;
-                }
-            }
-            (best, best_score)
-        } else {
-            let score = per_class[0];
-            (usize::from(score >= 0.5), score)
-        };
-        Ok(Prediction {
-            per_class,
-            class,
-            score,
-        })
-    }
-
-    /// The fitted spatial index, present iff an index-backed
-    /// [`QueryPath`] was configured at fit time.
-    fn query_index_handle(&self) -> Result<&SpatialIndex> {
-        self.index.as_ref().ok_or_else(|| Error::Internal {
-            message: "index-backed query path configured but no spatial index was built at fit"
-                .to_owned(),
-        })
-    }
-
-    /// Dense Eq. 6: the full kernel row over all fitted nodes, written
-    /// into the caller's reusable scratch, then the normalized weighted
-    /// average of the fitted scores.
-    /// hot
-    /// complexity: O(n * c)
-    /// shape: (classes,)
-    fn extend_dense(
-        &self,
-        query_index: usize,
-        query: &QueryPoint,
-        row: &mut [f64],
-    ) -> Result<Vec<f64>> {
-        self.graph.kernel_row_into(&query.coords, row)?;
-        strict::check_finite("serve.predict kernel row", row)?;
-        let mass: f64 = row.iter().sum();
-        if !mass.is_finite() || !(mass > 0.0) {
-            return Err(Error::ZeroKernelMass { query_index });
+    /// The Eq. 6 query plane over this engine's fitted state. The sharded
+    /// engine borrows the same type over its *globally* reassembled
+    /// scores, so both engines answer queries through identical code.
+    pub(crate) fn query_plane(&self) -> QueryPlane<'_> {
+        QueryPlane {
+            graph: &self.graph,
+            index: self.index.as_ref(),
+            scores: &self.scores,
+            config: &self.config,
+            multiclass: self.multiclass,
         }
-        let k = self.targets.cols();
-        let mut per_class = vec![0.0; k];
-        for (i, &w) in row.iter().enumerate() {
-            let score_row = self.scores.row(i);
-            for (acc, &s) in per_class.iter_mut().zip(score_row) {
-                *acc += w * s;
-            }
-        }
-        for acc in &mut per_class {
-            *acc /= mass;
-        }
-        Ok(per_class)
-    }
-
-    /// Truncated Eq. 6: the kernel weights and score average run over an
-    /// index-provided neighbor list only, reusing each neighbor's stored
-    /// squared distance (no coordinate access, no dense row).
-    /// hot
-    /// complexity: O(k * c)
-    /// shape: (classes,)
-    fn extend_over_neighbors(
-        &self,
-        query_index: usize,
-        neighbors: &[gssl_index::Neighbor],
-    ) -> Result<Vec<f64>> {
-        let k = self.targets.cols();
-        let mut per_class = vec![0.0; k];
-        let mut mass = 0.0;
-        for nb in neighbors {
-            let w = self
-                .config
-                .kernel
-                .weight_unchecked(nb.dist2, self.config.bandwidth);
-            mass += w;
-            let score_row = self.scores.row(nb.index);
-            for (acc, &s) in per_class.iter_mut().zip(score_row) {
-                *acc += w * s;
-            }
-        }
-        if !mass.is_finite() || !(mass > 0.0) {
-            return Err(Error::ZeroKernelMass { query_index });
-        }
-        for acc in &mut per_class {
-            *acc /= mass;
-        }
-        Ok(per_class)
     }
 
     // ------------------------------------------------------------------
@@ -1038,6 +828,131 @@ impl ServingEngine {
     fn lock_metrics(&self) -> MutexGuard<'_, ServeMetrics> {
         self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot plumbing (crate-internal)
+    // ------------------------------------------------------------------
+
+    /// Per-node observed-label mask (all `N` nodes).
+    pub(crate) fn labeled_mask(&self) -> &[bool] {
+        &self.labeled
+    }
+
+    /// Observed targets, `N × k` (unlabeled rows are zero).
+    pub(crate) fn targets_matrix(&self) -> &Matrix {
+        &self.targets
+    }
+
+    /// Global indices of the still-unlabeled nodes, in cached-system order.
+    pub(crate) fn unlabeled_indices(&self) -> &[usize] {
+        &self.unlabeled
+    }
+
+    /// The cached criterion system.
+    pub(crate) fn system_matrix(&self) -> &Matrix {
+        &self.system
+    }
+
+    /// The cached explicit inverse, when the backend keeps one.
+    pub(crate) fn inverse_matrix(&self) -> Option<&Matrix> {
+        self.inverse.as_ref()
+    }
+
+    /// The cached right-hand side.
+    pub(crate) fn rhs_matrix(&self) -> &Matrix {
+        &self.rhs
+    }
+
+    /// Rank-1 updates folded since the last full refactorization.
+    pub(crate) fn updates_since_refactor(&self) -> usize {
+        self.updates_since_refactor
+    }
+
+    /// Rehydrates an engine from snapshot state **without factoring**:
+    /// the kernel graph, weight matrix and degree vector are recomputed
+    /// from the points (cheap `O(n²·d)` assembly), while the expensive
+    /// cached factorization artifacts (`system`, `inverse`, `rhs`,
+    /// `scores`) are restored verbatim. This is the cold-start path that
+    /// makes snapshot restore beat a refit.
+    ///
+    /// The caller (the snapshot codec) is trusted to pass shapes that are
+    /// mutually consistent; the strict sanitizer still guards the scores.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot_parts(
+        points: &Matrix,
+        config: EngineConfig,
+        multiclass: bool,
+        class_count: usize,
+        labeled: Vec<bool>,
+        targets: Matrix,
+        unlabeled: Vec<usize>,
+        system: Matrix,
+        inverse: Option<Matrix>,
+        rhs: Matrix,
+        scores: Matrix,
+        updates_since_refactor: usize,
+    ) -> Result<Self> {
+        config.validate()?;
+        let executor = Executor::with_workers(config.workers);
+        let graph = KernelGraph::fit(points.clone(), config.kernel, config.bandwidth)?;
+        let index = if config.query_path == QueryPath::Dense {
+            None
+        } else {
+            Some(SpatialIndex::build(points)?)
+        };
+        let weights = graph.weights_with(&executor)?;
+        // Same reduction as `Problem::degrees` on a dense weight matrix,
+        // so restored degrees are bit-identical to the fitted ones.
+        let degrees = weights.row_sums();
+        strict::check_finite_matrix("serve snapshot scores", &scores)?;
+        Ok(ServingEngine {
+            config,
+            graph,
+            weights,
+            degrees,
+            multiclass,
+            class_count,
+            labeled,
+            targets,
+            unlabeled,
+            system,
+            inverse,
+            rhs,
+            scores,
+            index,
+            executor,
+            updates_since_refactor,
+            metrics: Mutex::new(ServeMetrics::default()),
+        })
+    }
+}
+
+impl Clone for ServingEngine {
+    /// Deep-copies the fitted state (the epoch-swap path clones the
+    /// affected shard before folding a label into it). The metrics
+    /// counters are copied at their current values; the `Mutex` itself is
+    /// fresh.
+    fn clone(&self) -> Self {
+        ServingEngine {
+            config: self.config.clone(),
+            graph: self.graph.clone(),
+            weights: self.weights.clone(),
+            degrees: self.degrees.clone(),
+            multiclass: self.multiclass,
+            class_count: self.class_count,
+            labeled: self.labeled.clone(),
+            targets: self.targets.clone(),
+            unlabeled: self.unlabeled.clone(),
+            system: self.system.clone(),
+            inverse: self.inverse.clone(),
+            rhs: self.rhs.clone(),
+            scores: self.scores.clone(),
+            index: self.index.clone(),
+            executor: self.executor.clone(),
+            updates_since_refactor: self.updates_since_refactor,
+            metrics: Mutex::new(self.lock_metrics().clone()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1376,14 +1291,6 @@ mod tests {
             twin.refit().unwrap();
             assert!(engine.scores().approx_eq(twin.scores(), 1e-10));
         }
-    }
-
-    #[test]
-    fn query_point_conversions() {
-        let q: QueryPoint = vec![1.0, 2.0].into();
-        assert_eq!(q.coords(), &[1.0, 2.0]);
-        let q: QueryPoint = (&[3.0][..]).into();
-        assert_eq!(q.coords(), &[3.0]);
     }
 
     /// A deterministic 2-D cloud in the unit square (same low-discrepancy

@@ -53,6 +53,13 @@ pub enum Error {
         /// Flat index of the first non-finite element.
         index: usize,
     },
+    /// A snapshot could not be encoded or decoded: unsupported engine
+    /// state (e.g. a policy-routed solver), a corrupt or truncated byte
+    /// stream, a bad magic/version header, or a checksum mismatch.
+    Snapshot {
+        /// Description of what failed.
+        message: String,
+    },
     /// An internal invariant of the engine or thread pool was violated —
     /// always a bug in this crate, never caller error.
     Internal {
@@ -89,6 +96,7 @@ impl fmt::Display for Error {
                 f,
                 "non-finite value (NaN or infinity) at {context}, element {index}"
             ),
+            Error::Snapshot { message } => write!(f, "snapshot error: {message}"),
             Error::Internal { message } => write!(f, "internal serving-engine error: {message}"),
             Error::Core(inner) => write!(f, "criterion error: {inner}"),
             Error::Graph(inner) => write!(f, "graph error: {inner}"),
@@ -201,6 +209,11 @@ mod tests {
         }
         .to_string()
         .contains("slot missing"));
+        assert!(Error::Snapshot {
+            message: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!    paper shows the graph solution converges to the Nadaraya–Watson
 //!    kernel regressor, which justifies the extension (Eq. 6)
 //!    `f(x) = Σᵢ w(x, xᵢ) fᵢ / Σᵢ w(x, xᵢ)` — an `O(N·d)` weighted
-//!    average over the fitted scores, no linear solve involved.
+//!    average over the fitted scores, no linear solve involved. The
+//!    evaluation lives in one place ([`mod@crate::extend`]) shared by
+//!    every engine flavor.
 //! 2. **Streaming labels.** When a previously unlabeled vertex reveals
 //!    its label, the criterion system changes by exactly rank one, so the
 //!    cached inverse is repaired with a Sherman–Morrison-family update in
@@ -21,6 +23,25 @@
 //!    `std::thread::scope` only), and [`MetricsSnapshot`] reports p50/p99
 //!    latency and sustained throughput via the [`gssl_stats`] descriptive
 //!    machinery.
+//!
+//! Two engines implement this contract:
+//!
+//! * [`ServingEngine`] — the monolithic reference: one criterion system,
+//!   one cached factorization.
+//! * [`ShardedEngine`] — the component-decomposed production engine:
+//!   both criterion systems are block-diagonal across connected
+//!   components of the kernel graph ([`mod@crate::shard`]), so each
+//!   component is fitted as an independent task, label folds rebuild
+//!   only the affected shard behind an epoch snapshot/swap
+//!   ([`mod@crate::sharded`]), and the full fitted state round-trips
+//!   through a versioned binary snapshot ([`mod@crate::snapshot`]) for
+//!   factorization-free cold starts. Its predictions are
+//!   bitwise-identical to the monolithic engine's under the direct
+//!   solver route.
+//!
+//! In front of either engine, [`BatchQueue`] ([`mod@crate::batch`])
+//! coalesces individual requests into size/deadline-bounded batches with
+//! admission control for overload shedding.
 //!
 //! [`ServingEngine::fit`] builds the kernel graph and the criterion
 //! problem internally from raw points (labeled first), so callers hand
@@ -35,14 +56,26 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+/// Admission-controlled coalescing of predict traffic into batches.
+pub mod batch;
 /// Engine configuration: criterion, kernel parameters, update policy.
 pub mod config;
 /// The fit-once, query-many serving engine and its rank-1 update math.
 pub mod engine;
 /// Error type for the serving boundary.
 pub mod error;
+/// The shared out-of-sample (Eq. 6) query plane.
+pub(crate) mod extend;
 /// Latency/throughput counters built on `gssl-stats`.
 pub mod metrics;
+/// Component-based shard decomposition of the fitted graph.
+pub mod shard;
+/// The shard-decomposed engine with epoch snapshot/swap label folding.
+pub mod sharded;
+/// Versioned binary snapshot/restore of a fitted sharded engine.
+pub mod snapshot;
+/// Query/prediction value types shared by every engine flavor.
+pub mod types;
 
 /// Deterministic interleaving harness for the execution layer's
 /// chunk-claim protocol, re-exported from [`gssl_runtime`] (where it now
@@ -50,8 +83,21 @@ pub mod metrics;
 #[cfg(feature = "strict-checks")]
 pub use gssl_runtime::sim;
 
+pub use batch::{Admission, BatchPolicy, BatchQueue, CoalescedBatch};
 pub use config::{EngineConfig, EngineSolver, QueryPath, ServeCriterion};
-pub use engine::{Prediction, QueryPoint, ServingEngine};
+pub use engine::ServingEngine;
 pub use error::{Error, Result};
-pub use gssl_runtime::{Executor, ThreadPool};
+pub use gssl_runtime::Executor;
 pub use metrics::MetricsSnapshot;
+pub use shard::{Shard, ShardPlan};
+pub use sharded::ShardedEngine;
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use types::{Prediction, QueryPoint};
+
+/// Scoped thread pool, re-exported from [`gssl_runtime`] (where it now
+/// lives).
+#[deprecated(
+    since = "0.2.0",
+    note = "use gssl_runtime::ThreadPool (or gssl_serve::Executor) directly"
+)]
+pub type ThreadPool = gssl_runtime::ThreadPool;

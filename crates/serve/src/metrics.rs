@@ -91,7 +91,7 @@ impl MetricsSnapshot {
 
 /// Internal mutable counters; the engine keeps one behind a mutex and
 /// exposes value snapshots.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ServeMetrics {
     snapshot: MetricsSnapshot,
 }

@@ -74,4 +74,15 @@ echo "== solver crossover bench, ci sizes (writes BENCH_solver_ci.json)"
 cargo run --release -q -p gssl-bench --bin solver_crossover -- --ci --quiet
 rm -f BENCH_solver_ci.json
 
+echo "== serve traffic bench, ci sizes (writes BENCH_serve_ci.json)"
+# Replays a seeded open-loop Poisson arrival stream through the
+# admission-controlled batch queue into the sharded engine and exits
+# nonzero if sharded predictions are not bitwise-identical to the
+# monolithic engine, any admitted query is lost or double-served, or the
+# snapshot/restore roundtrip is not bitwise — agreement properties,
+# never timing. The committed BENCH_serve.json comes from the full run
+# (`--bin serve_traffic`, no flags) and is not touched here.
+cargo run --release -q -p gssl-bench --bin serve_traffic -- --ci --quiet
+rm -f BENCH_serve_ci.json
+
 echo "All checks passed."

@@ -21,8 +21,8 @@ use gssl_graph::{
         affinity_matrix_with, affinity_with_rule, pairwise_squared_distances,
         pairwise_squared_distances_with,
     },
-    epsilon_graph, epsilon_graph_with, knn_graph, knn_graph_with, Bandwidth, Kernel, KernelGraph,
-    Symmetrization,
+    component_partition, epsilon_graph, epsilon_graph_with, knn_graph, knn_graph_with, Bandwidth,
+    Kernel, KernelGraph, Symmetrization,
 };
 use gssl_index::{
     k_nearest_batch, self_k_nearest_batch, self_within_radius_batch, NeighborSearch, SpatialIndex,
@@ -32,7 +32,7 @@ use gssl_linalg::{
     PrecondKind, SolverPolicy, Vector,
 };
 use gssl_runtime::{sim, Executor};
-use gssl_serve::{EngineConfig, QueryPoint, ServingEngine};
+use gssl_serve::{EngineConfig, QueryPoint, ServingEngine, ShardPlan, ShardedEngine};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 4];
 
@@ -733,6 +733,223 @@ fn schedule_enumeration_proves_the_map_chunks_claim_protocol() {
     assert!(report.schedules > 0);
 }
 
+/// Three interleaved 1-D clusters (node `i` in cluster `i % 3`): a compact
+/// kernel disconnects them, so the serving graph has three components with
+/// members scattered through the global index space.
+fn clustered_points(total: usize) -> Matrix {
+    Matrix::from_fn(total, 1, |i, _| {
+        let jitter = (((i * 37 + 11) as f64) * 0.618_033_988_749_894_9).fract();
+        (i % 3) as f64 * 10.0 + jitter
+    })
+}
+
+fn cluster_queries(count: usize) -> Vec<QueryPoint> {
+    (0..count)
+        .map(|q| {
+            let jitter = (((q * 53 + 5) as f64) * 0.618_033_988_749_894_9).fract();
+            QueryPoint::new(vec![(q % 3) as f64 * 10.0 + jitter])
+        })
+        .collect()
+}
+
+#[test]
+fn component_partition_is_deterministic_and_exhaustive() {
+    // Block structure with interleaved membership: i ~ j iff i ≡ j (mod 3).
+    let n = 17;
+    let w = Matrix::from_fn(
+        n,
+        n,
+        |i, j| {
+            if i != j && i % 3 == j % 3 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
+    let reference = component_partition(&w, 0.0).expect("partition");
+    assert_eq!(reference.len(), 3);
+    let mut seen = vec![false; n];
+    for members in &reference {
+        for &v in members {
+            assert!(!seen[v], "vertex {v} assigned twice");
+            seen[v] = true;
+        }
+        // Deterministic order contract: members ascend.
+        for pair in members.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "partition must cover every vertex");
+    for _ in 0..3 {
+        assert_eq!(reference, component_partition(&w, 0.0).expect("repeat"));
+    }
+}
+
+#[test]
+fn map_tasks_is_bit_identical_across_worker_counts() {
+    // Deliberately uneven per-task cost so the width-1 claim order is
+    // actually contended when the pool runs multi-worker.
+    let tasks: Vec<usize> = (0..23).collect();
+    let run = |workers: usize| -> Vec<f64> {
+        let executor = Executor::with_workers(workers);
+        executor
+            .map_tasks(&tasks, |index, &t| {
+                let mut acc = 0.0_f64;
+                for k in 0..(t * 97 + 13) {
+                    acc += (((k * 31 + index + 7) as f64) * 0.618_033_988_749_894_9).fract();
+                }
+                Ok::<f64, gssl_runtime::Error>(acc)
+            })
+            .expect("map_tasks")
+    };
+    let reference = run(1);
+    for workers in WORKER_COUNTS {
+        let parallel = run(workers);
+        assert_eq!(reference.len(), parallel.len());
+        for (i, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                r.to_bits(),
+                p.to_bits(),
+                "task {i} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_plan_is_deterministic() {
+    let n = 15;
+    let w = Matrix::from_fn(
+        n,
+        n,
+        |i, j| {
+            if i != j && i % 3 == j % 3 {
+                0.5
+            } else {
+                0.0
+            }
+        },
+    );
+    let reference = ShardPlan::new(&w, 3).expect("plan");
+    assert_eq!(reference.n_shards(), 3);
+    for repeat in 0..3 {
+        let plan = ShardPlan::new(&w, 3).expect("plan repeat");
+        assert_eq!(plan.n_shards(), reference.n_shards(), "repeat {repeat}");
+        for (s, (a, b)) in reference.shards().iter().zip(plan.shards()).enumerate() {
+            assert_eq!(a.members(), b.members(), "shard {s} repeat {repeat}");
+            assert_eq!(a.n_labeled(), b.n_labeled(), "shard {s} repeat {repeat}");
+        }
+        for v in 0..n {
+            assert_eq!(plan.shard_of(v), reference.shard_of(v));
+        }
+    }
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_across_worker_counts() {
+    let pts = clustered_points(24);
+    let labels = [0.0, 1.0, 0.0];
+    let queries = cluster_queries(19);
+    let fit = |workers: usize| {
+        let config = EngineConfig::new(Kernel::Epanechnikov, 1.6).workers(workers);
+        ShardedEngine::fit(&pts, &labels, config).expect("sharded fit")
+    };
+    let reference_engine = fit(1);
+    assert_eq!(
+        reference_engine.n_shards(),
+        3,
+        "expected a real decomposition"
+    );
+    let reference_scores = reference_engine.scores();
+    let reference = reference_engine.predict_batch(&queries).expect("predict");
+    for workers in [1, 2, 4, 8] {
+        let engine = fit(workers);
+        assert_eq!(
+            reference_scores.as_slice(),
+            engine.scores().as_slice(),
+            "fitted scores diverged at {workers} workers"
+        );
+        let parallel = engine.predict_batch(&queries).expect("predict");
+        for (i, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(r.class, p.class, "query {i} class at {workers} workers");
+            let same = r.per_class.len() == p.per_class.len()
+                && r.per_class
+                    .iter()
+                    .zip(&p.per_class)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "query {i} per-class scores at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn sharded_multiclass_is_bit_identical_across_worker_counts() {
+    let pts = clustered_points(27);
+    let class_labels = [0, 1, 2];
+    let queries = cluster_queries(13);
+    let fit = |workers: usize| {
+        let config = EngineConfig::new(Kernel::Epanechnikov, 1.6).workers(workers);
+        ShardedEngine::fit_multiclass(&pts, &class_labels, 3, config).expect("sharded fit")
+    };
+    let reference_engine = fit(1);
+    let reference_scores = reference_engine.scores();
+    let reference = reference_engine.predict_batch(&queries).expect("predict");
+    for workers in [1, 2, 4, 8] {
+        let engine = fit(workers);
+        assert_eq!(
+            reference_scores.as_slice(),
+            engine.scores().as_slice(),
+            "multiclass scores diverged at {workers} workers"
+        );
+        let parallel = engine.predict_batch(&queries).expect("predict");
+        for (i, (r, p)) in reference.iter().zip(&parallel).enumerate() {
+            assert_eq!(r.class, p.class, "query {i} class at {workers} workers");
+            let same = r
+                .per_class
+                .iter()
+                .zip(&p.per_class)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "query {i} per-class at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_is_bit_identical() {
+    let pts = clustered_points(21);
+    let labels = [0.0, 1.0, 1.0];
+    let config = EngineConfig::new(Kernel::Epanechnikov, 1.6).workers(2);
+    let engine = ShardedEngine::fit(&pts, &labels, config).expect("sharded fit");
+    engine.observe_label(9, 0.0).expect("fold");
+
+    // The byte stream itself is deterministic: same state, same bytes.
+    let bytes = engine.snapshot().expect("snapshot");
+    assert_eq!(bytes, engine.snapshot().expect("second snapshot"));
+
+    // And restore reproduces the fitted state bit for bit, at any
+    // subsequent worker count.
+    let queries = cluster_queries(11);
+    let reference = engine.predict_batch(&queries).expect("predict");
+    let restored = ShardedEngine::restore(&bytes).expect("restore");
+    assert_eq!(restored.epoch(), engine.epoch());
+    assert_eq!(
+        engine.scores().as_slice(),
+        restored.scores().as_slice(),
+        "restored scores are not bitwise-identical"
+    );
+    let served = restored.predict_batch(&queries).expect("restored predict");
+    for (i, (r, p)) in reference.iter().zip(&served).enumerate() {
+        assert_eq!(r.class, p.class, "query {i} class after restore");
+        let same = r
+            .per_class
+            .iter()
+            .zip(&p.per_class)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "query {i} per-class after restore");
+    }
+}
+
 /// Pins the `/// deterministic` annotation inventory to the bitwise tests
 /// that cover it: every annotated entry point in `crates/*/src` must map
 /// to a test defined in this file, and every table row must still point
@@ -984,6 +1201,46 @@ fn every_deterministic_entry_point_has_a_bitwise_covering_test() {
             "predict_batch",
             "predict_batch_is_bit_identical_across_worker_counts",
         ),
+        (
+            "crates/graph/src/components.rs",
+            "component_partition",
+            "component_partition_is_deterministic_and_exhaustive",
+        ),
+        (
+            "crates/runtime/src/executor.rs",
+            "map_tasks",
+            "map_tasks_is_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/serve/src/shard.rs",
+            "new",
+            "shard_plan_is_deterministic",
+        ),
+        (
+            "crates/serve/src/sharded.rs",
+            "fit",
+            "sharded_serving_is_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/serve/src/sharded.rs",
+            "fit_multiclass",
+            "sharded_multiclass_is_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/serve/src/sharded.rs",
+            "predict_batch",
+            "sharded_serving_is_bit_identical_across_worker_counts",
+        ),
+        (
+            "crates/serve/src/snapshot.rs",
+            "snapshot",
+            "snapshot_roundtrip_is_bit_identical",
+        ),
+        (
+            "crates/serve/src/snapshot.rs",
+            "restore",
+            "snapshot_roundtrip_is_bit_identical",
+        ),
     ];
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -1045,7 +1302,7 @@ fn every_deterministic_entry_point_has_a_bitwise_covering_test() {
         stale.is_empty(),
         "coverage rows whose `/// deterministic` marker is gone: {stale:?}"
     );
-    assert_eq!(annotated.len(), 48, "inventory drifted from the pinned 48");
+    assert_eq!(annotated.len(), 56, "inventory drifted from the pinned 56");
 
     // Every covering test named above must actually exist in this file.
     let this_file = std::fs::read_to_string(root.join("tests").join("determinism.rs"))
